@@ -1,0 +1,35 @@
+//! Critical-section-free fetch-and-add algorithms (paper §2.3 and the
+//! appendix, "Management of Highly Parallel Queues").
+//!
+//! The paper's thesis is that with fetch-and-add "we can perform many
+//! important algorithms in a completely parallel manner, i.e. without
+//! using any critical sections" — and that, e.g., "given a single queue
+//! that is neither empty nor full, the concurrent execution of thousands
+//! of inserts and thousands of deletes can all be accomplished in the time
+//! required for just one such operation."
+//!
+//! Two families live here:
+//!
+//! * [`native`] — real-thread implementations on `std::sync::atomic`
+//!   (whose `fetch_add` *is* the paper's primitive, combining aside):
+//!   the appendix queue ([`native::queue::UltraQueue`]), a fetch-and-add barrier,
+//!   a readers–writers coordination built from fetch-phi primitives, and
+//!   self-scheduled loops; plus mutex-based baselines for the benchmarks.
+//! * [`sim`] — the same appendix queue expressed as explicit
+//!   one-memory-op-per-step state machines over the
+//!   [`ultracomputer::Paracomputer`], driven by a randomized interleaver,
+//!   so the algorithm's correctness under *arbitrary* interleavings (and
+//!   the necessity of TIR/TDR's "redundant" initial test) can be property
+//!   tested.
+
+pub mod native;
+pub mod sim;
+
+pub use native::barrier::FaaBarrier;
+pub use native::counter::{FaaCounter, MutexCounter};
+pub use native::loop_sched::{parallel_for, SelfSchedule};
+pub use native::queue::{MutexQueue, QueueFull, UltraQueue};
+pub use native::rwlock::FaaRwLock;
+pub use native::semaphore::FaaSemaphore;
+pub use sim::queue::{InterleavedQueueSim, SimEvent};
+pub use sim::rwlock::{InterleavedRwSim, RwReport};

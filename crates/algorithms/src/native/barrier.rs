@@ -1,0 +1,157 @@
+//! A fetch-and-add barrier.
+//!
+//! Barriers are the synchronization shape dominating the paper's workloads
+//! (TRED2 does one per Householder step). A central sense-reversing
+//! barrier needs exactly one fetch-and-add per arrival — on the real
+//! machine all `P` arrivals combine in the network and cost one memory
+//! access in total (§3.1.3).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A reusable sense-reversing barrier built on fetch-and-add.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ultra_algorithms::FaaBarrier;
+///
+/// let barrier = Arc::new(FaaBarrier::new(4));
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let b = Arc::clone(&barrier);
+///         std::thread::spawn(move || {
+///             b.wait();
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FaaBarrier {
+    parties: i64,
+    /// Arrivals in the current episode.
+    count: AtomicI64,
+    /// Episode number; waiters spin on its change (the "sense").
+    generation: AtomicU64,
+}
+
+impl FaaBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Self {
+            parties: parties as i64,
+            count: AtomicI64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of participating threads.
+    #[must_use]
+    pub fn parties(&self) -> usize {
+        self.parties as usize
+    }
+
+    /// Blocks until all parties have called `wait`. Returns `true` for the
+    /// last arriver (the "leader", mirroring `std::sync::Barrier`).
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::SeqCst);
+        // One fetch-and-add per arrival: on Ultracomputer hardware all P of
+        // these combine into a single memory update.
+        let arrival = self.count.fetch_add(1, Ordering::SeqCst);
+        if arrival + 1 == self.parties {
+            self.count.store(0, Ordering::SeqCst);
+            self.generation.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            while self.generation.load(Ordering::SeqCst) == gen {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = FaaBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.parties(), 1);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let b = Arc::new(FaaBarrier::new(8));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 50);
+    }
+
+    /// The barrier must actually separate phases: no thread may observe a
+    /// phase counter from two episodes ahead.
+    #[test]
+    fn phases_are_separated() {
+        let b = Arc::new(FaaBarrier::new(4));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        let seen = phase.load(Ordering::SeqCst);
+                        assert!(
+                            seen == round || seen == round + 1,
+                            "phase skew: saw {seen} in round {round}"
+                        );
+                        if b.wait() {
+                            phase.fetch_add(1, Ordering::SeqCst);
+                        }
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = FaaBarrier::new(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared counters: fetch-and-add vs. a lock-based baseline.
+//!
+//! §2.2's first example of fetch-and-add is "several PEs concurrently
+//! applying fetch-and-add, with an increment of 1, to a shared array
+//! index. Each PE obtains an index to a distinct array element … the
+//! shared index receives the appropriate total increment."
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A shared counter whose updates are single fetch-and-adds.
+///
+/// # Example
+///
+/// ```
+/// use ultra_algorithms::FaaCounter;
+///
+/// let c = FaaCounter::new(10);
+/// assert_eq!(c.fetch_add(5), 10);
+/// assert_eq!(c.get(), 15);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaaCounter(AtomicI64);
+
+impl FaaCounter {
+    /// Creates a counter holding `initial`.
+    #[must_use]
+    pub fn new(initial: i64) -> Self {
+        Self(AtomicI64::new(initial))
+    }
+
+    /// The §2.2 primitive: returns the old value, adds `delta`.
+    pub fn fetch_add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Resets the counter (not atomic with respect to concurrent use).
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::SeqCst);
+    }
+}
+
+/// The baseline the paper is arguing against: the same counter behind a
+/// lock (a small critical section whose relative cost "rises with the
+/// number of PEs", §2.3).
+#[derive(Debug, Default)]
+pub struct MutexCounter(Mutex<i64>);
+
+impl MutexCounter {
+    /// Creates a counter holding `initial`.
+    #[must_use]
+    pub fn new(initial: i64) -> Self {
+        Self(Mutex::new(initial))
+    }
+
+    /// Lock, read, add, unlock.
+    pub fn fetch_add(&self, delta: i64) -> i64 {
+        let mut guard = self.0.lock();
+        let old = *guard;
+        *guard += delta;
+        old
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        *self.0.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn faa_returns_old_value() {
+        let c = FaaCounter::new(7);
+        assert_eq!(c.fetch_add(3), 7);
+        assert_eq!(c.fetch_add(-2), 10);
+        assert_eq!(c.get(), 8);
+        c.set(0);
+        assert_eq!(c.get(), 0);
+    }
+
+    /// §2.2: concurrent F&A(V, 1) hands out distinct indices and the total
+    /// increment is exact.
+    #[test]
+    fn concurrent_faa_gives_distinct_indices() {
+        let c = Arc::new(FaaCounter::new(0));
+        let threads = 8;
+        let per = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || (0..per).map(|_| c.fetch_add(1)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "index {v} issued twice");
+            }
+        }
+        assert_eq!(seen.len(), threads * per);
+        assert_eq!(c.get(), (threads * per) as i64);
+    }
+
+    #[test]
+    fn mutex_counter_agrees_semantically() {
+        let c = MutexCounter::new(5);
+        assert_eq!(c.fetch_add(2), 5);
+        assert_eq!(c.get(), 7);
+    }
+}

@@ -1,0 +1,138 @@
+//! Self-scheduled parallel loops (§2.2's shared-index idiom).
+//!
+//! "Consider several PEs concurrently applying fetch-and-add, with an
+//! increment of 1, to a shared array index. Each PE obtains an index to a
+//! distinct array element" — which is all a dynamically scheduled parallel
+//! loop needs. [`SelfSchedule`] hands out index chunks with one
+//! fetch-and-add each; [`parallel_for`] wraps it with scoped threads.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A shared loop counter handing out disjoint index chunks.
+///
+/// # Example
+///
+/// ```
+/// use ultra_algorithms::SelfSchedule;
+///
+/// let sched = SelfSchedule::new(10);
+/// let mut seen = Vec::new();
+/// while let Some(range) = sched.next_chunk(4) {
+///     seen.extend(range);
+/// }
+/// assert_eq!(seen, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct SelfSchedule {
+    counter: AtomicI64,
+    limit: i64,
+}
+
+impl SelfSchedule {
+    /// Creates a schedule over indices `0..limit`.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        Self {
+            counter: AtomicI64::new(0),
+            limit: limit as i64,
+        }
+    }
+
+    /// Claims the next chunk of up to `chunk` indices; `None` when the
+    /// iteration space is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn next_chunk(&self, chunk: usize) -> Option<std::ops::Range<usize>> {
+        assert!(chunk > 0, "chunk must be positive");
+        let start = self.counter.fetch_add(chunk as i64, Ordering::SeqCst);
+        if start >= self.limit {
+            return None;
+        }
+        let end = (start + chunk as i64).min(self.limit);
+        Some(start as usize..end as usize)
+    }
+
+    /// Whether all indices have been claimed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.counter.load(Ordering::SeqCst) >= self.limit
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` on `threads` threads, dynamically
+/// self-scheduled in chunks of `chunk`.
+///
+/// # Panics
+///
+/// Panics if `threads` or `chunk` is zero, or if `f` panics on any thread.
+pub fn parallel_for<F>(n: usize, threads: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let sched = SelfSchedule::new(n);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                while let Some(range) = sched.next_chunk(chunk) {
+                    for i in range {
+                        f(i);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let sched = SelfSchedule::new(100);
+        let mut seen = [false; 100];
+        while let Some(r) = sched.next_chunk(7) {
+            for i in r {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(sched.is_exhausted());
+    }
+
+    #[test]
+    fn empty_range() {
+        let sched = SelfSchedule::new(0);
+        assert!(sched.next_chunk(4).is_none());
+    }
+
+    #[test]
+    fn final_partial_chunk_clipped() {
+        let sched = SelfSchedule::new(5);
+        assert_eq!(sched.next_chunk(4), Some(0..4));
+        assert_eq!(sched.next_chunk(4), Some(4..5));
+        assert_eq!(sched.next_chunk(4), None);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 8, 16, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        let sched = SelfSchedule::new(4);
+        let _ = sched.next_chunk(0);
+    }
+}

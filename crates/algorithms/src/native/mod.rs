@@ -1,0 +1,13 @@
+//! Real-thread fetch-and-add algorithms and their lock-based baselines.
+//!
+//! `std::sync::atomic`'s `fetch_add` provides the indivisible semantics of
+//! §2.2 (without hardware combining — the simulator in `ultra-net` models
+//! that); these types demonstrate that the *software* structure the paper
+//! advocates needs no global critical section.
+
+pub mod barrier;
+pub mod counter;
+pub mod loop_sched;
+pub mod queue;
+pub mod rwlock;
+pub mod semaphore;

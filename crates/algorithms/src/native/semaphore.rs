@@ -1,0 +1,159 @@
+//! A counting semaphore built from TIR/TDR (appendix).
+//!
+//! The appendix's test-decrement-retest is exactly a non-blocking
+//! semaphore `P`; `V` is one fetch-and-add. Gottlieb, Lubachevsky &
+//! Rudolph present these among the "other fetch-and-add software
+//! primitives" the paper alludes to. Acquisitions of a free semaphore are
+//! a single fetch-and-add — combinable on Ultracomputer hardware, so any
+//! number of simultaneous `P`s on a sufficiently provisioned semaphore
+//! cost one memory access.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A counting semaphore whose fast paths are single fetch-and-adds.
+///
+/// # Example
+///
+/// ```
+/// use ultra_algorithms::FaaSemaphore;
+///
+/// let sem = FaaSemaphore::new(2);
+/// assert!(sem.try_acquire());
+/// assert!(sem.try_acquire());
+/// assert!(!sem.try_acquire(), "no permits left");
+/// sem.release();
+/// assert!(sem.try_acquire());
+/// ```
+#[derive(Debug)]
+pub struct FaaSemaphore {
+    permits: AtomicI64,
+}
+
+impl FaaSemaphore {
+    /// Creates a semaphore holding `permits` permits.
+    #[must_use]
+    pub fn new(permits: usize) -> Self {
+        Self {
+            permits: AtomicI64::new(permits as i64),
+        }
+    }
+
+    /// The appendix's TDR as a semaphore `P`: claim one permit if any
+    /// remain. Never blocks, never enters a critical section.
+    pub fn try_acquire(&self) -> bool {
+        // Initial test (prevents the unbounded-decrement race).
+        if self.permits.load(Ordering::SeqCst) < 1 {
+            return false;
+        }
+        // Decrement, retest, undo on failure.
+        if self.permits.fetch_add(-1, Ordering::SeqCst) >= 1 {
+            true
+        } else {
+            self.permits.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// Blocking `P`: spins until a permit is claimed.
+    pub fn acquire(&self) {
+        while !self.try_acquire() {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// `V`: return one permit (a single fetch-and-add).
+    pub fn release(&self) {
+        self.permits.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Permits currently available (may be transiently conservative while
+    /// failed acquires undo themselves).
+    #[must_use]
+    pub fn available(&self) -> i64 {
+        self.permits.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` holding one permit.
+    pub fn with_permit<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquire();
+        let out = f();
+        self.release();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_count_down_and_up() {
+        let s = FaaSemaphore::new(3);
+        assert_eq!(s.available(), 3);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        assert_eq!(s.available(), 0);
+        s.release();
+        assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn zero_permit_semaphore_blocks_until_release() {
+        let s = Arc::new(FaaSemaphore::new(0));
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || {
+            s2.acquire();
+            7
+        });
+        std::thread::yield_now();
+        s.release();
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_permits() {
+        let permits = 3usize;
+        let s = Arc::new(FaaSemaphore::new(permits));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..300 {
+                        s.with_permit(|| {
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            assert!(now <= permits, "overadmitted: {now}");
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.available(), permits as i64);
+        assert!(peak.load(Ordering::SeqCst) <= permits);
+    }
+
+    #[test]
+    fn failed_acquires_leave_no_debt() {
+        let s = FaaSemaphore::new(1);
+        assert!(s.try_acquire());
+        for _ in 0..100 {
+            assert!(!s.try_acquire());
+        }
+        s.release();
+        assert_eq!(s.available(), 1, "failed P's must fully undo");
+        assert!(s.try_acquire());
+    }
+}

@@ -1,0 +1,6 @@
+//! Simulated variants of the fetch-and-add algorithms, executed one
+//! memory operation at a time over the ideal paracomputer so that
+//! arbitrary interleavings can be explored deterministically.
+
+pub mod queue;
+pub mod rwlock;

@@ -1,0 +1,21 @@
+//! Analytic models from the Ultracomputer paper.
+//!
+//! * [`queueing`] — the §4.1 closed forms: per-switch delay, end-to-end
+//!   transit time, capacity and cost for a configuration `(k, m, d)`; used
+//!   to regenerate **Figure 7** and to cross-check the event-level
+//!   simulator.
+//! * [`packaging`] — the §3.6 machine-packaging model: chip counts, board
+//!   counts, and the network-fraction figures the paper quotes for a
+//!   4096-PE machine ("roughly 65,000 chips … only 19% of the chips are
+//!   used for the network").
+//! * [`unbuffered`] — the Kruskal–Snir analysis of the kill-on-conflict
+//!   network the paper rejects (§3.1.2): per-PE bandwidth `O(1/log N)`,
+//!   the analytic twin of the simulated `DropOnConflict` baseline.
+
+pub mod packaging;
+pub mod queueing;
+pub mod unbuffered;
+
+pub use packaging::{PackagingModel, PackagingReport};
+pub use queueing::{NetworkModel, TransitPoint};
+pub use unbuffered::UnbufferedModel;

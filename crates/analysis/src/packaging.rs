@@ -1,0 +1,176 @@
+//! The §3.6 machine-packaging model.
+//!
+//! The paper estimates a 1990-technology build: "four chips for each PE-PNI
+//! pair, nine chips for each MM-MNI pair … and two chips for each
+//! 4-input-4-output switch. Thus, a 4096 processor machine would require
+//! roughly 65,000 chips … only 19% of the chips are used for the network."
+//! The board-level partition (Figures 5–6) splits the network between
+//! "PE boards" (first half of the stages) and "MM boards" (last half):
+//! "a 4K PE machine built from two chip 4x4 switches would need 64 PE
+//! boards and 64 MM boards, with each PE board containing 352 chips and
+//! each MM board containing 672 chips."
+//!
+//! [`PackagingModel::report`] reproduces every one of those numbers.
+
+/// Per-component chip counts (§3.6's 1990 estimates by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackagingModel {
+    /// Number of PEs (= number of MMs); must be a power of 4 for the
+    /// two-chip 4×4 switch build.
+    pub pes: usize,
+    /// Chips per PE-PNI pair.
+    pub chips_per_pe: usize,
+    /// Chips per MM-MNI pair (1 MB from 1 Mbit chips → 9 with ECC).
+    pub chips_per_mm: usize,
+    /// Chips per 4×4 switch.
+    pub chips_per_switch: usize,
+}
+
+impl Default for PackagingModel {
+    fn default() -> Self {
+        Self::paper_4096()
+    }
+}
+
+/// Everything §3.6 quotes, computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackagingReport {
+    /// 4×4 switches in the whole network.
+    pub switches: usize,
+    /// Chips used by PE-PNI pairs.
+    pub pe_chips: usize,
+    /// Chips used by MM-MNI pairs.
+    pub mm_chips: usize,
+    /// Chips used by switches.
+    pub network_chips: usize,
+    /// Total chips (I/O interfaces excluded, as in the paper).
+    pub total_chips: usize,
+    /// Fraction of chips in the network.
+    pub network_fraction: f64,
+    /// Number of PE boards (= number of MM boards) = √N.
+    pub boards_per_side: usize,
+    /// Chips on each PE board.
+    pub chips_per_pe_board: usize,
+    /// Chips on each MM board.
+    pub chips_per_mm_board: usize,
+}
+
+impl PackagingModel {
+    /// The paper's 4096-PE, 1990-technology estimate.
+    #[must_use]
+    pub fn paper_4096() -> Self {
+        Self {
+            pes: 4096,
+            chips_per_pe: 4,
+            chips_per_mm: 9,
+            chips_per_switch: 2,
+        }
+    }
+
+    /// Number of 4×4 switch stages, `log₄ N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pes` is a power of 4.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        ultra_sim::ids::digits::count(self.pes, 4)
+    }
+
+    /// Computes the full chip/board report.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pes` is a power of 4 with an even number of stages
+    /// (so the network halves onto PE and MM boards) and a square PE count.
+    #[must_use]
+    pub fn report(&self) -> PackagingReport {
+        let stages = self.stages() as usize;
+        let switches_per_stage = self.pes / 4;
+        let switches = stages * switches_per_stage;
+        let pe_chips = self.pes * self.chips_per_pe;
+        let mm_chips = self.pes * self.chips_per_mm;
+        let network_chips = switches * self.chips_per_switch;
+        let total = pe_chips + mm_chips + network_chips;
+
+        // Board partition (§3.6 / Figure 5): sqrt(N) input modules of
+        // sqrt(N) network inputs each, holding the first half of the
+        // stages; symmetrically for outputs.
+        let boards = (self.pes as f64).sqrt() as usize;
+        assert_eq!(boards * boards, self.pes, "board model needs square N");
+        assert_eq!(stages % 2, 0, "board model splits stages in half");
+        let pes_per_board = self.pes / boards;
+        // Switches per board per stage: pes_per_board / 4; half the stages
+        // live on each side.
+        let sw_per_board = (pes_per_board / 4) * (stages / 2);
+        let chips_per_pe_board =
+            pes_per_board * self.chips_per_pe + sw_per_board * self.chips_per_switch;
+        let chips_per_mm_board =
+            pes_per_board * self.chips_per_mm + sw_per_board * self.chips_per_switch;
+
+        PackagingReport {
+            switches,
+            pe_chips,
+            mm_chips,
+            network_chips,
+            total_chips: total,
+            network_fraction: network_chips as f64 / total as f64,
+            boards_per_side: boards,
+            chips_per_pe_board,
+            chips_per_mm_board,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduced_exactly() {
+        let r = PackagingModel::paper_4096().report();
+        // "a 4096 processor machine would require roughly 65,000 chips".
+        assert_eq!(r.total_chips, 65_536);
+        // "only 19% of the chips are used for the network".
+        assert!((r.network_fraction - 0.1875).abs() < 1e-12);
+        assert_eq!(r.switches, 6144);
+        assert_eq!(r.network_chips, 12_288);
+        // "64 PE boards and 64 MM boards".
+        assert_eq!(r.boards_per_side, 64);
+        // "each PE board containing 352 chips".
+        assert_eq!(r.chips_per_pe_board, 352);
+        // "each MM board containing 672 chips".
+        assert_eq!(r.chips_per_mm_board, 672);
+    }
+
+    #[test]
+    fn memory_chips_dominate() {
+        // "the chip count is still dominated, as in present day machines,
+        // by the memory chips".
+        let r = PackagingModel::paper_4096().report();
+        assert!(r.mm_chips > r.pe_chips + r.network_chips);
+    }
+
+    #[test]
+    fn smaller_machine_scales() {
+        let m = PackagingModel {
+            pes: 256,
+            ..PackagingModel::paper_4096()
+        };
+        let r = m.report();
+        assert_eq!(r.switches, 4 * 64);
+        assert_eq!(r.boards_per_side, 16);
+        assert_eq!(r.total_chips, 256 * 13 + 256 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "splits stages in half")]
+    fn odd_stage_machine_rejected_by_board_model() {
+        // 64 PEs = 3 stages of 4x4: cannot split boards in half.
+        let m = PackagingModel {
+            pes: 64,
+            ..PackagingModel::paper_4096()
+        };
+        let _ = m.report();
+    }
+}

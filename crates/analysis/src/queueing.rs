@@ -1,0 +1,360 @@
+//! The §4.1 queueing model of the communication network.
+//!
+//! A configuration is `(k, m, d)`: switch arity `k`, time-multiplexing
+//! factor `m` (switch cycles to input one message), and `d` parallel
+//! copies of the network. Under the §4.1 assumptions (no combining, equal
+//! message lengths, infinite queues, i.i.d. Bernoulli arrivals of rate `p`
+//! per PE per cycle, uniform MM references) the paper derives:
+//!
+//! * **switch delay** `1 + m²·ρ·(1 − 1/k) / (2·(1 − m·ρ))` where `ρ` is the
+//!   per-copy load (the surprising `m²` factor is explained in §4.1);
+//! * **transit time**
+//!   `T = (lg n / lg k) · switch_delay + m − 1` (stages times delay plus
+//!   pipe-fill);
+//! * **capacity** `p < d/m` messages per PE per cycle — "the global
+//!   bandwidth of the network is indeed proportional to the number of PEs";
+//! * **cost factor** `C = d / (k · lg k)`, the network cost per
+//!   `n·lg n` normalization — the paper compares configurations of equal
+//!   cost (duplexed 4×4 vs. 6-copy 8×8, both `C = 0.25`).
+//!
+//! With `m = k` (the paper's bandwidth constant `B = 1`) the transit time
+//! reduces to the printed formula
+//! `T = (1 + k(k−1)p / (2(d−kp))) · lg n / lg k + k − 1`.
+
+/// One point on a Figure 7 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitPoint {
+    /// Offered load `p` in messages per PE per cycle.
+    pub p: f64,
+    /// Average transit time in switch cycles (one way).
+    pub transit: f64,
+}
+
+/// The analytic model for one network configuration.
+///
+/// # Example
+///
+/// ```
+/// use ultra_analysis::queueing::NetworkModel;
+///
+/// // The configuration the paper recommends: duplexed 4x4 switches for a
+/// // 4096-PE machine.
+/// let m = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+/// assert_eq!(m.stages(), 6.0);
+/// assert!((m.cost_factor() - 0.25).abs() < 1e-12);
+/// assert!(m.transit_time(0.10).unwrap() > m.transit_time(0.01).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Number of PEs `n`.
+    pub n: usize,
+    /// Switch arity `k`.
+    pub k: usize,
+    /// Time-multiplexing factor `m`.
+    pub m: u32,
+    /// Network copies `d`.
+    pub d: usize,
+}
+
+impl NetworkModel {
+    /// Creates a model for an `n`-PE network of `k×k` switches with
+    /// multiplexing factor `m` and `d` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of `k`, `k >= 2`, `m >= 1`, `d >= 1`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, m: u32, d: usize) -> Self {
+        let _ = ultra_sim::ids::digits::count(n, k);
+        assert!(m >= 1, "multiplexing factor must be positive");
+        assert!(d >= 1, "need at least one copy");
+        Self { n, k, m, d }
+    }
+
+    /// The paper's `B = k/m = 1` assumption: chip bandwidth fixes `m = k`.
+    ///
+    /// # Panics
+    ///
+    /// As [`NetworkModel::new`].
+    #[must_use]
+    pub fn with_unit_bandwidth(n: usize, k: usize, d: usize) -> Self {
+        Self::new(n, k, k as u32, d)
+    }
+
+    /// Number of stages `lg n / lg k`.
+    #[must_use]
+    pub fn stages(&self) -> f64 {
+        f64::from(ultra_sim::ids::digits::count(self.n, self.k))
+    }
+
+    /// Offered load per network copy, `ρ = p / d`.
+    #[must_use]
+    pub fn per_copy_load(&self, p: f64) -> f64 {
+        p / self.d as f64
+    }
+
+    /// The network's capacity in messages per PE per cycle: `d / m`.
+    /// "It can accommodate any traffic below this threshold" (§4.1).
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.d as f64 / f64::from(self.m)
+    }
+
+    /// Average delay through one switch at per-copy load `rho`:
+    /// `1 + m²·ρ·(1 − 1/k) / (2·(1 − m·ρ))`.
+    ///
+    /// Returns `None` at or beyond saturation (`m·ρ ≥ 1`).
+    #[must_use]
+    pub fn switch_delay(&self, rho: f64) -> Option<f64> {
+        let m = f64::from(self.m);
+        let k = self.k as f64;
+        if rho < 0.0 || m * rho >= 1.0 {
+            return None;
+        }
+        Some(1.0 + m * m * rho * (1.0 - 1.0 / k) / (2.0 * (1.0 - m * rho)))
+    }
+
+    /// Average one-way transit time at offered load `p`:
+    /// `stages · switch_delay(p/d) + m − 1`.
+    ///
+    /// Returns `None` at or beyond capacity.
+    #[must_use]
+    pub fn transit_time(&self, p: f64) -> Option<f64> {
+        let delay = self.switch_delay(self.per_copy_load(p))?;
+        Some(self.stages() * delay + f64::from(self.m) - 1.0)
+    }
+
+    /// Minimum (zero-load) transit time: `stages + m − 1`.
+    #[must_use]
+    pub fn min_transit(&self) -> f64 {
+        self.stages() + f64::from(self.m) - 1.0
+    }
+
+    /// The §4.1 cost factor `C = d / (k·lg k)`; total network cost is
+    /// `C · n·lg n` switch-equivalents.
+    #[must_use]
+    pub fn cost_factor(&self) -> f64 {
+        self.d as f64 / (self.k as f64 * (self.k as f64).log2())
+    }
+
+    /// Number of `k×k` switches in one copy: `(n · lg n) / (k · lg k)`.
+    #[must_use]
+    pub fn switches_per_copy(&self) -> usize {
+        self.n / self.k * self.stages() as usize
+    }
+
+    /// The two-chip switch implementation discussed at the end of §4:
+    /// "By using the two chip implementation described at the end of
+    /// section 3.3, one can nearly double the bandwidth of each switch
+    /// while doubling the chip count." Doubled pin bandwidth halves the
+    /// multiplexing factor `m`; the cost doubles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not even.
+    #[must_use]
+    pub fn with_two_chip_switches(&self) -> Self {
+        assert!(self.m % 2 == 0, "halving m requires an even m");
+        Self {
+            m: self.m / 2,
+            ..*self
+        }
+    }
+
+    /// Cost factor of the two-chip variant (twice the chips per switch).
+    #[must_use]
+    pub fn two_chip_cost_factor(&self) -> f64 {
+        2.0 * self.cost_factor()
+    }
+
+    /// Samples the Figure 7 curve at `samples` evenly spaced loads in
+    /// `(0, fraction·capacity]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1` and `samples > 0`.
+    #[must_use]
+    pub fn figure7_curve(&self, fraction: f64, samples: usize) -> Vec<TransitPoint> {
+        assert!(samples > 0, "need at least one sample");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must stay below saturation"
+        );
+        let p_max = self.capacity() * fraction;
+        (1..=samples)
+            .map(|i| {
+                let p = p_max * i as f64 / samples as f64;
+                TransitPoint {
+                    p,
+                    transit: self
+                        .transit_time(p)
+                        .expect("below saturation by construction"),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printed_formula_matches_general_form() {
+        // §4.1: with m = k, T = (1 + k(k-1)p/(2(d-kp))) * lgn/lgk + k - 1.
+        for (k, d) in [(2usize, 1usize), (4, 2), (8, 6)] {
+            let model = NetworkModel::with_unit_bandwidth(4096, k, d);
+            for i in 1..10 {
+                let p = model.capacity() * 0.9 * i as f64 / 10.0;
+                let kf = k as f64;
+                let df = d as f64;
+                let printed =
+                    (1.0 + kf * (kf - 1.0) * p / (2.0 * (df - kf * p))) * model.stages() + kf - 1.0;
+                let general = model.transit_time(p).unwrap();
+                assert!(
+                    (printed - general).abs() < 1e-9,
+                    "k={k} d={d} p={p}: {printed} vs {general}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_load_gives_min_transit() {
+        let m = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+        assert!((m.transit_time(0.0).unwrap() - m.min_transit()).abs() < 1e-12);
+        assert_eq!(m.min_transit(), 6.0 + 3.0);
+    }
+
+    #[test]
+    fn saturation_returns_none() {
+        let m = NetworkModel::with_unit_bandwidth(4096, 4, 1);
+        assert_eq!(m.capacity(), 0.25);
+        assert!(m.transit_time(0.25).is_none());
+        assert!(m.transit_time(0.3).is_none());
+        assert!(m.transit_time(0.249).is_some());
+    }
+
+    #[test]
+    fn delay_monotone_in_load() {
+        let m = NetworkModel::with_unit_bandwidth(4096, 2, 1);
+        let mut last = 0.0;
+        for i in 1..40 {
+            let p = m.capacity() * 0.95 * i as f64 / 40.0;
+            let t = m.transit_time(p).unwrap();
+            assert!(t > last, "transit must grow with load");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn paper_cost_comparison_4x4d2_vs_8x8d6() {
+        // §4.1: the 8x8 d=6 network has "approximately the same cost" as
+        // the duplexed 4x4. Both C = 0.25.
+        let a = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+        let b = NetworkModel::with_unit_bandwidth(4096, 8, 6);
+        assert!((a.cost_factor() - 0.25).abs() < 1e-12);
+        assert!((b.cost_factor() - 0.25).abs() < 1e-12);
+        // "the bandwidth of the first network is d/k = .5 and the bandwidth
+        // of the second is .75".
+        assert!((a.capacity() - 0.5).abs() < 1e-12);
+        assert!((b.capacity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplexed_4x4_beats_others_at_moderate_load() {
+        // Figure 7's conclusion: "for reasonable traffic intensities a
+        // duplexed network composed of 4x4 switches yields the best
+        // performance" among equal-cost options.
+        let configs = [
+            NetworkModel::with_unit_bandwidth(4096, 2, 1), // C = 0.5 (dearer!)
+            NetworkModel::with_unit_bandwidth(4096, 4, 2), // C = 0.25
+            NetworkModel::with_unit_bandwidth(4096, 8, 6), // C = 0.25
+        ];
+        // Table 1 measures p < 0.04 per PE per *network* cycle... the
+        // "reasonable" region of Figure 7 is p in [0.05, 0.25].
+        for p in [0.05, 0.10, 0.15, 0.20] {
+            let t4 = configs[1].transit_time(p).unwrap();
+            let t8 = configs[2].transit_time(p).unwrap();
+            assert!(
+                t4 < t8,
+                "duplexed 4x4 ({t4:.2}) must beat 8x8 d=6 ({t8:.2}) at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_copies_reduce_delay() {
+        let one = NetworkModel::with_unit_bandwidth(4096, 4, 1);
+        let two = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+        let p = 0.2;
+        assert!(two.transit_time(p).unwrap() < one.transit_time(p).unwrap_or(f64::INFINITY));
+    }
+
+    #[test]
+    fn switch_counts() {
+        let m = NetworkModel::with_unit_bandwidth(4096, 4, 1);
+        // 6 stages of 1024 switches.
+        assert_eq!(m.switches_per_copy(), 6144);
+    }
+
+    #[test]
+    fn figure7_curve_is_well_formed() {
+        let m = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+        let curve = m.figure7_curve(0.9, 20);
+        assert_eq!(curve.len(), 20);
+        assert!(curve.windows(2).all(|w| w[0].p < w[1].p));
+        assert!(curve.windows(2).all(|w| w[0].transit < w[1].transit));
+    }
+
+    #[test]
+    fn capacity_linear_in_copies_bandwidth_linear_in_n() {
+        // Design goal 1 (§3.1): bandwidth proportional to N. Capacity per
+        // PE is constant in N, so aggregate bandwidth = N * capacity.
+        for n in [64, 256, 1024, 4096] {
+            let m = NetworkModel::with_unit_bandwidth(n, 4, 2);
+            assert!((m.capacity() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn latency_logarithmic_in_n() {
+        // Design goal 2 (§3.1): latency logarithmic in N.
+        let t64 = NetworkModel::with_unit_bandwidth(64, 4, 1).min_transit();
+        let t4096 = NetworkModel::with_unit_bandwidth(4096, 4, 1).min_transit();
+        assert_eq!(t64, 3.0 + 3.0);
+        assert_eq!(t4096, 6.0 + 3.0, "64x more PEs costs only 2x the stages");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power")]
+    fn rejects_mismatched_n_k() {
+        let _ = NetworkModel::with_unit_bandwidth(100, 4, 1);
+    }
+
+    #[test]
+    fn two_chip_switches_beat_two_network_copies() {
+        // §4: "As delays are highly sensitive to the multiplexing factor
+        // m, this implementation would [give] a better performance than
+        // that obtained by taking two copies of a network built of one
+        // chip switches." Both options double the chip count.
+        let one_chip = NetworkModel::with_unit_bandwidth(4096, 4, 1);
+        let two_copies = NetworkModel::with_unit_bandwidth(4096, 4, 2);
+        let two_chip = one_chip.with_two_chip_switches();
+        assert_eq!(two_chip.m, 2);
+        assert!((two_chip.two_chip_cost_factor() - two_copies.cost_factor()).abs() < 1e-12);
+        for p in [0.05, 0.15, 0.25, 0.35, 0.45] {
+            let a = two_chip.transit_time(p);
+            let b = two_copies.transit_time(p);
+            match (a, b) {
+                (Some(ta), Some(tb)) => {
+                    assert!(ta < tb, "two-chip {ta:.2} must beat d=2 {tb:.2} at p={p}")
+                }
+                (Some(_), None) => {} // two-chip still live where d=2 saturated
+                (None, _) => panic!("two-chip saturated first at p={p}"),
+            }
+        }
+        // And its capacity is the same 0.5 messages/PE/cycle.
+        assert!((two_chip.capacity() - two_copies.capacity()).abs() < 1e-12);
+    }
+}

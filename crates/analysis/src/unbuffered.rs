@@ -1,0 +1,163 @@
+//! Throughput of the *unbuffered* (kill-on-conflict) banyan — the design
+//! the paper rejects in §3.1.2: "The alternative adopted by Burroughs of
+//! killing one of the two conflicting requests also limits bandwidth to
+//! O(N/log N), see Kruskal and Snir."
+//!
+//! The classic analysis (Patel; Kruskal & Snir): if each input of a `k×k`
+//! crossbar switch carries a request with probability `p`, independently
+//! and uniformly routed, the probability that a given *output* is busy is
+//!
+//! `q = 1 − (1 − p/k)^k`
+//!
+//! Iterating through `D = log_k N` stages gives the accepted rate per
+//! line; the asymptotic solution decays like `2k / ((k−1)·D)` — per-PE
+//! bandwidth shrinking as `1 / log N`, hence aggregate `O(N / log N)`.
+//! The event-level counterpart is [`crate::queueing`]'s simulated
+//! `DropOnConflict` policy (experiment E8).
+
+/// Analytic model of one unbuffered `k×k`-switch banyan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnbufferedModel {
+    /// Number of PEs.
+    pub n: usize,
+    /// Switch arity.
+    pub k: usize,
+}
+
+impl UnbufferedModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of `k` and `k >= 2`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        let _ = ultra_sim::ids::digits::count(n, k);
+        Self { n, k }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        ultra_sim::ids::digits::count(self.n, self.k)
+    }
+
+    /// One stage of the recurrence: given per-input request probability
+    /// `p`, the per-output probability after conflict kills.
+    #[must_use]
+    pub fn stage_accept(&self, p: f64) -> f64 {
+        let k = self.k as f64;
+        1.0 - (1.0 - p / k).powi(self.k as i32)
+    }
+
+    /// Fraction of offered requests that survive all stages when every PE
+    /// offers with probability `p` per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    #[must_use]
+    pub fn accepted_rate(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut rate = p;
+        for _ in 0..self.stages() {
+            rate = self.stage_accept(rate);
+        }
+        rate
+    }
+
+    /// Aggregate accepted bandwidth in messages per cycle.
+    #[must_use]
+    pub fn aggregate_bandwidth(&self, p: f64) -> f64 {
+        self.n as f64 * self.accepted_rate(p)
+    }
+
+    /// The large-`D` asymptote of the saturated (p = 1) per-PE rate:
+    /// `2k / ((k−1)·D)`.
+    #[must_use]
+    pub fn asymptotic_rate(&self) -> f64 {
+        let k = self.k as f64;
+        2.0 * k / ((k - 1.0) * f64::from(self.stages()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_offered_zero_accepted() {
+        let m = UnbufferedModel::new(256, 2);
+        assert_eq!(m.accepted_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn acceptance_never_exceeds_offer() {
+        let m = UnbufferedModel::new(1024, 2);
+        for i in 1..=10 {
+            let p = i as f64 / 10.0;
+            let a = m.accepted_rate(p);
+            assert!(a > 0.0 && a <= p, "p={p} a={a}");
+        }
+    }
+
+    #[test]
+    fn per_pe_rate_decays_with_machine_size() {
+        // The O(N / log N) ceiling: saturated per-PE throughput falls as
+        // stages are added.
+        let rates: Vec<f64> = [16usize, 64, 256, 1024, 4096]
+            .iter()
+            .map(|&n| UnbufferedModel::new(n, 2).accepted_rate(1.0))
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] < w[0], "{rates:?}");
+        }
+        // ... while aggregate bandwidth still grows (N/log N is increasing).
+        let aggs: Vec<f64> = [16usize, 64, 256, 1024, 4096]
+            .iter()
+            .map(|&n| UnbufferedModel::new(n, 2).aggregate_bandwidth(1.0))
+            .collect();
+        for w in aggs.windows(2) {
+            assert!(w[1] > w[0], "{aggs:?}");
+        }
+    }
+
+    #[test]
+    fn recurrence_approaches_known_asymptote() {
+        // For large D the saturated rate converges toward 2k/((k-1)·D)
+        // (within ~30% already at D = 16).
+        let m = UnbufferedModel::new(1 << 16, 2);
+        let exact = m.accepted_rate(1.0);
+        let asym = m.asymptotic_rate();
+        let ratio = exact / asym;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "exact {exact:.4} vs asymptote {asym:.4}"
+        );
+    }
+
+    #[test]
+    fn wider_switches_lose_less() {
+        // Fewer stages (larger k) keep more of the offered traffic.
+        let k2 = UnbufferedModel::new(4096, 2).accepted_rate(0.5);
+        let k4 = UnbufferedModel::new(4096, 4).accepted_rate(0.5);
+        let k8 = UnbufferedModel::new(4096, 8).accepted_rate(0.5);
+        assert!(k4 > k2);
+        assert!(k8 > k4);
+    }
+
+    #[test]
+    fn analytic_decay_matches_simulated_drop_policy_shape() {
+        // E8's simulation showed per-PE throughputs of ~0.229 (16 PEs)
+        // and ~0.189 (1024 PEs) at p = 0.25 (loads). The analytic
+        // acceptance ratio over the same span must show comparable decay.
+        let a16 = UnbufferedModel::new(16, 2).accepted_rate(0.25);
+        let a1024 = UnbufferedModel::new(1024, 2).accepted_rate(0.25);
+        let analytic_ratio = a1024 / a16;
+        let simulated_ratio = 0.189 / 0.229;
+        assert!(
+            (analytic_ratio - simulated_ratio).abs() < 0.12,
+            "analytic {analytic_ratio:.3} vs simulated {simulated_ratio:.3}"
+        );
+    }
+}

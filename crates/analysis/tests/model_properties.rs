@@ -1,0 +1,81 @@
+//! Property tests of the analytic models: the §4.1 formulas must be
+//! well-behaved over their whole domain, not just at the plotted points.
+
+use proptest::prelude::*;
+use ultra_analysis::queueing::NetworkModel;
+use ultra_analysis::unbuffered::UnbufferedModel;
+
+fn geometry() -> impl Strategy<Value = (usize, usize)> {
+    // (k, stages) pairs with n = k^stages kept sane.
+    prop_oneof![
+        (Just(2usize), 2u32..13),
+        (Just(4usize), 1u32..7),
+        (Just(8usize), 1u32..5),
+    ]
+    .prop_map(|(k, d)| (k.pow(d), k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transit time is defined exactly on [0, capacity), is at least the
+    /// zero-load minimum, and grows monotonically with load.
+    #[test]
+    fn transit_domain_and_monotonicity(
+        (n, k) in geometry(),
+        d in 1usize..7,
+        f1 in 0.01f64..0.98,
+        f2 in 0.01f64..0.98,
+    ) {
+        let m = NetworkModel::with_unit_bandwidth(n, k, d);
+        let cap = m.capacity();
+        prop_assert!(m.transit_time(cap).is_none());
+        prop_assert!(m.transit_time(cap * 1.5).is_none());
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let t_lo = m.transit_time(cap * lo).expect("below capacity");
+        let t_hi = m.transit_time(cap * hi).expect("below capacity");
+        prop_assert!(t_lo >= m.min_transit() - 1e-12);
+        prop_assert!(t_hi + 1e-12 >= t_lo, "transit must be nondecreasing");
+    }
+
+    /// More copies never hurt: transit at fixed offered load is
+    /// nonincreasing in `d`, and capacity is linear in `d`.
+    #[test]
+    fn copies_help((n, k) in geometry(), d in 1usize..6, f in 0.05f64..0.9) {
+        let a = NetworkModel::with_unit_bandwidth(n, k, d);
+        let b = NetworkModel::with_unit_bandwidth(n, k, d + 1);
+        prop_assert!((b.capacity() - a.capacity() * (d as f64 + 1.0) / d as f64).abs() < 1e-12);
+        let p = a.capacity() * f;
+        let ta = a.transit_time(p).expect("below a's capacity");
+        let tb = b.transit_time(p).expect("below b's capacity too");
+        prop_assert!(tb <= ta + 1e-12);
+    }
+
+    /// Cost accounting: the network's switch count times `k lg k` equals
+    /// `n lg n` per copy (the §4.1 normalization).
+    #[test]
+    fn cost_normalization_holds((n, k) in geometry(), d in 1usize..5) {
+        let m = NetworkModel::with_unit_bandwidth(n, k, d);
+        let per_copy = m.switches_per_copy() as f64 * (k as f64) * (k as f64).log2();
+        let expected = n as f64 * (n as f64).log2();
+        prop_assert!((per_copy - expected).abs() / expected < 1e-9);
+        prop_assert!(
+            (m.cost_factor() - d as f64 / (k as f64 * (k as f64).log2())).abs() < 1e-12
+        );
+    }
+
+    /// The unbuffered recurrence is a contraction: acceptance is always in
+    /// (0, p] for p > 0 and decreases monotonically stage over stage.
+    #[test]
+    fn unbuffered_acceptance_contracts((n, k) in geometry(), p in 0.01f64..1.0) {
+        let m = UnbufferedModel::new(n, k);
+        let mut rate = p;
+        for _ in 0..m.stages() {
+            let next = m.stage_accept(rate);
+            prop_assert!(next > 0.0);
+            prop_assert!(next <= rate + 1e-12, "a stage cannot create traffic");
+            rate = next;
+        }
+        prop_assert!((m.accepted_rate(p) - rate).abs() < 1e-12);
+    }
+}

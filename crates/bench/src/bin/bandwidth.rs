@@ -1,0 +1,62 @@
+//! Experiment E8: design goals 1–2 (§3.1) — bandwidth linear in N,
+//! latency logarithmic in N — and the Burroughs-style kill-on-conflict
+//! baseline whose bandwidth the paper bounds at `O(N / log N)`.
+//!
+//! Uniform single-packet traffic below capacity; the queued network must
+//! sustain per-PE throughput roughly flat in N (linear aggregate), while
+//! the unbuffered drop-on-conflict network loses per-PE throughput as
+//! stages multiply.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin bandwidth
+//! ```
+
+use ultra_bench::{run_open_loop, OpenLoopConfig};
+use ultra_net::config::{NetConfig, SwitchPolicy};
+use ultra_pe::traffic::UniformTraffic;
+
+fn main() {
+    println!("E8 — bandwidth and latency scaling with N (k = 2, loads only, p = 0.25)\n");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+        "PEs", "stages", "policy", "per-PE thruput", "mean RT (cyc)", "drops"
+    );
+    for n in [16usize, 64, 256, 1024] {
+        let stages = (n as f64).log2() as usize;
+        for (policy, label) in [
+            (SwitchPolicy::QueuedCombining, "queued"),
+            (SwitchPolicy::DropOnConflict, "drop"),
+        ] {
+            let cfg = OpenLoopConfig {
+                net: NetConfig {
+                    policy,
+                    ..NetConfig::small(n)
+                },
+                copies: 1,
+                mm_service: 1,
+                warmup: 500,
+                measure: 4_000,
+            };
+            // Loads only (1 packet forward): capacity is set by the
+            // 3-packet replies, 1/3 per PE per cycle.
+            let mut traffic = UniformTraffic::new(n, 0.25, 1.0, 3);
+            let r = run_open_loop(cfg, &mut traffic);
+            println!(
+                "{:>6} {:>8} {:>14} {:>14.4} {:>14.1} {:>10}",
+                n,
+                stages,
+                label,
+                r.throughput,
+                r.round_trip.mean(),
+                r.drops
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape: queued per-PE throughput stays ~flat in N (aggregate\n\
+         bandwidth linear, goal 1) and latency grows ~log N (goal 2); the\n\
+         drop-on-conflict baseline's per-PE throughput decays with the stage\n\
+         count — the O(N/log N) ceiling of §3.1.2."
+    );
+}

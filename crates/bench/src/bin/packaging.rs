@@ -1,0 +1,49 @@
+//! Regenerates the **§3.6 packaging estimates**: chip counts, network
+//! fraction, and the PE-board/MM-board partition of Figures 5–6.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin packaging
+//! ```
+
+use ultra_analysis::packaging::PackagingModel;
+
+fn main() {
+    println!("§3.6 machine packaging (1990 technology estimates)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "PEs",
+        "PE chips",
+        "MM chips",
+        "net chips",
+        "total",
+        "net %",
+        "boards",
+        "PE board",
+        "MM board"
+    );
+    for pes in [16usize, 256, 4096] {
+        let model = PackagingModel {
+            pes,
+            ..PackagingModel::paper_4096()
+        };
+        let r = model.report();
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>7.1}% {:>8} {:>9} {:>9}",
+            pes,
+            r.pe_chips,
+            r.mm_chips,
+            r.network_chips,
+            r.total_chips,
+            100.0 * r.network_fraction,
+            r.boards_per_side * 2,
+            r.chips_per_pe_board,
+            r.chips_per_mm_board
+        );
+    }
+    println!(
+        "\nPaper's quotes for the 4096-PE machine: \"roughly 65,000 chips\",\n\
+         \"only 19% of the chips are used for the network\", \"64 PE boards and\n\
+         64 MM boards, with each PE board containing 352 chips and each MM\n\
+         board containing 672 chips\"."
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table 2**: measured and projected TRED2 efficiencies
+//! (§5). Small (P, N) pairs are simulated directly on the ideal
+//! paracomputer backend (the paper's WASHCLOTH setting); the constants of
+//! `T(P,N) = aN + bN³/P + W(P,N)` are fitted from them; large cells are
+//! projected from the fit and marked `*`, exactly as in the paper.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin table2
+//! ```
+
+use ultra_workloads::efficiency::{measure_tred2, EfficiencyModel, Measurement};
+
+fn main() {
+    // Measured pairs (kept small enough to simulate in seconds).
+    let pairs: &[(usize, usize)] = &[
+        (4, 16),
+        (4, 24),
+        (8, 16),
+        (8, 32),
+        (16, 16),
+        (16, 32),
+        (16, 48),
+        (32, 32),
+        (32, 48),
+        (64, 48),
+    ];
+    eprintln!(
+        "measuring {} (P,N) pairs on the paracomputer backend...",
+        pairs.len()
+    );
+    let measurements: Vec<Measurement> = pairs
+        .iter()
+        .map(|&(p, n)| {
+            let m = measure_tred2(p, n, 0xACE);
+            eprintln!(
+                "  P={p:<3} N={n:<3} T={:>10.0} W={:>8.0} (instruction times)",
+                m.t, m.w
+            );
+            m
+        })
+        .collect();
+    let model = EfficiencyModel::fit(&measurements);
+    println!(
+        "fitted: T(P,N) = {:.1}*N + {:.3}*N^3/P + W,  W = {:.2}*N + {:.2}*sqrt(P)\n",
+        model.a, model.b, model.w_n, model.w_sqrt_p
+    );
+
+    let ns = [16usize, 32, 64, 128, 256, 512, 1024];
+    let ps = [16usize, 64, 256, 1024, 4096];
+    println!("Table 2 — TRED2 efficiencies E(P,N) = T(1,N)/(P*T(P,N));  * = projected");
+    print!("{:>6} |", "N \\ P");
+    for p in ps {
+        print!("{p:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 8 * ps.len()));
+    for n in ns {
+        print!("{n:>6} |");
+        for p in ps {
+            let e = model.efficiency(p, n);
+            let measured = pairs.contains(&(p, n));
+            print!("{:>6.0}%{}", 100.0 * e, if measured { ' ' } else { '*' });
+        }
+        println!();
+    }
+    println!(
+        "\nPaper's Table 2 for comparison (N=matrix, P=PEs):\n\
+         N=16:  62% 26%  7%  1%* 0%*   |   N=128: 99%* 96%* 86%* 59%* 24%*\n\
+         N=64:  96% 86% 59% 27%* 7%*   |   N=1024: 100%* 100%* 100%* 99%* 96%*"
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table 3**: projected TRED2 efficiencies under the
+//! optimistic assumption "that all the waiting time can be recovered"
+//! (e.g. by sharing PEs among multiple tasks, §5) — the Table 2 model
+//! with `W := 0`.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin table3
+//! ```
+
+use ultra_workloads::efficiency::{measure_tred2, EfficiencyModel, Measurement};
+
+fn main() {
+    let pairs: &[(usize, usize)] = &[
+        (4, 16),
+        (4, 24),
+        (8, 16),
+        (8, 32),
+        (16, 16),
+        (16, 32),
+        (16, 48),
+        (32, 32),
+        (32, 48),
+        (64, 48),
+    ];
+    eprintln!(
+        "measuring {} (P,N) pairs on the paracomputer backend...",
+        pairs.len()
+    );
+    let measurements: Vec<Measurement> = pairs
+        .iter()
+        .map(|&(p, n)| measure_tred2(p, n, 0xACE))
+        .collect();
+    let model = EfficiencyModel::fit(&measurements);
+    println!(
+        "fitted: T(P,N) = {:.1}*N + {:.3}*N^3/P (waiting time recovered)\n",
+        model.a, model.b
+    );
+
+    let ns = [16usize, 32, 64, 128, 256, 512, 1024];
+    let ps = [16usize, 64, 256, 1024, 4096];
+    println!("Table 3 — projected efficiencies without waiting time");
+    print!("{:>6} |", "N \\ P");
+    for p in ps {
+        print!("{p:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 8 * ps.len()));
+    for n in ns {
+        print!("{n:>6} |");
+        for p in ps {
+            print!("{:>7.0}%", 100.0 * model.efficiency_no_wait(p, n));
+        }
+        println!();
+    }
+    println!(
+        "\nPaper's Table 3 for comparison:\n\
+         N=16:  71% 37% 12%  3%  0%   |   N=128: 99% 97% 90% 68% 35%\n\
+         N=64:  97% 90% 68% 35% 12%   |   N=1024: 100% 100% 100% 99% 97%"
+    );
+}

@@ -1,0 +1,238 @@
+//! Shared measurement harness for the table/figure binaries and Criterion
+//! benches.
+//!
+//! The paper's §4 network studies are *open loop*: each PE offers
+//! Bernoulli(p) traffic regardless of outstanding replies. [`run_open_loop`]
+//! drives an [`ultra_net::OmegaNetwork`] (or several copies) against real
+//! [`ultra_mem::MemBank`]s with that traffic and reports transit and
+//! round-trip statistics — the simulated counterpart of the §4.1 analytic
+//! model and the engine behind the Figure 7 validation points, the
+//! hot-spot ablation (E6), the queue-depth study (E7) and the bandwidth
+//! scaling study (E8).
+
+use ultra_mem::MemBank;
+use ultra_net::config::NetConfig;
+use ultra_net::message::{Message, MsgId};
+use ultra_net::omega::ReplicatedOmega;
+use ultra_pe::traffic::TrafficPattern;
+use ultra_sim::{Cycle, Histogram, MmId, PeId};
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Network geometry/policy.
+    pub net: NetConfig,
+    /// Network copies `d`.
+    pub copies: usize,
+    /// MM service time in cycles.
+    pub mm_service: Cycle,
+    /// Cycles to run before measuring (pipeline fill).
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+}
+
+impl OpenLoopConfig {
+    /// A small default: `n` PEs, 2×2 switches, one copy, §4.2 timing.
+    #[must_use]
+    pub fn small(n: usize) -> Self {
+        Self {
+            net: NetConfig::small(n),
+            copies: 1,
+            mm_service: 2,
+            warmup: 200,
+            measure: 2_000,
+        }
+    }
+}
+
+/// What an open-loop run measured.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests injected during the measurement window.
+    pub injected: u64,
+    /// Replies received for requests issued in the window.
+    pub completed: u64,
+    /// Round-trip times (issue → reply) for those requests.
+    pub round_trip: Histogram,
+    /// Forward transit mean from the network's own stats (all traffic).
+    pub forward_transit_mean: f64,
+    /// Requests killed (DropOnConflict only).
+    pub drops: u64,
+    /// Combines performed.
+    pub combines: u64,
+    /// Delivered-request throughput in messages per PE per cycle.
+    pub throughput: f64,
+    /// Generator attempts that could not inject (backpressure/saturation).
+    pub stalled_attempts: u64,
+    /// Largest forward-queue packet occupancy observed anywhere.
+    pub queue_high_water: usize,
+}
+
+/// Runs `traffic` against the configured network + memory and measures.
+///
+/// Every PE holds at most one un-injected request (the PNI outbound
+/// buffer); generator emissions while the buffer is full are counted in
+/// `stalled_attempts` and discarded — the open-loop convention.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies (lost replies).
+#[must_use]
+pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> OpenLoopReport {
+    let n = cfg.net.pes;
+    let mut nets = ReplicatedOmega::new(cfg.net, cfg.copies);
+    let mut banks: Vec<MemBank> = (0..n)
+        .map(|i| MemBank::new(MmId(i), cfg.mm_service))
+        .collect();
+    let mut copy_of: std::collections::HashMap<MsgId, usize> = std::collections::HashMap::new();
+    let mut pending: Vec<Option<Message>> = vec![None; n];
+    let mut next_id: u64 = 1;
+    let mut report = OpenLoopReport {
+        injected: 0,
+        completed: 0,
+        round_trip: Histogram::new(),
+        forward_transit_mean: 0.0,
+        drops: 0,
+        combines: 0,
+        throughput: 0.0,
+        stalled_attempts: 0,
+        queue_high_water: 0,
+    };
+    let horizon = cfg.warmup + cfg.measure;
+    // Drain window: let in-flight traffic finish (no new injections).
+    let drain = horizon + 4 * (cfg.warmup + 100);
+
+    for now in 0..drain {
+        // 1. Flush pending injections.
+        for slot in pending.iter_mut() {
+            if let Some(msg) = slot.take() {
+                let id = msg.id;
+                let issued_at = msg.issued_at;
+                match nets.try_inject_request(msg, now) {
+                    Ok(copy) => {
+                        copy_of.insert(id, copy);
+                        if (cfg.warmup..horizon).contains(&issued_at) {
+                            report.injected += 1;
+                        }
+                    }
+                    Err(m) => *slot = Some(m),
+                }
+            }
+        }
+        // 2. Memory banks serve and reply.
+        for bank in &mut banks {
+            bank.cycle(now);
+            while let Some(r) = bank.peek_reply() {
+                let copy = copy_of[&r.id];
+                let reply = r.clone();
+                match nets.try_inject_reply(copy, reply, now) {
+                    Ok(()) => {
+                        let _ = bank.pop_reply();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        // 3. The fabric moves.
+        for (_copy, events) in nets.cycle(now) {
+            for msg in events.requests_at_mm {
+                banks[msg.addr.mm.0].push_request(msg);
+            }
+            for reply in events.replies_at_pe {
+                copy_of.remove(&reply.id);
+                if reply.request_issued_at >= cfg.warmup && reply.request_issued_at < horizon {
+                    report.completed += 1;
+                    report
+                        .round_trip
+                        .record(now.saturating_sub(reply.request_issued_at));
+                }
+            }
+            for dropped in events.dropped {
+                // Retry from the PE (its buffer is free: the drop came from
+                // a message already injected).
+                let pe = dropped.src.0;
+                if pending[pe].is_none() {
+                    pending[pe] = Some(dropped);
+                }
+            }
+        }
+        // 4. Generators emit (only before the horizon).
+        if now < horizon {
+            for (pe, slot) in pending.iter_mut().enumerate() {
+                if let Some(spec) = traffic.generate(PeId(pe)) {
+                    if slot.is_none() {
+                        let msg = Message::request(
+                            MsgId(next_id),
+                            spec.kind,
+                            spec.addr,
+                            spec.value,
+                            PeId(pe),
+                            now,
+                        );
+                        next_id += 1;
+                        *slot = Some(msg);
+                    } else {
+                        report.stalled_attempts += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    report.forward_transit_mean = {
+        let mut h = Histogram::new();
+        for i in 0..nets.copies() {
+            h.merge(&nets.copy(i).stats().forward_transit);
+        }
+        h.mean()
+    };
+    report.queue_high_water = nets.request_queue_high_water();
+    report.drops = nets.total_stat(|s| s.drops.get());
+    report.combines = nets.total_stat(|s| s.combines.get());
+    report.throughput = report.completed as f64 / (n as f64 * cfg.measure as f64);
+    report
+}
+
+/// Formats a value/percent cell for the table binaries.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:>4.0}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_pe::traffic::UniformTraffic;
+
+    #[test]
+    fn light_uniform_load_round_trip_near_minimum() {
+        // 64 PEs, 6 stages of 2x2: min round trip = 6 (fwd load) + 2 (MM)
+        // + 8 (reverse data) = 16 cycles, plus queueing at p = 0.05.
+        let cfg = OpenLoopConfig::small(64);
+        let mut traffic = UniformTraffic::new(64, 0.05, 1.0, 11);
+        let r = run_open_loop(cfg, &mut traffic);
+        assert!(r.completed > 3000, "completed = {}", r.completed);
+        let mean = r.round_trip.mean();
+        assert!(
+            (16.0..26.0).contains(&mean),
+            "mean round trip {mean} should be a little above the 16-cycle floor"
+        );
+        assert_eq!(r.completed, r.injected, "all measured traffic drains");
+    }
+
+    #[test]
+    fn saturation_shows_as_stalls() {
+        // p = 0.5 with 3-packet messages exceeds capacity 1/3: the
+        // generator must be throttled by backpressure.
+        let cfg = OpenLoopConfig::small(16);
+        let mut traffic = UniformTraffic::new(16, 0.5, 0.0, 5);
+        let r = run_open_loop(cfg, &mut traffic);
+        assert!(r.stalled_attempts > 0);
+        assert!(
+            r.throughput < 0.40,
+            "throughput {} is capacity-bound",
+            r.throughput
+        );
+    }
+}

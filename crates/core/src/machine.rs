@@ -1,0 +1,1268 @@
+//! The whole Ultracomputer: PEs + PNIs + combining network + MNIs + MMs —
+//! or the ideal paracomputer in their place.
+//!
+//! [`Machine`] runs one [`Program`] per PE *context* against a
+//! shared-memory backend:
+//!
+//! * [`BackendKind::Ideal`] — the §2 paracomputer: every request completes
+//!   after a fixed latency, simultaneous requests to one cell are all
+//!   served under the serialization principle. This is the configuration
+//!   the paper's §5 WASHCLOTH studies used.
+//! * [`BackendKind::Network`] — the §3 hardware: requests traverse `d`
+//!   copies of the combining Omega network to real memory banks with
+//!   finite service rates. This is the configuration of the §4.2 NETSIM
+//!   studies.
+//!
+//! §3.5's latency fallback is supported too: "If the latency remains an
+//! impediment to performance, we would hardware-multiprogram the PEs (as
+//! in the CHOPP design and the Denelcor HEP machine). Note that k-fold
+//! multiprogramming is equivalent to using k times as many PEs — each
+//! having relative performance 1/k." With
+//! [`MachineBuilder::multiprogramming`], each physical PE holds `k`
+//! interpreter contexts sharing one datapath and one PNI; on any stall
+//! (locked register, busy location, barrier) the PE issues from another
+//! context at zero switch cost, hiding memory latency.
+//!
+//! The per-cycle schedule is: flush pending injections → memory banks →
+//! network fabric (delivering replies unlocks registers) → barrier release
+//! → PE execution. A PE therefore observes a reply the same cycle its tail
+//! arrives, and a request issued this cycle starts moving next cycle.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ultra_mem::{AddressHasher, MemBank, TranslationMode};
+use ultra_net::config::NetConfig;
+use ultra_net::message::{Message, MsgId, MsgKind, Reply};
+use ultra_net::omega::ReplicatedOmega;
+use ultra_net::stats::NetStats;
+use ultra_pe::pni::{Pni, PniError};
+use ultra_pe::stats::PeStats;
+use ultra_sim::clock::TimeScale;
+use ultra_sim::{Cycle, MmId, PeId, Value};
+
+use crate::interp::{Fetched, IssueSpec, PeInterp};
+use crate::paracomputer::Paracomputer;
+use crate::program::{Program, Reg};
+use crate::trace::{Trace, TraceEvent};
+
+/// Virtual addresses at and above this are reserved for machine-assisted
+/// barriers (one word per barrier generation).
+pub const BARRIER_VADDR_BASE: usize = 1 << 40;
+
+/// Which shared-memory implementation serves the PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The §2 paracomputer: fixed `latency` cycles per request, no
+    /// contention, serialization principle on simultaneous batches.
+    Ideal {
+        /// Round-trip latency in network cycles.
+        latency: Cycle,
+    },
+    /// The §3/§4 machine: `copies` replicas of the combining Omega network
+    /// in front of one memory bank per PE.
+    Network {
+        /// Number of network copies `d` (§4.1).
+        copies: usize,
+    },
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Network geometry and switch policy (also fixes the PE count).
+    pub net: NetConfig,
+    /// Shared-memory backend.
+    pub backend: BackendKind,
+    /// Cycles per PE instruction and per MM access (§4.2 uses 2 and 2).
+    pub time: TimeScale,
+    /// Virtual→physical translation mode (§3.1.4).
+    pub translation: TranslationMode,
+    /// Seed for the serialization order and any stochastic components.
+    pub seed: u64,
+    /// Safety valve: `run` gives up after this many cycles.
+    pub max_cycles: Cycle,
+    /// How many contexts (the first `parties` virtual PEs) participate in
+    /// each [`crate::program::Op::Barrier`] (`None` = all). The paper's
+    /// §4.2 runs use 16–48 active PEs inside a larger fabric; the
+    /// inactive PEs run empty programs and skip barriers.
+    pub barrier_parties: Option<usize>,
+    /// §3.5 hardware multiprogramming factor: interpreter contexts per
+    /// physical PE (1 = no multiprogramming).
+    pub contexts_per_pe: usize,
+}
+
+/// Builder for [`Machine`] (see the crate examples).
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// Starts from an `n`-PE machine with the paper's small 2×2-switch
+    /// combining network, network backend, one copy, one context per PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            cfg: MachineConfig {
+                net: NetConfig::small(n),
+                backend: BackendKind::Network { copies: 1 },
+                time: TimeScale::default(),
+                translation: TranslationMode::Hashed,
+                seed: 0x5eed,
+                max_cycles: 50_000_000,
+                barrier_parties: None,
+                contexts_per_pe: 1,
+            },
+        }
+    }
+
+    /// Replaces the network configuration (PE count included).
+    #[must_use]
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Uses the ideal paracomputer backend with the given round-trip
+    /// latency in cycles.
+    #[must_use]
+    pub fn ideal(mut self, latency: Cycle) -> Self {
+        self.cfg.backend = BackendKind::Ideal { latency };
+        self
+    }
+
+    /// Uses the network backend with `d` copies.
+    #[must_use]
+    pub fn network(mut self, copies: usize) -> Self {
+        self.cfg.backend = BackendKind::Network { copies };
+        self
+    }
+
+    /// Sets the time scale (cycles per instruction / per MM access).
+    #[must_use]
+    pub fn time(mut self, time: TimeScale) -> Self {
+        self.cfg.time = time;
+        self
+    }
+
+    /// Sets the address-translation mode.
+    #[must_use]
+    pub fn translation(mut self, mode: TranslationMode) -> Self {
+        self.cfg.translation = mode;
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the cycle budget for [`Machine::run`].
+    #[must_use]
+    pub fn max_cycles(mut self, max: Cycle) -> Self {
+        self.cfg.max_cycles = max;
+        self
+    }
+
+    /// Sets how many contexts (the first `parties`) participate in
+    /// barriers.
+    #[must_use]
+    pub fn barrier_parties(mut self, parties: usize) -> Self {
+        self.cfg.barrier_parties = Some(parties);
+        self
+    }
+
+    /// Enables §3.5 hardware multiprogramming: `k` interpreter contexts
+    /// per physical PE. The machine then runs `pes × k` virtual PEs, each
+    /// with relative performance `1/k` but with memory latency hidden by
+    /// context switching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn multiprogramming(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one context per PE");
+        self.cfg.contexts_per_pe = k;
+        self
+    }
+
+    /// Builds the machine, giving every context the same `program`.
+    #[must_use]
+    pub fn build_spmd(self, program: &Program) -> Machine {
+        let n = self.cfg.net.pes * self.cfg.contexts_per_pe;
+        self.build(vec![program.clone(); n])
+    }
+
+    /// Builds the machine with one program per context (virtual PE).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `programs.len()` equals `pes × contexts_per_pe`.
+    #[must_use]
+    pub fn build(self, programs: Vec<Program>) -> Machine {
+        Machine::new(self.cfg, programs)
+    }
+}
+
+/// Why a context is not currently executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CtxState {
+    Ready,
+    WaitReg(Reg),
+    WaitIssue(IssueSpec, Purpose),
+    WaitBarrier,
+    WaitFence,
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    Data,
+    Barrier,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqMeta {
+    /// Virtual PE (context) index.
+    ctx: usize,
+    dst: Option<Reg>,
+    purpose: Purpose,
+}
+
+enum BackendImpl {
+    Ideal {
+        para: Paracomputer,
+        latency: Cycle,
+        /// due cycle → requests applied (as a simultaneous batch) then.
+        pending: BTreeMap<Cycle, Vec<Message>>,
+    },
+    Network {
+        nets: ReplicatedOmega,
+        banks: Vec<MemBank>,
+        /// Which copy carried each in-flight request (replies return the
+        /// same way).
+        copy_of: HashMap<MsgId, usize>,
+    },
+}
+
+/// Outcome of [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether every context halted and all traffic drained.
+    pub completed: bool,
+    /// Cycles elapsed.
+    pub cycles: Cycle,
+}
+
+/// The assembled machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    hasher: AddressHasher,
+    /// One interpreter per virtual PE (physical PE × context).
+    interps: Vec<PeInterp>,
+    states: Vec<CtxState>,
+    stats: Vec<PeStats>,
+    /// Per-physical-PE datapath occupancy.
+    busy_until: Vec<Cycle>,
+    /// Per-physical-PE round-robin context cursor (HEP-style).
+    cursor: Vec<usize>,
+    /// Per-physical-PE network interface.
+    pnis: Vec<Pni>,
+    /// Outgoing messages awaiting network acceptance, per physical PE.
+    outgoing: Vec<VecDeque<Message>>,
+    meta: HashMap<MsgId, ReqMeta>,
+    backend: BackendImpl,
+    barrier_generation: u64,
+    barrier_arrived: usize,
+    now: Cycle,
+    halted_count: usize,
+    trace: Trace,
+}
+
+impl Machine {
+    /// Assembles a machine from `cfg` with one program per context.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `programs.len() == cfg.net.pes * cfg.contexts_per_pe`.
+    #[must_use]
+    pub fn new(cfg: MachineConfig, programs: Vec<Program>) -> Self {
+        let n = cfg.net.pes;
+        let k = cfg.contexts_per_pe;
+        assert!(k >= 1, "need at least one context per PE");
+        let vpes = n * k;
+        assert_eq!(programs.len(), vpes, "need one program per context");
+        let hasher = AddressHasher::new(n, cfg.translation);
+        let interps: Vec<PeInterp> = programs
+            .iter()
+            .enumerate()
+            .map(|(vid, p)| PeInterp::new(PeId(vid), vpes, p))
+            .collect();
+        let pnis = (0..n).map(|i| Pni::new(PeId(i), hasher)).collect();
+        let backend = match cfg.backend {
+            BackendKind::Ideal { latency } => BackendImpl::Ideal {
+                para: Paracomputer::new(cfg.seed),
+                latency,
+                pending: BTreeMap::new(),
+            },
+            BackendKind::Network { copies } => BackendImpl::Network {
+                nets: ReplicatedOmega::new(cfg.net, copies),
+                banks: (0..n)
+                    .map(|i| MemBank::new(MmId(i), cfg.time.cycles_per_mm_access))
+                    .collect(),
+                copy_of: HashMap::new(),
+            },
+        };
+        Self {
+            hasher,
+            interps,
+            states: vec![CtxState::Ready; vpes],
+            stats: (0..vpes).map(|_| PeStats::new()).collect(),
+            busy_until: vec![0; n],
+            cursor: vec![0; n],
+            pnis,
+            outgoing: (0..n).map(|_| VecDeque::new()).collect(),
+            meta: HashMap::new(),
+            backend,
+            barrier_generation: 0,
+            barrier_arrived: 0,
+            now: 0,
+            halted_count: 0,
+            trace: Trace::new(),
+            cfg,
+        }
+    }
+
+    /// Enables event tracing with room for `capacity` events (ring
+    /// buffer; the tail of long runs is retained).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// The recorded trace (empty unless [`Machine::enable_trace`] ran).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of physical PEs.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.cfg.net.pes
+    }
+
+    /// Number of virtual PEs (physical × contexts).
+    #[must_use]
+    pub fn virtual_pes(&self) -> usize {
+        self.cfg.net.pes * self.cfg.contexts_per_pe
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Per-context statistics (indexed by virtual PE).
+    #[must_use]
+    pub fn pe_stats(&self) -> &[PeStats] {
+        &self.stats
+    }
+
+    /// All contexts' statistics merged.
+    #[must_use]
+    pub fn merged_pe_stats(&self) -> PeStats {
+        self.merged_pe_stats_range(0..self.virtual_pes())
+    }
+
+    /// Statistics of a subset of contexts merged — used when only the
+    /// first `P` virtual PEs run real programs (§4.2's setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the virtual PE count.
+    #[must_use]
+    pub fn merged_pe_stats_range(&self, range: std::ops::Range<usize>) -> PeStats {
+        let mut total = PeStats::new();
+        for s in &self.stats[range] {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Aggregate network statistics (zeroes for the ideal backend).
+    #[must_use]
+    pub fn net_stats(&self) -> NetStats {
+        match &self.backend {
+            BackendImpl::Ideal { .. } => NetStats::new(0),
+            BackendImpl::Network { nets, .. } => {
+                let mut total = NetStats::new(0);
+                for i in 0..nets.copies() {
+                    let s = nets.copy(i).stats();
+                    total.injected_requests.add(s.injected_requests.get());
+                    total.delivered_requests.add(s.delivered_requests.get());
+                    total.injected_replies.add(s.injected_replies.get());
+                    total.delivered_replies.add(s.delivered_replies.get());
+                    total.combines.add(s.combines.get());
+                    total.decombines.add(s.decombines.get());
+                    total.wait_buffer_declines.add(s.wait_buffer_declines.get());
+                    total.drops.add(s.drops.get());
+                    total.inject_stalls.add(s.inject_stalls.get());
+                    total.forward_transit.merge(&s.forward_transit);
+                    total.reverse_transit.merge(&s.reverse_transit);
+                }
+                total
+            }
+        }
+    }
+
+    /// The §3.1.4 serial-bottleneck indicator: the deepest request queue
+    /// any memory module accumulated (0 on the ideal backend, which has
+    /// no modules). Address hashing exists to keep this small.
+    #[must_use]
+    pub fn max_mm_queue_depth(&self) -> usize {
+        match &self.backend {
+            BackendImpl::Ideal { .. } => 0,
+            BackendImpl::Network { banks, .. } => banks
+                .iter()
+                .map(|b| b.stats().max_queue_depth)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Reads a shared word directly (after a run; not timed).
+    #[must_use]
+    pub fn read_shared(&self, vaddr: usize) -> Value {
+        let addr = self.hasher.translate(vaddr);
+        match &self.backend {
+            BackendImpl::Ideal { para, .. } => para.load(Self::flat_key(addr, self.cfg.net.pes)),
+            BackendImpl::Network { banks, .. } => banks[addr.mm.0].peek(addr.offset),
+        }
+    }
+
+    /// Writes a shared word directly (initialization; not timed).
+    pub fn write_shared(&mut self, vaddr: usize, value: Value) {
+        let addr = self.hasher.translate(vaddr);
+        let n = self.cfg.net.pes;
+        match &mut self.backend {
+            BackendImpl::Ideal { para, .. } => para.store(Self::flat_key(addr, n), value),
+            BackendImpl::Network { banks, .. } => banks[addr.mm.0].poke(addr.offset, value),
+        }
+    }
+
+    fn flat_key(addr: ultra_sim::MemAddr, n: usize) -> usize {
+        addr.offset * n + addr.mm.0
+    }
+
+    /// Runs until completion or the cycle budget.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.now < self.cfg.max_cycles {
+            self.step();
+            if self.is_quiescent() {
+                let cycles = self.now;
+                for s in &mut self.stats {
+                    s.total_cycles = cycles;
+                }
+                return RunOutcome {
+                    completed: true,
+                    cycles,
+                };
+            }
+        }
+        let cycles = self.now;
+        for s in &mut self.stats {
+            s.total_cycles = cycles;
+        }
+        RunOutcome {
+            completed: false,
+            cycles,
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.halted_count == self.virtual_pes()
+            && self.meta.is_empty()
+            && self.outgoing.iter().all(VecDeque::is_empty)
+    }
+
+    /// Advances the machine one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.flush_outgoing(now);
+        self.backend_cycle(now);
+        self.release_barrier_if_complete();
+        for phys in 0..self.pes() {
+            self.pe_cycle(phys, now);
+        }
+        self.now += 1;
+    }
+
+    /// Tries to push queued outbound messages into the backend.
+    fn flush_outgoing(&mut self, now: Cycle) {
+        for pe in 0..self.pes() {
+            while let Some(msg) = self.outgoing[pe].front() {
+                match &mut self.backend {
+                    BackendImpl::Ideal {
+                        latency, pending, ..
+                    } => {
+                        let due = now + *latency;
+                        pending.entry(due).or_default().push(msg.clone());
+                        self.outgoing[pe].pop_front();
+                    }
+                    BackendImpl::Network { nets, copy_of, .. } => {
+                        let m = msg.clone();
+                        let id = m.id;
+                        match nets.try_inject_request(m, now) {
+                            Ok(copy) => {
+                                copy_of.insert(id, copy);
+                                self.outgoing[pe].pop_front();
+                            }
+                            Err(_) => break, // backpressure; retry next cycle
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the memory system and delivers completions.
+    fn backend_cycle(&mut self, now: Cycle) {
+        // Collected first to avoid borrowing `self` across the delivery.
+        let mut deliveries: Vec<Reply> = Vec::new();
+        match &mut self.backend {
+            BackendImpl::Ideal { para, pending, .. } => {
+                if let Some(batch) = pending.remove(&now) {
+                    // The whole batch is "simultaneous": serialization
+                    // principle via seeded shuffle inside apply_batch.
+                    let n = self.cfg.net.pes;
+                    let ops: Vec<crate::paracomputer::MemOp> = batch
+                        .iter()
+                        .map(|m| {
+                            let key = Self::flat_key(m.addr, n);
+                            match m.kind {
+                                MsgKind::Load => crate::paracomputer::MemOp::Load { addr: key },
+                                MsgKind::Store => crate::paracomputer::MemOp::Store {
+                                    addr: key,
+                                    value: m.value,
+                                },
+                                MsgKind::FetchPhi(op) => crate::paracomputer::MemOp::FetchPhi {
+                                    op,
+                                    addr: key,
+                                    operand: m.value,
+                                },
+                            }
+                        })
+                        .collect();
+                    let results = para.apply_batch(&ops);
+                    for (m, v) in batch.iter().zip(results) {
+                        deliveries.push(Reply::to_request(m, v));
+                    }
+                }
+            }
+            BackendImpl::Network {
+                nets,
+                banks,
+                copy_of,
+            } => {
+                // Memory banks serve and emit replies into their network
+                // copy (stalling if the reverse link is busy).
+                for bank in banks.iter_mut() {
+                    bank.cycle(now);
+                    while let Some(reply) = bank.peek_reply() {
+                        let copy = *copy_of.get(&reply.id).expect("reply to unknown request");
+                        let r = reply.clone();
+                        match nets.try_inject_reply(copy, r, now) {
+                            Ok(()) => {
+                                let _ = bank.pop_reply();
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                // The fabric moves; arrivals at MMs enter bank queues;
+                // arrivals at PEs are delivered below.
+                for (_copy, events) in nets.cycle(now) {
+                    for msg in events.requests_at_mm {
+                        banks[msg.addr.mm.0].push_request(msg);
+                    }
+                    for reply in events.replies_at_pe {
+                        copy_of.remove(&reply.id);
+                        deliveries.push(reply);
+                    }
+                    for dropped in events.dropped {
+                        // DropOnConflict: the PE must re-offer the request.
+                        self.outgoing[dropped.src.0].push_back(dropped);
+                    }
+                }
+            }
+        }
+        for reply in deliveries {
+            self.deliver_reply(&reply, now);
+        }
+    }
+
+    fn deliver_reply(&mut self, reply: &Reply, now: Cycle) {
+        let meta = self
+            .meta
+            .remove(&reply.id)
+            .expect("reply to unknown request");
+        let ctx = meta.ctx;
+        let phys = ctx / self.cfg.contexts_per_pe;
+        let matched = self.pnis[phys].complete(reply);
+        debug_assert!(matched, "PNI lost track of an outstanding request");
+        self.stats[ctx]
+            .cm_access
+            .record(now.saturating_sub(reply.request_issued_at));
+        self.trace.record(TraceEvent::Reply {
+            cycle: now,
+            pe: PeId(ctx),
+            latency: now.saturating_sub(reply.request_issued_at),
+        });
+        match meta.purpose {
+            Purpose::Data => {
+                if let Some(dst) = meta.dst {
+                    self.interps[ctx].write_and_unlock(dst, reply.value);
+                }
+            }
+            Purpose::Barrier => {
+                self.barrier_arrived += 1;
+            }
+        }
+    }
+
+    fn release_barrier_if_complete(&mut self) {
+        let parties = self.cfg.barrier_parties.unwrap_or(self.virtual_pes());
+        if self.barrier_arrived == parties {
+            self.barrier_arrived = 0;
+            self.trace.record(TraceEvent::BarrierRelease {
+                cycle: self.now,
+                generation: self.barrier_generation,
+            });
+            self.barrier_generation += 1;
+            for state in &mut self.states {
+                if *state == CtxState::WaitBarrier {
+                    *state = CtxState::Ready;
+                }
+            }
+        }
+    }
+
+    /// Issues `spec` for context `ctx` through its physical PNI and queues
+    /// the message for injection.
+    fn attempt_issue(&mut self, ctx: usize, spec: &IssueSpec, purpose: Purpose) -> bool {
+        let phys = ctx / self.cfg.contexts_per_pe;
+        if !self.outgoing[phys].is_empty() {
+            return false; // the PNI's outbound buffer is occupied
+        }
+        let now = self.now;
+        match self.pnis[phys].issue(spec.kind, spec.vaddr, spec.value, now) {
+            Ok(msg) => {
+                self.meta.insert(
+                    msg.id,
+                    ReqMeta {
+                        ctx,
+                        dst: spec.dst,
+                        purpose,
+                    },
+                );
+                if let Some(dst) = spec.dst {
+                    self.interps[ctx].lock(dst);
+                }
+                self.trace.record(TraceEvent::Issue {
+                    cycle: now,
+                    pe: PeId(ctx),
+                    kind: spec.kind,
+                    vaddr: spec.vaddr,
+                });
+                let s = &mut self.stats[ctx];
+                s.shared_refs.incr();
+                if spec.kind.reply_carries_data() {
+                    s.cm_loads.incr();
+                }
+                self.outgoing[phys].push_back(msg);
+                true
+            }
+            Err(PniError::LocationBusy) => false,
+        }
+    }
+
+    /// Whether context `ctx` could execute an instruction right now if
+    /// given the datapath (resolving any completed waits).
+    fn resolve_waits(&mut self, ctx: usize) -> bool {
+        match self.states[ctx].clone() {
+            CtxState::Halted | CtxState::WaitBarrier => false,
+            CtxState::WaitReg(r) => {
+                if self.interps[ctx].is_locked(r) {
+                    false
+                } else {
+                    self.states[ctx] = CtxState::Ready;
+                    true
+                }
+            }
+            CtxState::WaitFence => {
+                let phys = ctx / self.cfg.contexts_per_pe;
+                // With multiprogramming the fence waits for *this
+                // context's* requests; the shared PNI tracks per-PE, so a
+                // conservative fence waits for the whole PNI to drain.
+                if self.pnis[phys].outstanding() > 0 {
+                    false
+                } else {
+                    self.states[ctx] = CtxState::Ready;
+                    true
+                }
+            }
+            CtxState::WaitIssue(..) | CtxState::Ready => true,
+        }
+    }
+
+    /// One datapath cycle of physical PE `phys`: round-robin over its
+    /// contexts, executing the first one that can make progress (zero-cost
+    /// context switching, §3.5 / HEP).
+    fn pe_cycle(&mut self, phys: usize, now: Cycle) {
+        if self.busy_until[phys] > now {
+            return; // mid-instruction
+        }
+        let k = self.cfg.contexts_per_pe;
+        let cpi = self.cfg.time.cycles_per_instruction;
+        let base = phys * k;
+        for offset in 0..k {
+            let c = base + (self.cursor[phys] + offset) % k;
+            if !self.resolve_waits(c) {
+                continue;
+            }
+            let advanced = self.ctx_execute(c, now, cpi);
+            if advanced {
+                // HEP-style: next instruction goes to the next context.
+                self.cursor[phys] = (self.cursor[phys] + offset + 1) % k;
+                return;
+            }
+        }
+        // No context could use the datapath: a genuinely idle cycle,
+        // charged to the context whose turn it was (if it is still alive).
+        let owner = base + self.cursor[phys] % k;
+        if self.states[owner] != CtxState::Halted {
+            self.stats[owner].idle_cycles.incr();
+            if self.states[owner] == CtxState::WaitBarrier {
+                self.stats[owner].barrier_wait_cycles.incr();
+            }
+        } else if let Some(alive) = (base..base + k).find(|&c| self.states[c] != CtxState::Halted) {
+            self.stats[alive].idle_cycles.incr();
+            if self.states[alive] == CtxState::WaitBarrier {
+                self.stats[alive].barrier_wait_cycles.incr();
+            }
+        }
+    }
+
+    /// Attempts to execute one instruction of context `ctx`. Returns
+    /// whether the datapath was consumed.
+    fn ctx_execute(&mut self, ctx: usize, now: Cycle, cpi: Cycle) -> bool {
+        let phys = ctx / self.cfg.contexts_per_pe;
+        if let CtxState::WaitIssue(spec, purpose) = self.states[ctx].clone() {
+            if self.attempt_issue(ctx, &spec, purpose) {
+                self.states[ctx] = if purpose == Purpose::Barrier {
+                    CtxState::WaitBarrier
+                } else {
+                    CtxState::Ready
+                };
+                self.stats[ctx].instructions.incr();
+                self.busy_until[phys] = now + cpi;
+                return true;
+            }
+            return false;
+        }
+
+        match self.interps[ctx].next_op() {
+            Fetched::Halted => {
+                self.states[ctx] = CtxState::Halted;
+                self.halted_count += 1;
+                self.trace.record(TraceEvent::Halt {
+                    cycle: now,
+                    pe: PeId(ctx),
+                });
+                // Halting consumes no datapath time; let another context
+                // run this cycle.
+                false
+            }
+            Fetched::Work {
+                instructions,
+                private_refs,
+            } => {
+                let s = &mut self.stats[ctx];
+                s.instructions.add(u64::from(instructions));
+                s.private_refs.add(u64::from(private_refs));
+                self.busy_until[phys] = now + Cycle::from(instructions) * cpi;
+                true
+            }
+            Fetched::BlockedOnReg(r) => {
+                self.states[ctx] = CtxState::WaitReg(r);
+                false
+            }
+            Fetched::Fence => {
+                self.states[ctx] = CtxState::WaitFence;
+                self.stats[ctx].instructions.incr();
+                self.busy_until[phys] = now + cpi;
+                true
+            }
+            Fetched::Issue(spec) => {
+                if self.attempt_issue(ctx, &spec, Purpose::Data) {
+                    self.stats[ctx].instructions.incr();
+                    self.busy_until[phys] = now + cpi;
+                    true
+                } else {
+                    self.states[ctx] = CtxState::WaitIssue(spec, Purpose::Data);
+                    false
+                }
+            }
+            Fetched::Barrier => {
+                let spec = IssueSpec {
+                    kind: MsgKind::fetch_add(),
+                    vaddr: BARRIER_VADDR_BASE + self.barrier_generation as usize,
+                    value: 1,
+                    dst: None,
+                };
+                if self.attempt_issue(ctx, &spec, Purpose::Barrier) {
+                    self.states[ctx] = CtxState::WaitBarrier;
+                    self.stats[ctx].instructions.incr();
+                    self.busy_until[phys] = now + cpi;
+                    true
+                } else {
+                    self.states[ctx] = CtxState::WaitIssue(spec, Purpose::Barrier);
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{body, Expr, Op};
+
+    fn counter_program(increments: i64) -> Program {
+        // Every PE adds `increments` times 1 to the shared word 0.
+        Program::new(
+            body(vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(increments),
+                    body: body(vec![Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: None,
+                    }]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn ideal_backend_counts_exactly() {
+        let mut m = MachineBuilder::new(8)
+            .ideal(2)
+            .build_spmd(&counter_program(10));
+        let out = m.run();
+        assert!(out.completed, "must drain");
+        assert_eq!(m.read_shared(0), 80);
+    }
+
+    #[test]
+    fn network_backend_counts_exactly() {
+        let mut m = MachineBuilder::new(8).build_spmd(&counter_program(10));
+        let out = m.run();
+        assert!(out.completed);
+        assert_eq!(m.read_shared(0), 80);
+    }
+
+    #[test]
+    fn backends_agree_on_final_memory() {
+        // Distinct-slot writes through self-scheduling: both backends must
+        // produce one write per slot and full counter consumption.
+        let p = Program::new(
+            body(vec![
+                Op::SelfSched {
+                    reg: 0,
+                    counter: Expr::Const(0),
+                    limit: Expr::Const(40),
+                    body: body(vec![Op::FetchAdd {
+                        addr: Expr::add(Expr::Const(100), Expr::Reg(0)),
+                        delta: Expr::Const(1),
+                        dst: None,
+                    }]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        for build in [
+            MachineBuilder::new(8).ideal(2),
+            MachineBuilder::new(8).network(1),
+        ] {
+            let mut m = build.build_spmd(&p);
+            assert!(m.run().completed);
+            for i in 0..40 {
+                assert_eq!(m.read_shared(100 + i), 1, "slot {i}");
+            }
+            assert_eq!(m.read_shared(0), 40 + 8, "each PE overshoots once");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_pes() {
+        // PE0 stores 42 to word 5 before the barrier; every PE loads it
+        // after the barrier and stores what it saw into its own slot.
+        let p = Program::new(
+            body(vec![
+                Op::If {
+                    cond: crate::program::Cond::new(Expr::PeIndex, crate::program::CmpOp::Eq, 0),
+                    then_ops: body(vec![
+                        Op::Store {
+                            addr: Expr::Const(5),
+                            value: Expr::Const(42),
+                        },
+                        Op::Fence,
+                    ]),
+                    else_ops: body(vec![]),
+                },
+                Op::Barrier,
+                Op::Load {
+                    addr: Expr::Const(5),
+                    dst: 0,
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(200), Expr::PeIndex),
+                    value: Expr::Reg(0),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        for build in [
+            MachineBuilder::new(8).ideal(2),
+            MachineBuilder::new(8).network(1),
+        ] {
+            let mut m = build.build_spmd(&p);
+            assert!(m.run().completed);
+            for pe in 0..8 {
+                assert_eq!(m.read_shared(200 + pe), 42, "PE{pe} saw the store");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_barriers_work() {
+        let p = Program::new(
+            body(vec![Op::Barrier, Op::Barrier, Op::Barrier, Op::Halt]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(4).build_spmd(&p);
+        assert!(m.run().completed);
+    }
+
+    #[test]
+    fn network_latency_reflected_in_cm_access() {
+        // One load on an otherwise idle 64-PE machine: round trip should be
+        // the §4.2 minimum (fwd D + m_ctl - 1, MM service, reverse
+        // D + m_data - 1) — with D = 6, service 2: 6 + 2 + 8 = 16 cycles.
+        let p = Program::new(
+            body(vec![
+                Op::Load {
+                    addr: Expr::Const(7),
+                    dst: 0,
+                },
+                Op::Store {
+                    addr: Expr::Const(300),
+                    value: Expr::Reg(0),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut programs = vec![Program::empty(); 64];
+        programs[3] = p;
+        let mut m = MachineBuilder::new(64).build(programs);
+        assert!(m.run().completed);
+        let merged = m.merged_pe_stats();
+        assert_eq!(merged.cm_access.count(), 2);
+        // The load's round trip is measured from issue to delivery; allow
+        // the injection cycle itself as slack.
+        let min = merged.cm_access.percentile(0.0);
+        assert!(
+            (16..=18).contains(&min),
+            "min CM access {min} should be ~16 cycles (8 PE instruction times)"
+        );
+    }
+
+    #[test]
+    fn hotspot_combining_machine_end_to_end() {
+        // All PEs hammer one word; combining must keep the final count
+        // exact and the returned values distinct.
+        let p = Program::new(
+            body(vec![
+                Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: Some(0),
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(500), Expr::Reg(0)),
+                    value: Expr::Const(1),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let n = 16;
+        let mut m = MachineBuilder::new(n).build_spmd(&p);
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), n as Value);
+        for i in 0..n {
+            assert_eq!(m.read_shared(500 + i), 1, "ticket {i} claimed once");
+        }
+    }
+
+    #[test]
+    fn run_times_out_on_deadlock() {
+        // One PE waits at a barrier nobody else reaches.
+        let p = Program::new(body(vec![Op::Barrier, Op::Halt]), vec![]);
+        let mut programs = vec![Program::empty(); 4];
+        programs[0] = p;
+        let mut m = MachineBuilder::new(4).max_cycles(5_000).build(programs);
+        let out = m.run();
+        assert!(!out.completed);
+        assert_eq!(out.cycles, 5_000);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = MachineBuilder::new(8).build_spmd(&counter_program(5));
+        assert!(m.run().completed);
+        let merged = m.merged_pe_stats();
+        assert!(merged.instructions.get() > 0);
+        assert_eq!(merged.shared_refs.get(), 8 * 5);
+        assert_eq!(merged.cm_loads.get(), 8 * 5, "fetch-and-adds carry data");
+        let net = m.net_stats();
+        assert_eq!(net.injected_requests.get(), 8 * 5);
+        assert_eq!(
+            net.delivered_replies.get(),
+            8 * 5,
+            "every request gets exactly one reply (decombined or direct)"
+        );
+        assert_eq!(net.combines.get(), net.decombines.get());
+    }
+
+    #[test]
+    fn fetch_and_max_reduction_combines_end_to_end() {
+        // §2.4 generality through the whole machine: every PE folds a
+        // value into a shared maximum with FetchPhi(Max); the network
+        // combines Max pairs exactly like adds.
+        use ultra_net::message::PhiOp;
+        let p = Program::new(
+            body(vec![
+                Op::FetchPhi {
+                    op: PhiOp::Max,
+                    addr: Expr::Const(3),
+                    // Values 0, 7, 14, ... — max is (n-1)*7.
+                    operand: Expr::mul(Expr::PeIndex, 7),
+                    dst: Some(0),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let n = 16;
+        let mut m = MachineBuilder::new(n).build_spmd(&p);
+        m.write_shared(3, -100);
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(3), (n as Value - 1) * 7);
+        assert!(
+            m.net_stats().combines.get() > 0,
+            "simultaneous maxes must combine in the tree"
+        );
+    }
+
+    #[test]
+    fn four_by_four_switch_machine_works() {
+        // The §4.2 geometry (k = 4) at small scale, through the machine.
+        let mut m = MachineBuilder::new(16)
+            .net(ultra_net::config::NetConfig::paper_section42_scaled(16))
+            .build_spmd(&counter_program(8));
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), 16 * 8);
+        assert!(
+            m.net_stats().combines.get() > 0,
+            "hot counter combines in 4x4 switches too"
+        );
+    }
+
+    #[test]
+    fn trace_records_the_story_of_a_run() {
+        use crate::trace::TraceEvent;
+        let p = Program::new(
+            body(vec![
+                Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: Some(0),
+                },
+                Op::Barrier,
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(4).build_spmd(&p);
+        m.enable_trace(1024);
+        assert!(m.run().completed);
+        let issues = m
+            .trace()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::Issue { .. }))
+            .count();
+        let replies = m
+            .trace()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::Reply { .. }))
+            .count();
+        let halts = m
+            .trace()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::Halt { .. }))
+            .count();
+        let releases = m
+            .trace()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::BarrierRelease { .. }))
+            .count();
+        assert_eq!(issues, 8, "4 fetch-adds + 4 barrier arrivals");
+        assert_eq!(replies, 8);
+        assert_eq!(halts, 4);
+        assert_eq!(releases, 1);
+        // Events are recorded in nondecreasing cycle order.
+        let cycles: Vec<_> = m.trace().events().map(TraceEvent::cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(m.trace().dropped(), 0);
+    }
+
+    // ---- §3.5 hardware multiprogramming ----
+
+    #[test]
+    fn multiprogramming_runs_k_contexts_per_pe() {
+        // 4 physical PEs x 2 contexts = 8 virtual PEs; each writes its own
+        // virtual id into a slot.
+        let p = Program::new(
+            body(vec![
+                Op::Store {
+                    addr: Expr::add(Expr::Const(100), Expr::PeIndex),
+                    value: Expr::add(Expr::PeIndex, 1),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(4).multiprogramming(2).build_spmd(&p);
+        assert_eq!(m.virtual_pes(), 8);
+        assert!(m.run().completed);
+        for vid in 0..8 {
+            assert_eq!(m.read_shared(100 + vid), vid as Value + 1);
+        }
+    }
+
+    #[test]
+    fn multiprogramming_counts_exactly() {
+        let mut m = MachineBuilder::new(4)
+            .multiprogramming(4)
+            .build_spmd(&counter_program(10));
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), 16 * 10, "16 virtual PEs x 10");
+    }
+
+    #[test]
+    fn multiprogramming_barriers_span_all_contexts() {
+        let p = Program::new(
+            body(vec![
+                Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: None,
+                },
+                Op::Barrier,
+                // After the barrier every context must see all arrivals.
+                Op::Load {
+                    addr: Expr::Const(0),
+                    dst: 0,
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(100), Expr::PeIndex),
+                    value: Expr::Reg(0),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(4).multiprogramming(2).build_spmd(&p);
+        assert!(m.run().completed);
+        for vid in 0..8 {
+            assert_eq!(m.read_shared(100 + vid), 8, "context {vid}");
+        }
+    }
+
+    #[test]
+    fn multiprogramming_hides_memory_latency() {
+        // A latency-bound pointer-chase-like program: load, use, repeat.
+        // One context stalls on every use; two contexts interleave and
+        // lower the PE's idle fraction.
+        let p = Program::new(
+            body(vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(60),
+                    body: body(vec![
+                        Op::Load {
+                            addr: Expr::add(Expr::mul(Expr::PeIndex, 1024), Expr::Reg(1)),
+                            dst: 0,
+                        },
+                        // Immediate use: no prefetch slack.
+                        Op::Set {
+                            reg: 2,
+                            value: Expr::add(Expr::Reg(0), Expr::Reg(2)),
+                        },
+                    ]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let idle_frac = |contexts: usize| {
+            let mut m = MachineBuilder::new(16)
+                .multiprogramming(contexts)
+                .build_spmd(&p);
+            assert!(m.run().completed);
+            let merged = m.merged_pe_stats();
+            merged.idle_cycles.get() as f64 / (16 * m.now()) as f64
+        };
+        let single = idle_frac(1);
+        let dual = idle_frac(2);
+        assert!(
+            dual < 0.8 * single,
+            "2-fold multiprogramming must hide latency: idle {single:.3} -> {dual:.3}"
+        );
+    }
+}

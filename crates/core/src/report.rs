@@ -1,0 +1,176 @@
+//! Run reports in the units the paper uses.
+//!
+//! Table 1 reports per-program columns in *PE instruction times*; this
+//! module derives them from the machine's cycle-denominated counters.
+
+use std::fmt;
+
+use ultra_net::stats::NetStats;
+use ultra_pe::stats::PeStats;
+use ultra_sim::clock::TimeScale;
+use ultra_sim::Cycle;
+
+use crate::machine::Machine;
+
+/// Summary of one machine run, in the paper's units.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Cycles the run took.
+    pub cycles: Cycle,
+    /// All PEs' counters merged.
+    pub pe: PeStats,
+    /// Aggregate network counters (zero for the ideal backend).
+    pub net: NetStats,
+    /// The machine's time scale, for unit conversion.
+    pub time: TimeScale,
+    /// Number of PEs.
+    pub pes: usize,
+}
+
+impl MachineReport {
+    /// Builds the report from a finished machine.
+    #[must_use]
+    pub fn from_machine(m: &Machine) -> Self {
+        Self::from_machine_active(m, m.pes())
+    }
+
+    /// Builds the report over only the first `active` PEs — the §4.2
+    /// setting where a handful of busy PEs sit in a larger fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` exceeds the PE count.
+    #[must_use]
+    pub fn from_machine_active(m: &Machine, active: usize) -> Self {
+        Self {
+            cycles: m.now(),
+            pe: m.merged_pe_stats_range(0..active),
+            net: m.net_stats(),
+            time: m.cfg().time,
+            pes: active,
+        }
+    }
+
+    /// Table 1 column 1: average central-memory access time, in PE
+    /// instruction times.
+    #[must_use]
+    pub fn avg_cm_access_instr(&self) -> f64 {
+        self.time.cycles_to_instructions(1) * self.pe.cm_access.mean()
+    }
+
+    /// Table 1 column 2: percentage of cycles PEs sat idle waiting on
+    /// memory (barrier waits excluded, matching the §4.2 note that idle
+    /// cycles are "waiting for a memory reference to be satisfied").
+    #[must_use]
+    pub fn idle_pct(&self) -> f64 {
+        let total = self.pe.total_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.pe.memory_idle_cycles() as f64 / total as f64
+    }
+
+    /// Table 1 column 3: idle cycles per central-memory load, in PE
+    /// instruction times.
+    #[must_use]
+    pub fn idle_per_cm_load_instr(&self) -> f64 {
+        let loads = self.pe.cm_loads.get();
+        if loads == 0 {
+            return 0.0;
+        }
+        self.time.cycles_to_instructions(1) * self.pe.memory_idle_cycles() as f64 / loads as f64
+    }
+
+    /// Table 1 column 4: memory references per instruction.
+    #[must_use]
+    pub fn mem_refs_per_instr(&self) -> f64 {
+        self.pe.mem_refs_per_instruction()
+    }
+
+    /// Table 1 column 5: shared references per instruction.
+    #[must_use]
+    pub fn shared_refs_per_instr(&self) -> f64 {
+        self.pe.shared_refs_per_instruction()
+    }
+
+    /// Offered network load in messages per PE per network cycle (the
+    /// analytic model's `p`).
+    #[must_use]
+    pub fn traffic_intensity(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.pe.shared_refs.get() as f64 / (self.pes as f64 * self.cycles as f64)
+    }
+
+    /// Run time in PE instruction times.
+    #[must_use]
+    pub fn instruction_times(&self) -> f64 {
+        self.time.cycles_to_instructions(self.cycles)
+    }
+}
+
+impl fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} PEs, {} cycles ({:.0} instruction times)",
+            self.pes,
+            self.cycles,
+            self.instruction_times()
+        )?;
+        writeln!(
+            f,
+            "  avg CM access {:.2} instr | idle {:.0}% | idle/CM-load {:.1} | mem-ref/instr {:.2} | shared-ref/instr {:.3}",
+            self.avg_cm_access_instr(),
+            self.idle_pct(),
+            self.idle_per_cm_load_instr(),
+            self.mem_refs_per_instr(),
+            self.shared_refs_per_instr()
+        )?;
+        write!(
+            f,
+            "  net: {} injected, {} combines ({:.1}%), {} drops",
+            self.net.injected_requests,
+            self.net.combines,
+            100.0 * self.net.combine_rate(),
+            self.net.drops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineBuilder;
+    use crate::program::{body, Expr, Op, Program};
+
+    #[test]
+    fn report_units_are_consistent() {
+        let p = Program::new(
+            body(vec![
+                Op::Compute(10),
+                Op::Load {
+                    addr: Expr::PeIndex,
+                    dst: 0,
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(100), Expr::PeIndex),
+                    value: Expr::Reg(0),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(8).build_spmd(&p);
+        assert!(m.run().completed);
+        let r = MachineReport::from_machine(&m);
+        assert!(r.cycles > 0);
+        assert!(r.avg_cm_access_instr() >= 4.0, "round trips take cycles");
+        assert!(r.mem_refs_per_instr() > 0.0);
+        assert!(r.shared_refs_per_instr() <= r.mem_refs_per_instr());
+        assert!((0.0..=100.0).contains(&r.idle_pct()));
+        let text = r.to_string();
+        assert!(text.contains("avg CM access"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution tracing for debugging machine runs.
+//!
+//! The paper's group debugged parallel programs on their simulator
+//! (§5: "to develop methodologies for writing and debugging parallel
+//! programs"); this module is the modern equivalent: an optional,
+//! bounded event trace the machine records as it runs. Disabled by
+//! default — tracing costs nothing until [`Trace::enabled`] is set.
+
+use ultra_net::message::MsgKind;
+use ultra_sim::{Cycle, PeId};
+
+/// One recorded machine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A context issued a memory request.
+    Issue {
+        /// Cycle of issue.
+        cycle: Cycle,
+        /// Issuing virtual PE.
+        pe: PeId,
+        /// Request kind.
+        kind: MsgKind,
+        /// Flat virtual address.
+        vaddr: usize,
+    },
+    /// A reply was delivered to a context.
+    Reply {
+        /// Cycle of delivery.
+        cycle: Cycle,
+        /// Receiving virtual PE.
+        pe: PeId,
+        /// Round-trip latency in cycles.
+        latency: Cycle,
+    },
+    /// A barrier generation released all waiters.
+    BarrierRelease {
+        /// Cycle of release.
+        cycle: Cycle,
+        /// Generation that completed.
+        generation: u64,
+    },
+    /// A context ran to completion.
+    Halt {
+        /// Cycle of halt.
+        cycle: Cycle,
+        /// Halting virtual PE.
+        pe: PeId,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which the event happened.
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            TraceEvent::Issue { cycle, .. }
+            | TraceEvent::Reply { cycle, .. }
+            | TraceEvent::BarrierRelease { cycle, .. }
+            | TraceEvent::Halt { cycle, .. } => *cycle,
+        }
+    }
+}
+
+/// A bounded event recorder. When full, the *oldest* events are dropped
+/// (ring-buffer semantics), so the tail of a long run is always visible.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Whether events are being recorded.
+    pub enabled: bool,
+    capacity: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables recording with room for `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace needs capacity");
+        self.enabled = true;
+        self.capacity = capacity;
+    }
+
+    /// Records an event (no-op while disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// How many events were discarded to honour the capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halt(cycle: Cycle) -> TraceEvent {
+        TraceEvent::Halt { cycle, pe: PeId(0) }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(halt(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut t = Trace::new();
+        t.enable(3);
+        for c in 0..10 {
+            t.record(halt(c));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let cycles: Vec<Cycle> = t.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn event_cycle_accessor_covers_variants() {
+        assert_eq!(
+            TraceEvent::Issue {
+                cycle: 5,
+                pe: PeId(1),
+                kind: MsgKind::Load,
+                vaddr: 7
+            }
+            .cycle(),
+            5
+        );
+        assert_eq!(
+            TraceEvent::Reply {
+                cycle: 6,
+                pe: PeId(1),
+                latency: 16
+            }
+            .cycle(),
+            6
+        );
+        assert_eq!(
+            TraceEvent::BarrierRelease {
+                cycle: 7,
+                generation: 2
+            }
+            .cycle(),
+            7
+        );
+    }
+}

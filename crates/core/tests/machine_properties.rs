@@ -1,0 +1,280 @@
+//! Property tests of the whole machine: randomly generated (barrier-free)
+//! programs must always terminate, never panic the fabric, and behave
+//! bit-identically on replay — on both backends.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use ultracomputer::machine::{Machine, MachineBuilder};
+use ultracomputer::program::{Body, CmpOp, Cond, Expr, Op, Program};
+
+/// A compact generator language for random-but-well-formed programs.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Compute(u8),
+    Private(u8),
+    Load {
+        addr: u16,
+        dst: u8,
+    },
+    Store {
+        addr: u16,
+        src: u8,
+    },
+    FetchAdd {
+        addr: u16,
+        delta: i8,
+        dst: Option<u8>,
+    },
+    Set {
+        reg: u8,
+        value: i16,
+    },
+    For {
+        trips: u8,
+        body: Vec<GenOp>,
+    },
+    SelfSched {
+        counter: u16,
+        limit: u8,
+        body: Vec<GenOp>,
+    },
+    If {
+        reg: u8,
+        threshold: i16,
+        then_ops: Vec<GenOp>,
+        else_ops: Vec<GenOp>,
+    },
+    Fence,
+}
+
+fn leaf_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u8..6).prop_map(GenOp::Compute),
+        (1u8..4).prop_map(GenOp::Private),
+        (0u16..40, 0u8..4).prop_map(|(addr, dst)| GenOp::Load { addr, dst }),
+        (0u16..40, 0u8..4).prop_map(|(addr, src)| GenOp::Store { addr, src }),
+        (0u16..40, -3i8..4, prop::option::of(0u8..4))
+            .prop_map(|(addr, delta, dst)| GenOp::FetchAdd { addr, delta, dst }),
+        (0u8..4, -50i16..50).prop_map(|(reg, value)| GenOp::Set { reg, value }),
+        Just(GenOp::Fence),
+    ]
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    leaf_op().prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            (1u8..4, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(trips, body)| GenOp::For { trips, body }),
+            (
+                100u16..120,
+                1u8..6,
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(counter, limit, body)| GenOp::SelfSched {
+                    counter,
+                    limit,
+                    body
+                }),
+            (
+                0u8..4,
+                -10i16..10,
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(reg, threshold, then_ops, else_ops)| GenOp::If {
+                    reg,
+                    threshold,
+                    then_ops,
+                    else_ops
+                }),
+        ]
+    })
+}
+
+/// Lowers generated ops; loop registers are assigned by nesting depth
+/// (as any real code generator would) so an inner loop can never clobber
+/// an enclosing loop's counter — reusing one register across nested loops
+/// is a *program* bug the fuzzer famously rediscovered.
+fn lower(ops: &[GenOp]) -> Body {
+    lower_at(ops, 0)
+}
+
+fn lower_at(ops: &[GenOp], depth: u8) -> Body {
+    let v: Vec<Op> = ops
+        .iter()
+        .map(|g| match g {
+            GenOp::Compute(n) => Op::Compute(u32::from(*n)),
+            GenOp::Private(n) => Op::PrivateRef(u32::from(*n)),
+            GenOp::Load { addr, dst } => Op::Load {
+                addr: Expr::Const(i64::from(*addr)),
+                dst: *dst,
+            },
+            GenOp::Store { addr, src } => Op::Store {
+                addr: Expr::Const(i64::from(*addr)),
+                value: Expr::Reg(*src),
+            },
+            GenOp::FetchAdd { addr, delta, dst } => Op::FetchAdd {
+                addr: Expr::Const(i64::from(*addr)),
+                delta: Expr::Const(i64::from(*delta)),
+                dst: *dst,
+            },
+            GenOp::Set { reg, value } => Op::Set {
+                reg: *reg,
+                value: Expr::Const(i64::from(*value)),
+            },
+            GenOp::For { trips, body } => Op::For {
+                reg: 4 + depth % 12,
+                from: Expr::Const(0),
+                to: Expr::Const(i64::from(*trips)),
+                body: lower_at(body, depth + 1),
+            },
+            GenOp::SelfSched {
+                counter,
+                limit,
+                body,
+            } => Op::SelfSched {
+                reg: 4 + depth % 12,
+                counter: Expr::Const(i64::from(*counter)),
+                limit: Expr::Const(i64::from(*limit)),
+                body: lower_at(body, depth + 1),
+            },
+            GenOp::If {
+                reg,
+                threshold,
+                then_ops,
+                else_ops,
+            } => Op::If {
+                cond: Cond::new(Expr::Reg(*reg), CmpOp::Lt, i64::from(*threshold)),
+                then_ops: lower_at(then_ops, depth),
+                else_ops: lower_at(else_ops, depth),
+            },
+            GenOp::Fence => Op::Fence,
+        })
+        .collect();
+    Rc::from(v)
+}
+
+fn final_state(machine: &Machine) -> Vec<i64> {
+    (0..140).map(|a| machine.read_shared(a)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated program terminates on both backends within a generous
+    /// cycle budget (no fabric deadlock, no interpreter wedge), and two
+    /// runs with the same seed are bit-identical (cycles + memory).
+    #[test]
+    fn random_programs_terminate_and_replay(
+        ops in prop::collection::vec(gen_op(), 1..10),
+        n_exp in 2u32..4,
+        ideal in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let mut body_ops: Vec<GenOp> = ops;
+        body_ops.push(GenOp::Fence);
+        let program = Program::new(lower(&body_ops), vec![]);
+        let build = || {
+            let b = MachineBuilder::new(n).seed(seed).max_cycles(1_000_000);
+            let b = if ideal { b.ideal(2) } else { b.network(1) };
+            b.build_spmd(&program)
+        };
+        let mut m1 = build();
+        let out1 = m1.run();
+        prop_assert!(out1.completed, "wedged: {} PEs, ideal={}", n, ideal);
+        let mut m2 = build();
+        let out2 = m2.run();
+        prop_assert_eq!(out1.cycles, out2.cycles, "nondeterministic timing");
+        prop_assert_eq!(final_state(&m1), final_state(&m2), "nondeterministic memory");
+        // PNI accounting must close out.
+        let merged = m1.merged_pe_stats();
+        let net = m1.net_stats();
+        if !ideal {
+            prop_assert_eq!(merged.shared_refs.get(), net.injected_requests.get());
+            prop_assert_eq!(net.injected_requests.get(), net.delivered_replies.get());
+        }
+    }
+
+    /// Self-scheduled counters are always consumed exactly (limit + one
+    /// overshoot per participating PE), whatever surrounds them.
+    #[test]
+    fn self_sched_counters_consume_exactly(
+        limit in 1i64..12,
+        n_exp in 1u32..4,
+        prefix_compute in 0u32..8,
+        ideal in any::<bool>(),
+    ) {
+        let n = 1usize << n_exp;
+        let program = Program::new(
+            Rc::from(vec![
+                Op::Compute(prefix_compute + 1),
+                Op::SelfSched {
+                    reg: 0,
+                    counter: Expr::Const(500),
+                    limit: Expr::Const(limit),
+                    body: Rc::from(vec![Op::FetchAdd {
+                        addr: Expr::add(Expr::Const(600), Expr::Reg(0)),
+                        delta: Expr::Const(1),
+                        dst: None,
+                    }]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let b = MachineBuilder::new(n);
+        let b = if ideal { b.ideal(2) } else { b.network(1) };
+        let mut m = b.build_spmd(&program);
+        prop_assert!(m.run().completed);
+        prop_assert_eq!(m.read_shared(500), limit + n as i64);
+        for i in 0..limit {
+            prop_assert_eq!(m.read_shared(600 + i as usize), 1, "slot {}", i);
+        }
+    }
+}
+
+/// Identical machines must produce identical *statistics*, not just
+/// memory — the reproducibility EXPERIMENTS.md promises.
+#[test]
+fn full_stat_replay_determinism() {
+    let program = Program::new(
+        Rc::from(vec![
+            Op::SelfSched {
+                reg: 0,
+                counter: Expr::Const(0),
+                limit: Expr::Const(30),
+                body: Rc::from(vec![
+                    Op::Load {
+                        addr: Expr::add(Expr::Const(100), Expr::Reg(0)),
+                        dst: 1,
+                    },
+                    Op::Compute(4),
+                    Op::Store {
+                        addr: Expr::add(Expr::Const(200), Expr::Reg(0)),
+                        value: Expr::Reg(1),
+                    },
+                ]),
+            },
+            Op::Barrier,
+            Op::Halt,
+        ]),
+        vec![],
+    );
+    let run = || {
+        let mut m = MachineBuilder::new(16).seed(77).build_spmd(&program);
+        assert!(m.run().completed);
+        let s = m.merged_pe_stats();
+        let n = m.net_stats();
+        (
+            m.now(),
+            s.instructions.get(),
+            s.idle_cycles.get(),
+            s.cm_access.mean().to_bits(),
+            n.combines.get(),
+            n.forward_transit.mean().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,276 @@
+//! One memory module with its memory-network interface.
+
+use std::collections::{HashMap, VecDeque};
+
+use ultra_net::message::{Message, MsgKind, Reply};
+use ultra_sim::{Counter, Cycle, MmId, Value};
+
+/// Instrumentation for one memory bank.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Requests fully served.
+    pub served: Counter,
+    /// Loads served.
+    pub loads: Counter,
+    /// Stores served.
+    pub stores: Counter,
+    /// Fetch-and-phi operations served.
+    pub fetch_phis: Counter,
+    /// Largest request-queue depth observed — the §3.1.4 "potential serial
+    /// bottleneck" indicator.
+    pub max_queue_depth: usize,
+    /// Cycles during which the module was actively serving a request.
+    pub busy_cycles: Counter,
+}
+
+/// A memory module plus its MNI: FIFO request queue, fixed service time,
+/// fetch-and-phi ALU, and a reply outbox.
+///
+/// All words read as zero until written — convenient for the shared
+/// counters and queue bounds of the paper's algorithms, which all start at
+/// zero.
+#[derive(Debug, Clone)]
+pub struct MemBank {
+    mm: MmId,
+    words: HashMap<usize, Value>,
+    queue: VecDeque<Message>,
+    /// The request in service and the cycle it completes.
+    in_service: Option<(Cycle, Message)>,
+    outbox: VecDeque<Reply>,
+    service_time: Cycle,
+    stats: MemStats,
+}
+
+impl MemBank {
+    /// Creates an empty module `mm` that serves one request every
+    /// `service_time` cycles (§4.2 uses two network cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_time` is zero.
+    #[must_use]
+    pub fn new(mm: MmId, service_time: Cycle) -> Self {
+        assert!(service_time >= 1, "service time must be at least one cycle");
+        Self {
+            mm,
+            words: HashMap::new(),
+            queue: VecDeque::new(),
+            in_service: None,
+            outbox: VecDeque::new(),
+            service_time,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// This module's id.
+    #[must_use]
+    pub fn mm(&self) -> MmId {
+        self.mm
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Directly reads a word (test setup / result extraction; not timed).
+    #[must_use]
+    pub fn peek(&self, offset: usize) -> Value {
+        self.words.get(&offset).copied().unwrap_or(0)
+    }
+
+    /// Directly writes a word (initialization; not timed).
+    pub fn poke(&mut self, offset: usize, value: Value) {
+        self.words.insert(offset, value);
+    }
+
+    /// Accepts a request delivered by the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is addressed to a different module.
+    pub fn push_request(&mut self, msg: Message) {
+        assert_eq!(msg.addr.mm, self.mm, "request delivered to wrong module");
+        self.queue.push_back(msg);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Requests waiting (not counting the one in service).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether any work (queued, in service, or undelivered replies)
+    /// remains.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_service.is_none() && self.outbox.is_empty()
+    }
+
+    /// Advances one cycle: starts service if idle, and completes the
+    /// in-flight request when its time is up, moving the reply to the
+    /// outbox.
+    pub fn cycle(&mut self, now: Cycle) {
+        if self.in_service.is_none() {
+            if let Some(msg) = self.queue.pop_front() {
+                self.in_service = Some((now + self.service_time, msg));
+            }
+        }
+        if self.in_service.is_some() {
+            self.stats.busy_cycles.incr();
+        }
+        if let Some((done_at, _)) = self.in_service {
+            if now + 1 >= done_at {
+                let (_, msg) = self.in_service.take().expect("checked");
+                let value = self.apply(&msg);
+                self.outbox.push_back(Reply::to_request(&msg, value));
+            }
+        }
+    }
+
+    /// The MNI ALU: applies one request to the memory array and returns the
+    /// reply value (the old value for loads and fetch-and-phis; zero for
+    /// store acknowledgements).
+    pub fn apply(&mut self, msg: &Message) -> Value {
+        self.stats.served.incr();
+        let slot = self.words.entry(msg.addr.offset).or_insert(0);
+        match msg.kind {
+            MsgKind::Load => {
+                self.stats.loads.incr();
+                *slot
+            }
+            MsgKind::Store => {
+                self.stats.stores.incr();
+                *slot = msg.value;
+                0
+            }
+            MsgKind::FetchPhi(op) => {
+                self.stats.fetch_phis.incr();
+                let old = *slot;
+                *slot = op.apply(old, msg.value);
+                old
+            }
+        }
+    }
+
+    /// The oldest undelivered reply, if any.
+    #[must_use]
+    pub fn peek_reply(&self) -> Option<&Reply> {
+        self.outbox.front()
+    }
+
+    /// Removes and returns the oldest undelivered reply.
+    pub fn pop_reply(&mut self) -> Option<Reply> {
+        self.outbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_net::message::{MsgId, PhiOp, ReplyKind};
+    use ultra_sim::{MemAddr, PeId};
+
+    fn req(id: u64, kind: MsgKind, offset: usize, value: Value) -> Message {
+        Message::request(
+            MsgId(id),
+            kind,
+            MemAddr::new(MmId(0), offset),
+            value,
+            PeId(1),
+            0,
+        )
+    }
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let bank = MemBank::new(MmId(0), 1);
+        assert_eq!(bank.peek(12345), 0);
+    }
+
+    #[test]
+    fn service_takes_configured_time() {
+        let mut bank = MemBank::new(MmId(0), 3);
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+        bank.cycle(0); // starts service, completes at cycle 3
+        assert!(bank.pop_reply().is_none());
+        bank.cycle(1);
+        assert!(bank.pop_reply().is_none());
+        bank.cycle(2); // now + 1 == done_at
+        assert!(bank.pop_reply().is_some());
+    }
+
+    #[test]
+    fn single_cycle_service() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+        bank.cycle(0);
+        assert!(
+            bank.pop_reply().is_some(),
+            "1-cycle service completes immediately"
+        );
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.push_request(req(1, MsgKind::Store, 7, 55));
+        bank.push_request(req(2, MsgKind::Load, 7, 0));
+        bank.cycle(0);
+        bank.cycle(1);
+        let ack = bank.pop_reply().unwrap();
+        assert_eq!(ack.kind, ReplyKind::Ack);
+        let loaded = bank.pop_reply().unwrap();
+        assert_eq!(loaded.kind, ReplyKind::Value);
+        assert_eq!(loaded.value, 55);
+    }
+
+    #[test]
+    fn fifo_service_order() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        for i in 0..5 {
+            bank.push_request(req(i, MsgKind::Store, 0, i as Value));
+        }
+        for now in 0..5 {
+            bank.cycle(now);
+        }
+        assert_eq!(bank.peek(0), 4, "last store wins under FIFO");
+        assert_eq!(bank.stats().served.get(), 5);
+        assert_eq!(bank.stats().max_queue_depth, 5);
+    }
+
+    #[test]
+    fn fetch_phi_ops_apply() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.poke(3, 0b1100);
+        let old = bank.apply(&req(1, MsgKind::FetchPhi(PhiOp::And), 3, 0b1010));
+        assert_eq!(old, 0b1100);
+        assert_eq!(bank.peek(3), 0b1000);
+        let old = bank.apply(&req(2, MsgKind::FetchPhi(PhiOp::Second), 3, 99));
+        assert_eq!(old, 0b1000, "swap returns old");
+        assert_eq!(bank.peek(3), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong module")]
+    fn rejects_misrouted_request() {
+        let mut bank = MemBank::new(MmId(1), 1);
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut bank = MemBank::new(MmId(0), 2);
+        assert!(bank.is_idle());
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+        assert!(!bank.is_idle());
+        bank.cycle(0);
+        bank.cycle(1);
+        assert!(!bank.is_idle(), "reply still in outbox");
+        let _ = bank.pop_reply();
+        assert!(bank.is_idle());
+        assert_eq!(bank.stats().busy_cycles.get(), 2);
+    }
+}

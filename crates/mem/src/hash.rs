@@ -1,0 +1,164 @@
+//! Virtual→physical address translation with MM-spreading hash (§3.1.4).
+//!
+//! "A potential serial bottleneck is the memory module itself. If every PE
+//! simultaneously requests a distinct word from the same MM, these N
+//! requests are serviced one at a time. However, introducing a hashing
+//! function when translating the virtual address to a physical address,
+//! assures that this unfavorable situation occurs with probability
+//! approaching zero as N increases."
+//!
+//! Two translation modes are provided:
+//!
+//! * [`TranslationMode::Interleaved`] — classic low-order interleaving
+//!   (`mm = addr mod N`). Simple, but strided access patterns with stride a
+//!   multiple of `N` pound a single module.
+//! * [`TranslationMode::Hashed`] — the paper's remedy: the module number is
+//!   a mix of all address bits, so any fixed stride spreads across modules.
+//!
+//! Both translations are injective (distinct virtual words never collide on
+//! the same physical word), which the property tests verify.
+
+use ultra_sim::{MemAddr, MmId};
+
+/// How virtual word addresses map onto `(module, offset)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TranslationMode {
+    /// `mm = addr mod N`, `offset = addr div N`.
+    Interleaved,
+    /// `mm = mix(addr) mod N`, `offset = addr div N` — the §3.1.4 hash.
+    /// The offset keeps a module-local slot per `addr div N` *group*, and
+    /// within a group the mix permutes which module each word lands on.
+    #[default]
+    Hashed,
+}
+
+/// Translates flat virtual word addresses to physical [`MemAddr`]s.
+///
+/// # Example
+///
+/// ```
+/// use ultra_mem::hash::{AddressHasher, TranslationMode};
+///
+/// let h = AddressHasher::new(64, TranslationMode::Hashed);
+/// let a = h.translate(1000);
+/// let b = h.translate(1001);
+/// assert_ne!((a.mm, a.offset), (b.mm, b.offset));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressHasher {
+    n_mms: usize,
+    mode: TranslationMode,
+}
+
+impl AddressHasher {
+    /// Creates a translator over `n_mms` modules (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mms` is not a positive power of two.
+    #[must_use]
+    pub fn new(n_mms: usize, mode: TranslationMode) -> Self {
+        assert!(
+            n_mms.is_power_of_two(),
+            "module count must be a power of two"
+        );
+        Self { n_mms, mode }
+    }
+
+    /// Number of modules being spread over.
+    #[must_use]
+    pub fn n_mms(&self) -> usize {
+        self.n_mms
+    }
+
+    /// Maps a flat virtual word address to its module and offset.
+    #[must_use]
+    pub fn translate(&self, vaddr: usize) -> MemAddr {
+        let mask = self.n_mms - 1;
+        let group = vaddr / self.n_mms;
+        let mm = match self.mode {
+            TranslationMode::Interleaved => vaddr & mask,
+            TranslationMode::Hashed => {
+                // Within group g, word index w = vaddr mod N lands on module
+                // (w XOR mix(g)) — a per-group permutation of the modules, so
+                // the map stays injective while any fixed stride is spread.
+                (vaddr & mask) ^ (mix(group as u64) as usize & mask)
+            }
+        };
+        MemAddr::new(MmId(mm), group)
+    }
+}
+
+/// SplitMix64-style finalizer: avalanche all input bits.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interleaved_is_modulo() {
+        let h = AddressHasher::new(8, TranslationMode::Interleaved);
+        assert_eq!(h.translate(13), MemAddr::new(MmId(5), 1));
+        assert_eq!(h.translate(7), MemAddr::new(MmId(7), 0));
+    }
+
+    #[test]
+    fn both_modes_are_injective() {
+        for mode in [TranslationMode::Interleaved, TranslationMode::Hashed] {
+            let h = AddressHasher::new(16, mode);
+            let mut seen = HashSet::new();
+            for v in 0..10_000 {
+                let a = h.translate(v);
+                assert!(a.mm.0 < 16);
+                assert!(seen.insert((a.mm, a.offset)), "collision at {v} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_spreads_pathological_stride() {
+        // Stride-N accesses: interleaving sends all to MM 0; the hash must
+        // spread them over many modules.
+        let n = 64;
+        let inter = AddressHasher::new(n, TranslationMode::Interleaved);
+        let hashed = AddressHasher::new(n, TranslationMode::Hashed);
+        let addrs: Vec<usize> = (0..n).map(|i| i * n).collect();
+        let inter_mms: HashSet<_> = addrs.iter().map(|&a| inter.translate(a).mm).collect();
+        let hashed_mms: HashSet<_> = addrs.iter().map(|&a| hashed.translate(a).mm).collect();
+        assert_eq!(
+            inter_mms.len(),
+            1,
+            "interleaving collapses stride-N onto one MM"
+        );
+        assert!(
+            hashed_mms.len() > n / 2,
+            "hashing must spread stride-N over most MMs (got {})",
+            hashed_mms.len()
+        );
+    }
+
+    #[test]
+    fn hashed_spreads_sequential_addresses_evenly() {
+        let n = 16;
+        let h = AddressHasher::new(n, TranslationMode::Hashed);
+        let mut counts = vec![0u32; n];
+        for v in 0..(n * 100) {
+            counts[h.translate(v).mm.0] += 1;
+        }
+        // Perfect balance: each group is a permutation of the modules.
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = AddressHasher::new(12, TranslationMode::Hashed);
+    }
+}

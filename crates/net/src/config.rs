@@ -1,0 +1,175 @@
+//! Network configuration.
+
+/// How a switch resolves two requests wanting the same output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwitchPolicy {
+    /// The paper's design (§3.1.2): queue both and *combine* requests
+    /// directed at the same memory location.
+    #[default]
+    QueuedCombining,
+    /// Queue both but never combine — isolates the value of combining
+    /// (used by the hot-spot ablation, experiment E6).
+    QueuedNoCombine,
+    /// The Burroughs-style alternative the paper rejects (§3.1.2 item 3):
+    /// no queue — a request arriving at a busy output is killed and must be
+    /// retried by the PE, which limits bandwidth to `O(N / log N)`.
+    DropOnConflict,
+}
+
+/// Static parameters of one Omega network.
+///
+/// # Example
+///
+/// ```
+/// use ultra_net::config::NetConfig;
+///
+/// let cfg = NetConfig::paper_section42();
+/// assert_eq!(cfg.pes, 4096);
+/// assert_eq!(cfg.k, 4);
+/// assert_eq!(cfg.request_queue_packets, 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of PEs `N` (must be a power of `k`).
+    pub pes: usize,
+    /// Switch arity `k`.
+    pub k: usize,
+    /// Capacity of each ToMM (forward) output queue, in packets
+    /// (`usize::MAX` = the analytic model's infinite queues).
+    pub request_queue_packets: usize,
+    /// Capacity of each ToPE (reverse) output queue, in packets.
+    pub reply_queue_packets: usize,
+    /// Wait-buffer entries per switch; when full, further combining at that
+    /// switch is declined (§3.3).
+    pub wait_entries: usize,
+    /// Conflict-resolution policy.
+    pub policy: SwitchPolicy,
+    /// Packets in a message that carries a data word (§4.2 uses 3).
+    pub data_packets: u8,
+    /// Packets in a dataless message (§4.2 uses 1).
+    pub ctl_packets: u8,
+}
+
+impl NetConfig {
+    /// A small 2×2-switch network for unit tests and examples: `n` PEs,
+    /// combining on, queues of 15 packets, ample wait buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn small(n: usize) -> Self {
+        let cfg = Self {
+            pes: n,
+            k: 2,
+            request_queue_packets: 15,
+            reply_queue_packets: usize::MAX,
+            wait_entries: 64,
+            policy: SwitchPolicy::QueuedCombining,
+            data_packets: 3,
+            ctl_packets: 1,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// The configuration simulated in §4.2 of the paper: 4096 PEs reached
+    /// through six stages of 4×4 switches, each queue limited to fifteen
+    /// packets, messages of one packet (no data) or three (with data).
+    #[must_use]
+    pub fn paper_section42() -> Self {
+        Self::paper_section42_scaled(4096)
+    }
+
+    /// The §4.2 configuration scaled down to `n` PEs (must be a power of 4)
+    /// so that workload simulations finish quickly at small scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of 4.
+    #[must_use]
+    pub fn paper_section42_scaled(n: usize) -> Self {
+        let cfg = Self {
+            pes: n,
+            k: 4,
+            request_queue_packets: 15,
+            reply_queue_packets: usize::MAX,
+            wait_entries: 64,
+            policy: SwitchPolicy::QueuedCombining,
+            data_packets: 3,
+            ctl_packets: 1,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Effective multiplexing factor `m` of the analytic model (§4.1): the
+    /// switch cycles needed to input one data-carrying message.
+    #[must_use]
+    pub fn multiplexing_factor(&self) -> u32 {
+        u32::from(self.data_packets)
+    }
+
+    /// Checks the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is not a positive power of `k`, if `k < 2`, or if a
+    /// packet length is zero.
+    pub fn validate(&self) {
+        let _ = ultra_sim::ids::digits::count(self.pes, self.k);
+        assert!(
+            self.data_packets >= 1,
+            "data messages need at least 1 packet"
+        );
+        assert!(
+            self.ctl_packets >= 1,
+            "control messages need at least 1 packet"
+        );
+        assert!(
+            self.request_queue_packets as u64 >= u64::from(self.data_packets),
+            "queues must hold at least one data message"
+        );
+    }
+}
+
+impl Default for NetConfig {
+    /// A 64-PE, 2×2-switch combining network — convenient for examples.
+    fn default() -> Self {
+        Self::small(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_is_valid() {
+        let cfg = NetConfig::small(16);
+        assert_eq!(cfg.k, 2);
+        assert_eq!(cfg.policy, SwitchPolicy::QueuedCombining);
+    }
+
+    #[test]
+    fn paper_config_matches_section_4_2() {
+        let cfg = NetConfig::paper_section42();
+        assert_eq!(cfg.pes, 4096);
+        assert_eq!(cfg.k, 4);
+        assert_eq!(cfg.request_queue_packets, 15);
+        assert_eq!(cfg.data_packets, 3);
+        assert_eq!(cfg.ctl_packets, 1);
+        assert_eq!(cfg.multiplexing_factor(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power")]
+    fn rejects_non_power_of_k() {
+        let _ = NetConfig::small(12);
+    }
+
+    #[test]
+    fn default_is_small_64() {
+        assert_eq!(NetConfig::default().pes, 64);
+    }
+}

@@ -1,0 +1,292 @@
+//! Switch output queues (§3.3, §3.3.1).
+//!
+//! The paper associates a queue with each switch output port. The ToMM
+//! queues are enhanced VLSI systolic queues (Guibas & Liang) that preserve
+//! FIFO order *and* support the associative search used for combining; the
+//! ToPE queues are plain FIFOs. Behaviourally, both reduce to the structure
+//! modelled here: a FIFO of messages with
+//!
+//! * capacity measured in **packets** (§4.2 limits each queue to fifteen
+//!   packets; a data message is three packets, a control message one);
+//! * a transmit link that carries one packet per cycle, so a message of
+//!   `L` packets occupies the link for `L` cycles while its *head* reaches
+//!   the next stage after a single cycle (the paper's cut-through
+//!   pipelining: "the delay at each switch is only one cycle if the queues
+//!   are empty");
+//! * iteration over queued entries for the combining search.
+//!
+//! The generic parameter lets the same structure serve requests
+//! ([`crate::message::Message`]) and replies ([`crate::message::Reply`]).
+
+use std::collections::VecDeque;
+use ultra_sim::Cycle;
+
+/// A queued message plus its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot<T> {
+    /// The queued message.
+    pub item: T,
+    /// Cycle at which the message head finished arriving; it may not be
+    /// transmitted before this.
+    pub head_arrival: Cycle,
+    /// Whether this slot has already taken part in a combine in this switch
+    /// (§3.3 pair-only restriction).
+    pub combined_here: bool,
+    /// Current length in packets (can change when a combine mutates the
+    /// message kind).
+    pub packets: u8,
+}
+
+/// A switch output queue with packet-granularity capacity and link timing.
+///
+/// # Example
+///
+/// ```
+/// use ultra_net::queue::OutQueue;
+///
+/// let mut q: OutQueue<&str> = OutQueue::new(15);
+/// q.push("hello", 3, 5);
+/// assert_eq!(q.packets_used(), 3);
+/// assert!(!q.ready_to_transmit(4)); // head not fully usable before cycle 5
+/// assert!(q.ready_to_transmit(5));
+/// let slot = q.pop_for_transmit(5);
+/// assert_eq!(slot.item, "hello");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutQueue<T> {
+    entries: VecDeque<Slot<T>>,
+    packets_used: usize,
+    max_packets_used: usize,
+    capacity_packets: usize,
+    link_free_at: Cycle,
+}
+
+impl<T> OutQueue<T> {
+    /// Creates a queue holding at most `capacity_packets` packets
+    /// (`usize::MAX` models the analytic infinite queue).
+    #[must_use]
+    pub fn new(capacity_packets: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            packets_used: 0,
+            max_packets_used: 0,
+            capacity_packets,
+            link_free_at: 0,
+        }
+    }
+
+    /// Whether a message of `packets` packets fits right now.
+    #[must_use]
+    pub fn can_accept(&self, packets: u8) -> bool {
+        self.packets_used + packets as usize <= self.capacity_packets
+    }
+
+    /// Enqueues a message whose head finishes arriving at `head_arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lacks space — callers must check
+    /// [`OutQueue::can_accept`] first (the upstream switch holds a message
+    /// until space exists; see §3.3 "the message might be delayed if the
+    /// queue this message is due to enter is already full").
+    pub fn push(&mut self, item: T, packets: u8, head_arrival: Cycle) {
+        assert!(
+            self.can_accept(packets),
+            "queue overflow: caller must check"
+        );
+        self.packets_used += packets as usize;
+        self.max_packets_used = self.max_packets_used.max(self.packets_used);
+        self.entries.push_back(Slot {
+            item,
+            head_arrival,
+            combined_here: false,
+            packets,
+        });
+    }
+
+    /// Whether the head message may start transmission at `now`: the queue
+    /// is non-empty, the link is idle, and the head has arrived.
+    #[must_use]
+    pub fn ready_to_transmit(&self, now: Cycle) -> bool {
+        now >= self.link_free_at && self.entries.front().is_some_and(|s| now >= s.head_arrival)
+    }
+
+    /// Pops the head for transmission starting at `now`, marking the link
+    /// busy for the message's packet count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`OutQueue::ready_to_transmit`] would return `false`.
+    pub fn pop_for_transmit(&mut self, now: Cycle) -> Slot<T> {
+        assert!(self.ready_to_transmit(now), "transmit when not ready");
+        let slot = self.entries.pop_front().expect("non-empty");
+        self.packets_used -= slot.packets as usize;
+        self.link_free_at = now + Cycle::from(slot.packets);
+        slot
+    }
+
+    /// Iterates mutably over queued slots — the combining search (§3.3.1).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Slot<T>> {
+        self.entries.iter_mut()
+    }
+
+    /// Iterates over queued slots without mutating them.
+    pub fn iter(&self) -> impl Iterator<Item = &Slot<T>> {
+        self.entries.iter()
+    }
+
+    /// The slot at the head of the queue, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<&Slot<T>> {
+        self.entries.front()
+    }
+
+    /// Mutable access to the slot at `index` (0 = head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn slot_mut(&mut self, index: usize) -> &mut Slot<T> {
+        &mut self.entries[index]
+    }
+
+    /// Adjusts the recorded packet length of a slot after a combine mutated
+    /// its message kind (e.g. a Load slot adopting a Store's identity grows
+    /// from one packet to three). Capacity may be transiently exceeded: the
+    /// incoming message's packets had already been granted queue space.
+    pub fn resize_slot(&mut self, index: usize, packets: u8) {
+        let slot = &mut self.entries[index];
+        self.packets_used = self.packets_used - slot.packets as usize + packets as usize;
+        self.max_packets_used = self.max_packets_used.max(self.packets_used);
+        slot.packets = packets;
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no messages are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Packets currently occupying the queue.
+    #[must_use]
+    pub fn packets_used(&self) -> usize {
+        self.packets_used
+    }
+
+    /// The queue's packet capacity.
+    #[must_use]
+    pub fn capacity_packets(&self) -> usize {
+        self.capacity_packets
+    }
+
+    /// High-water mark of packet occupancy over the queue's lifetime —
+    /// the empirical answer to §4.2's "queues of modest size" question.
+    #[must_use]
+    pub fn max_packets_used(&self) -> usize {
+        self.max_packets_used
+    }
+
+    /// Cycle at which the output link next becomes idle.
+    #[must_use]
+    pub fn link_free_at(&self) -> Cycle {
+        self.link_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_in_packets() {
+        let mut q: OutQueue<u32> = OutQueue::new(7);
+        assert!(q.can_accept(3));
+        q.push(1, 3, 0);
+        q.push(2, 3, 0);
+        assert!(q.can_accept(1));
+        assert!(!q.can_accept(3), "only one packet left");
+        q.push(3, 1, 0);
+        assert!(!q.can_accept(1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.packets_used(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue overflow")]
+    fn push_without_space_panics() {
+        let mut q: OutQueue<u32> = OutQueue::new(3);
+        q.push(1, 3, 0);
+        q.push(2, 1, 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q: OutQueue<u32> = OutQueue::new(usize::MAX);
+        for i in 0..5 {
+            q.push(i, 1, 0);
+        }
+        for i in 0..5 {
+            let now = i as Cycle * 2;
+            assert_eq!(q.pop_for_transmit(now).item, i);
+        }
+    }
+
+    #[test]
+    fn link_busy_for_message_length() {
+        let mut q: OutQueue<u32> = OutQueue::new(usize::MAX);
+        q.push(1, 3, 0);
+        q.push(2, 1, 0);
+        assert!(q.ready_to_transmit(0));
+        let _ = q.pop_for_transmit(0);
+        // Link busy until cycle 3: the 3-packet message streams out.
+        assert!(!q.ready_to_transmit(1));
+        assert!(!q.ready_to_transmit(2));
+        assert!(q.ready_to_transmit(3));
+        assert_eq!(q.link_free_at(), 3);
+    }
+
+    #[test]
+    fn head_arrival_gates_transmission() {
+        let mut q: OutQueue<u32> = OutQueue::new(usize::MAX);
+        q.push(9, 1, 10);
+        assert!(!q.ready_to_transmit(9));
+        assert!(q.ready_to_transmit(10));
+    }
+
+    #[test]
+    fn resize_slot_tracks_packets() {
+        let mut q: OutQueue<u32> = OutQueue::new(usize::MAX);
+        q.push(1, 1, 0);
+        q.push(2, 3, 0);
+        q.resize_slot(0, 3); // a Load slot grew into a Store
+        assert_eq!(q.packets_used(), 6);
+        let s = q.pop_for_transmit(0);
+        assert_eq!(s.packets, 3);
+        assert_eq!(q.packets_used(), 3);
+    }
+
+    #[test]
+    fn iter_mut_sees_all_entries() {
+        let mut q: OutQueue<u32> = OutQueue::new(usize::MAX);
+        q.push(1, 1, 0);
+        q.push(2, 1, 0);
+        for slot in q.iter_mut() {
+            slot.item *= 10;
+        }
+        assert_eq!(q.pop_for_transmit(0).item, 10);
+    }
+
+    #[test]
+    fn empty_queue_not_ready() {
+        let q: OutQueue<u32> = OutQueue::new(4);
+        assert!(!q.ready_to_transmit(100));
+        assert!(q.is_empty());
+    }
+}

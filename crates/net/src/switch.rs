@@ -1,0 +1,579 @@
+//! A k×k bidirectional network switch (§3.3).
+//!
+//! Each switch is "essentially a 2×2 bidirectional routing device" (the
+//! paper details 2×2; everything generalizes to k×k, §3.1.1) made of two
+//! nearly independent halves:
+//!
+//! * the **forward** half: `k` ToMM output queues into which arriving
+//!   requests are routed by destination digit, with the combining search on
+//!   insertion (§3.3.1);
+//! * the **reverse** half: `k` ToPE output queues for replies;
+//! * the **wait buffer** linking them: each combine deposits an entry, and
+//!   a returning reply whose id matches an entry spawns the absorbed
+//!   request's reply (§3.3).
+//!
+//! The §3.3 simplification "the structure of the switch is simplified if it
+//! supports only combinations of pairs" is honoured via the
+//! `combined_here` flag: a queue slot that has already combined in this
+//! switch will not absorb a third request, but a combined message can
+//! combine again at later stages ("combined requests can themselves be
+//! combined", §3.1.2).
+
+use std::collections::HashMap;
+
+use crate::combine::{kinds_combinable, try_combine, WaitEntry};
+use crate::config::{NetConfig, SwitchPolicy};
+use crate::message::{Message, MsgId, Reply};
+use crate::queue::OutQueue;
+use crate::route::Topology;
+use crate::stats::NetStats;
+use ultra_sim::Cycle;
+
+/// What became of a request offered to a switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// Queued normally in a ToMM queue.
+    Queued,
+    /// Merged into an already-queued request; a wait-buffer entry was
+    /// recorded and the request will be answered on the return trip.
+    Combined,
+    /// Killed under [`SwitchPolicy::DropOnConflict`]; the caller must
+    /// arrange the retry.
+    Dropped(Message),
+}
+
+/// One k×k switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    stage: usize,
+    index: usize,
+    to_mm: Vec<OutQueue<Message>>,
+    to_pe: Vec<OutQueue<Reply>>,
+    wait: HashMap<MsgId, WaitEntry>,
+    wait_capacity: usize,
+    policy: SwitchPolicy,
+    data_packets: u8,
+    ctl_packets: u8,
+}
+
+impl Switch {
+    /// Creates the switch at `(stage, index)` under `cfg`.
+    #[must_use]
+    pub fn new(stage: usize, index: usize, cfg: &NetConfig) -> Self {
+        Self {
+            stage,
+            index,
+            to_mm: (0..cfg.k)
+                .map(|_| OutQueue::new(cfg.request_queue_packets))
+                .collect(),
+            to_pe: (0..cfg.k)
+                .map(|_| OutQueue::new(cfg.reply_queue_packets))
+                .collect(),
+            wait: HashMap::new(),
+            wait_capacity: cfg.wait_entries,
+            policy: cfg.policy,
+            data_packets: cfg.data_packets,
+            ctl_packets: cfg.ctl_packets,
+        }
+    }
+
+    /// This switch's stage (0 = PE side).
+    #[must_use]
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// This switch's index within its stage.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The ToMM queue behind output port `port`.
+    #[must_use]
+    pub fn to_mm_queue(&self, port: usize) -> &OutQueue<Message> {
+        &self.to_mm[port]
+    }
+
+    /// Mutable access to the ToMM queue behind output port `port`.
+    pub fn to_mm_queue_mut(&mut self, port: usize) -> &mut OutQueue<Message> {
+        &mut self.to_mm[port]
+    }
+
+    /// The ToPE queue behind output port `port`.
+    #[must_use]
+    pub fn to_pe_queue(&self, port: usize) -> &OutQueue<Reply> {
+        &self.to_pe[port]
+    }
+
+    /// Mutable access to the ToPE queue behind output port `port`.
+    pub fn to_pe_queue_mut(&mut self, port: usize) -> &mut OutQueue<Reply> {
+        &mut self.to_pe[port]
+    }
+
+    /// Number of live wait-buffer entries.
+    #[must_use]
+    pub fn wait_occupancy(&self) -> usize {
+        self.wait.len()
+    }
+
+    /// Largest packet occupancy any of this switch's ToMM queues reached.
+    #[must_use]
+    pub fn request_queue_high_water(&self) -> usize {
+        self.to_mm
+            .iter()
+            .map(super::queue::OutQueue::max_packets_used)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn packets_of(&self, msg: &Message) -> u8 {
+        msg.packets(self.data_packets, self.ctl_packets)
+    }
+
+    fn reply_packets(&self, reply: &Reply) -> u8 {
+        reply.packets(self.data_packets, self.ctl_packets)
+    }
+
+    /// Whether the switch can take `msg` right now (an upstream switch or
+    /// PNI calls this before transmitting). Combinable requests are always
+    /// acceptable: they consume no queue space.
+    #[must_use]
+    pub fn can_accept_request(&self, msg: &Message, topo: &Topology) -> bool {
+        let port = topo.forward_out_port(msg.addr.mm, self.stage);
+        match self.policy {
+            // Drops are decided (and reported) inside `accept_request`.
+            SwitchPolicy::DropOnConflict => true,
+            SwitchPolicy::QueuedNoCombine => self.to_mm[port].can_accept(self.packets_of(msg)),
+            SwitchPolicy::QueuedCombining => {
+                self.to_mm[port].can_accept(self.packets_of(msg))
+                    || (self.wait.len() < self.wait_capacity
+                        && self.to_mm[port].iter().any(|s| {
+                            !s.combined_here
+                                && s.item.addr == msg.addr
+                                && kinds_combinable(s.item.kind, msg.kind)
+                        }))
+            }
+        }
+    }
+
+    /// Routes an arriving request into the proper ToMM queue, combining if
+    /// possible. `head_arrival` is the cycle the head becomes available for
+    /// onward transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller did not verify [`Switch::can_accept_request`].
+    pub fn accept_request(
+        &mut self,
+        mut msg: Message,
+        in_port: usize,
+        head_arrival: Cycle,
+        topo: &Topology,
+        stats: &mut NetStats,
+    ) -> AcceptOutcome {
+        let (out_port, updated) = topo.step_amalgam(msg.amalgam, self.stage, in_port);
+        debug_assert_eq!(
+            out_port,
+            topo.forward_out_port(msg.addr.mm, self.stage),
+            "amalgam routing must agree with destination-digit routing"
+        );
+        msg.amalgam = updated;
+
+        if self.policy == SwitchPolicy::DropOnConflict {
+            if self.to_mm[out_port].is_empty() {
+                let packets = self.packets_of(&msg);
+                self.to_mm[out_port].push(msg, packets, head_arrival);
+                return AcceptOutcome::Queued;
+            }
+            stats.drops.incr();
+            // The retry re-enters the network from the PE: restore the
+            // amalgam to its injection-time state (the full destination).
+            msg.amalgam = msg.addr.mm.0;
+            return AcceptOutcome::Dropped(msg);
+        }
+
+        if self.policy == SwitchPolicy::QueuedCombining {
+            let queue = &mut self.to_mm[out_port];
+            let candidate = queue.iter().position(|s| {
+                !s.combined_here
+                    && s.item.addr == msg.addr
+                    && kinds_combinable(s.item.kind, msg.kind)
+            });
+            if let Some(i) = candidate {
+                if self.wait.len() < self.wait_capacity {
+                    let slot = queue.slot_mut(i);
+                    if let Some(entry) = try_combine(&mut slot.item, &msg) {
+                        slot.combined_here = true;
+                        let new_packets = slot.item.packets(self.data_packets, self.ctl_packets);
+                        queue.resize_slot(i, new_packets);
+                        let prior = self.wait.insert(entry.survivor, entry);
+                        debug_assert!(
+                            prior.is_none(),
+                            "pair-only combining: one wait entry per survivor per switch"
+                        );
+                        stats.combines.incr();
+                        stats.combines_by_stage[self.stage].incr();
+                        return AcceptOutcome::Combined;
+                    }
+                } else {
+                    stats.wait_buffer_declines.incr();
+                }
+            }
+        }
+
+        let packets = self.packets_of(&msg);
+        self.to_mm[out_port].push(msg, packets, head_arrival);
+        AcceptOutcome::Queued
+    }
+
+    /// Whether the switch can take `reply` right now, *including* space for
+    /// any decombined reply its arrival would spawn.
+    #[must_use]
+    pub fn can_accept_reply(&self, reply: &Reply, topo: &Topology) -> bool {
+        let port = topo.reverse_out_port(reply.dst, self.stage);
+        let len = self.reply_packets(reply);
+        match self.wait.get(&reply.id) {
+            None => self.to_pe[port].can_accept(len),
+            Some(entry) => {
+                let spawn_port = topo.reverse_out_port(entry.absorbed_pe, self.stage);
+                let spawn_len = match entry.absorbed_reply_kind {
+                    crate::message::ReplyKind::Value => self.data_packets,
+                    crate::message::ReplyKind::Ack => self.ctl_packets,
+                };
+                if spawn_port == port {
+                    self.to_pe[port].can_accept(len + spawn_len)
+                } else {
+                    self.to_pe[port].can_accept(len) && self.to_pe[spawn_port].can_accept(spawn_len)
+                }
+            }
+        }
+    }
+
+    /// Routes an arriving reply into the proper ToPE queue, consulting the
+    /// wait buffer and spawning the absorbed request's reply on a match
+    /// (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller did not verify [`Switch::can_accept_reply`].
+    pub fn accept_reply(
+        &mut self,
+        mut reply: Reply,
+        in_port: usize,
+        head_arrival: Cycle,
+        topo: &Topology,
+        stats: &mut NetStats,
+    ) {
+        let (out_port, updated) = topo.step_amalgam(reply.amalgam, self.stage, in_port);
+        debug_assert_eq!(
+            out_port,
+            topo.reverse_out_port(reply.dst, self.stage),
+            "reverse amalgam routing must agree with PE-digit routing"
+        );
+        reply.amalgam = updated;
+
+        if let Some(entry) = self.wait.remove(&reply.id) {
+            let spawn_amalgam =
+                topo.reverse_amalgam_at(entry.absorbed_pe, entry.addr.mm, self.stage);
+            let mut spawn = entry.make_reply(reply.value, spawn_amalgam);
+            spawn.mm_injected_at = reply.mm_injected_at;
+            let (spawn_port, spawn_updated) = topo.step_amalgam(spawn.amalgam, self.stage, in_port);
+            debug_assert_eq!(spawn_port, topo.reverse_out_port(spawn.dst, self.stage));
+            spawn.amalgam = spawn_updated;
+            let spawn_len = self.reply_packets(&spawn);
+            stats.decombines.incr();
+            let len = self.reply_packets(&reply);
+            self.to_pe[out_port].push(reply, len, head_arrival);
+            // The spawned reply streams out right behind the triggering one;
+            // model its head as available one packet later.
+            self.to_pe[spawn_port].push(spawn, spawn_len, head_arrival + 1);
+        } else {
+            let len = self.reply_packets(&reply);
+            self.to_pe[out_port].push(reply, len, head_arrival);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgKind, ReplyKind};
+    use ultra_sim::{MemAddr, MmId, PeId};
+
+    fn cfg() -> NetConfig {
+        NetConfig::small(8)
+    }
+
+    fn topo() -> Topology {
+        Topology::new(8, 2)
+    }
+
+    fn req(id: u64, pe: usize, mm: usize, kind: MsgKind, value: i64) -> Message {
+        Message::request(
+            MsgId(id),
+            kind,
+            MemAddr::new(MmId(mm), 0),
+            value,
+            PeId(pe),
+            0,
+        )
+    }
+
+    /// Sends `msg` into the stage-0 switch it would physically enter.
+    fn into_stage0(
+        sw: &mut Switch,
+        topo: &Topology,
+        msg: Message,
+        stats: &mut NetStats,
+    ) -> AcceptOutcome {
+        let (_, in_port) = topo.pe_entry(msg.src);
+        sw.accept_request(msg, in_port, 1, topo, stats)
+    }
+
+    #[test]
+    fn routes_by_destination_digit() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        // PEs 0 and 4 share stage-0 switch 0 (entry = shuffle).
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        // MM 3 = 0b011: stage 0 uses the msb (0); MM 7 = 0b111: msb 1.
+        into_stage0(&mut sw, &t, req(1, 0, 3, MsgKind::Load, 0), &mut stats);
+        into_stage0(&mut sw, &t, req(2, 0, 7, MsgKind::Load, 0), &mut stats);
+        assert_eq!(sw.to_mm_queue(0).len(), 1);
+        assert_eq!(sw.to_mm_queue(1).len(), 1);
+    }
+
+    #[test]
+    fn combines_two_fetch_adds() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let (sw0b, _) = t.pe_entry(PeId(4));
+        assert_eq!(sw0, sw0b, "PEs 0 and 4 share a stage-0 switch");
+        let mut sw = Switch::new(0, sw0, &c);
+        let a = req(1, 0, 3, MsgKind::fetch_add(), 5);
+        let b = req(2, 4, 3, MsgKind::fetch_add(), 9);
+        assert_eq!(
+            into_stage0(&mut sw, &t, a, &mut stats),
+            AcceptOutcome::Queued
+        );
+        assert_eq!(
+            into_stage0(&mut sw, &t, b, &mut stats),
+            AcceptOutcome::Combined
+        );
+        assert_eq!(sw.to_mm_queue(0).len(), 1, "one message on the wire");
+        assert_eq!(sw.wait_occupancy(), 1);
+        assert_eq!(stats.combines.get(), 1);
+        let slot = sw.to_mm_queue(0).front().unwrap();
+        assert_eq!(slot.item.value, 14, "operands summed");
+        assert!(slot.combined_here);
+    }
+
+    #[test]
+    fn pair_only_third_request_queues() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        for (id, pe) in [(1, 0), (2, 4)] {
+            into_stage0(
+                &mut sw,
+                &t,
+                req(id, pe, 3, MsgKind::fetch_add(), 1),
+                &mut stats,
+            );
+        }
+        // Third request to the same word: the existing slot already
+        // combined, so it must queue separately (§3.3 pair-only).
+        let outcome = into_stage0(
+            &mut sw,
+            &t,
+            req(3, 0, 3, MsgKind::fetch_add(), 1),
+            &mut stats,
+        );
+        assert_eq!(outcome, AcceptOutcome::Queued);
+        assert_eq!(sw.to_mm_queue(0).len(), 2);
+    }
+
+    #[test]
+    fn fourth_request_combines_with_third() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        for (id, pe) in [(1, 0), (2, 4), (3, 0), (4, 4)] {
+            into_stage0(
+                &mut sw,
+                &t,
+                req(id, pe, 3, MsgKind::fetch_add(), 1),
+                &mut stats,
+            );
+        }
+        assert_eq!(sw.to_mm_queue(0).len(), 2, "two combined pairs");
+        assert_eq!(stats.combines.get(), 2);
+        assert_eq!(sw.wait_occupancy(), 2);
+    }
+
+    #[test]
+    fn full_wait_buffer_declines_combining() {
+        let t = topo();
+        let mut c = cfg();
+        c.wait_entries = 0;
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        into_stage0(
+            &mut sw,
+            &t,
+            req(1, 0, 3, MsgKind::fetch_add(), 5),
+            &mut stats,
+        );
+        let outcome = into_stage0(
+            &mut sw,
+            &t,
+            req(2, 4, 3, MsgKind::fetch_add(), 9),
+            &mut stats,
+        );
+        assert_eq!(outcome, AcceptOutcome::Queued);
+        assert_eq!(stats.wait_buffer_declines.get(), 1);
+    }
+
+    #[test]
+    fn no_combine_policy_keeps_requests_separate() {
+        let t = topo();
+        let mut c = cfg();
+        c.policy = SwitchPolicy::QueuedNoCombine;
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        into_stage0(
+            &mut sw,
+            &t,
+            req(1, 0, 3, MsgKind::fetch_add(), 5),
+            &mut stats,
+        );
+        into_stage0(
+            &mut sw,
+            &t,
+            req(2, 4, 3, MsgKind::fetch_add(), 9),
+            &mut stats,
+        );
+        assert_eq!(sw.to_mm_queue(0).len(), 2);
+        assert_eq!(stats.combines.get(), 0);
+    }
+
+    #[test]
+    fn drop_policy_kills_conflicting_request() {
+        let t = topo();
+        let mut c = cfg();
+        c.policy = SwitchPolicy::DropOnConflict;
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        into_stage0(&mut sw, &t, req(1, 0, 3, MsgKind::Load, 0), &mut stats);
+        let outcome = into_stage0(&mut sw, &t, req(2, 4, 7, MsgKind::Load, 0), &mut stats);
+        // MM 7 routes to the other port: no conflict.
+        assert_eq!(outcome, AcceptOutcome::Queued);
+        let outcome = into_stage0(&mut sw, &t, req(3, 0, 3, MsgKind::Load, 0), &mut stats);
+        assert!(matches!(outcome, AcceptOutcome::Dropped(_)));
+        assert_eq!(stats.drops.get(), 1);
+    }
+
+    #[test]
+    fn reply_decombines_and_spawns_second_reply() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        let a = req(1, 0, 3, MsgKind::fetch_add(), 5);
+        let b = req(2, 4, 3, MsgKind::fetch_add(), 9);
+        into_stage0(&mut sw, &t, a.clone(), &mut stats);
+        into_stage0(&mut sw, &t, b, &mut stats);
+
+        // The combined message would continue to memory holding X = 100 and
+        // return a reply for survivor id 1. Route it back into this switch:
+        // on the reverse trip it enters on the port it departed from.
+        let survivor = sw.to_mm_queue_mut(0).pop_for_transmit(1).item;
+        assert_eq!(survivor.value, 14);
+        let mut reply = Reply::to_request(&survivor, 100);
+        // Entering stage 0 on the reverse trip: amalgam must be what a reply
+        // would carry at that point.
+        reply.amalgam = t.reverse_amalgam_at(reply.dst, reply.addr.mm, 0);
+        let in_port = t.forward_out_port(reply.addr.mm, 0);
+        assert!(sw.can_accept_reply(&reply, &t));
+        sw.accept_reply(reply, in_port, 2, &t, &mut stats);
+        assert_eq!(stats.decombines.get(), 1);
+        assert_eq!(sw.wait_occupancy(), 0);
+
+        // Collect both replies from the ToPE queues.
+        let mut got = Vec::new();
+        for port in 0..2 {
+            while !sw.to_pe_queue(port).is_empty() {
+                let now = sw.to_pe_queue(port).link_free_at().max(10);
+                got.push(sw.to_pe_queue_mut(port).pop_for_transmit(now).item);
+            }
+        }
+        got.sort_by_key(|r| r.id);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, MsgId(1));
+        assert_eq!(got[0].value, 100, "first F&A observes X");
+        assert_eq!(got[1].id, MsgId(2));
+        assert_eq!(got[1].value, 105, "second F&A observes X + 5");
+        assert_eq!(got[1].dst, PeId(4));
+        assert_eq!(got[1].kind, ReplyKind::Value);
+    }
+
+    #[test]
+    fn unmatched_reply_passes_straight_through() {
+        let t = topo();
+        let c = cfg();
+        let mut stats = NetStats::new(t.stages());
+        let mut sw = Switch::new(0, 0, &c);
+        let r = Reply {
+            id: MsgId(77),
+            dst: PeId(0),
+            addr: MemAddr::new(MmId(3), 0),
+            value: 1,
+            kind: ReplyKind::Value,
+            request_issued_at: 0,
+            mm_injected_at: 0,
+            amalgam: t.reverse_amalgam_at(PeId(0), MmId(3), 0),
+        };
+        let in_port = t.forward_out_port(MmId(3), 0);
+        sw.accept_reply(r, in_port, 1, &t, &mut stats);
+        let port = t.reverse_out_port(PeId(0), 0);
+        assert_eq!(sw.to_pe_queue(port).len(), 1);
+        assert_eq!(stats.decombines.get(), 0);
+    }
+
+    #[test]
+    fn can_accept_request_true_when_combinable_despite_full_queue() {
+        let t = topo();
+        let mut c = cfg();
+        c.request_queue_packets = 3;
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        into_stage0(
+            &mut sw,
+            &t,
+            req(1, 0, 3, MsgKind::fetch_add(), 5),
+            &mut stats,
+        );
+        // Queue now holds 3 packets = full, but a combinable twin must still
+        // be acceptable (it takes no space).
+        let twin = req(2, 4, 3, MsgKind::fetch_add(), 9);
+        assert!(sw.can_accept_request(&twin, &t));
+        // A request to a different word behind the same port is refused.
+        let mut other = req(3, 4, 3, MsgKind::fetch_add(), 9);
+        other.addr.offset = 99;
+        assert!(!sw.can_accept_request(&other, &t));
+    }
+}

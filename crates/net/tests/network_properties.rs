@@ -1,0 +1,245 @@
+//! Property tests of the combining network: for arbitrary request
+//! batches, the fabric must deliver every request, return every reply to
+//! its issuer, and — when requests share addresses — produce results
+//! consistent with *some* serialization (§2.1's principle, implemented by
+//! §3's combining hardware).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use ultra_net::config::{NetConfig, SwitchPolicy};
+use ultra_net::message::{Message, MsgId, MsgKind, PhiOp, Reply};
+use ultra_net::omega::OmegaNetwork;
+use ultra_sim::{MemAddr, MmId, PeId, Value};
+
+/// A little closed-world harness: drives requests through the network and
+/// a flat memory, returning (final_memory, replies_by_id).
+fn run_network(
+    cfg: NetConfig,
+    requests: Vec<(usize, MsgKind, MemAddr, Value)>,
+    mm_service: u64,
+) -> (HashMap<MemAddr, Value>, HashMap<u64, Value>) {
+    let mut net = OmegaNetwork::new(cfg);
+    let mut mem: HashMap<MemAddr, Value> = HashMap::new();
+    let mut replies: HashMap<u64, Value> = HashMap::new();
+    // One pending slot per PE.
+    let mut pending: Vec<std::collections::VecDeque<Message>> = (0..cfg.pes)
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
+    let mut next_id = 1u64;
+    for (pe, kind, addr, value) in requests {
+        let msg = Message::request(MsgId(next_id), kind, addr, value, PeId(pe), 0);
+        next_id += 1;
+        pending[pe].push_back(msg);
+    }
+    let total = next_id - 1;
+    // Simple MM model: serve arrivals after `mm_service` cycles, FIFO;
+    // a reply that cannot inject (busy reverse link) waits in an outbox.
+    let mut mm_busy: HashMap<usize, u64> = HashMap::new();
+    let mut mm_outbox: Vec<Option<Reply>> = vec![None; cfg.pes];
+    let mut mm_queue: Vec<std::collections::VecDeque<Message>> = (0..cfg.pes)
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
+    let mut done = 0u64;
+    let mut now = 0u64;
+    // Outstanding-location guard (the PNI rule the switches rely on).
+    let mut outstanding: Vec<std::collections::HashSet<MemAddr>> = (0..cfg.pes)
+        .map(|_| std::collections::HashSet::new())
+        .collect();
+
+    while done < total {
+        assert!(now < 1_000_000, "network property harness wedged");
+        // Inject.
+        for pe in 0..cfg.pes {
+            if let Some(msg) = pending[pe].front() {
+                if outstanding[pe].contains(&msg.addr) {
+                    // respect one-outstanding-per-location
+                } else {
+                    let msg = pending[pe].pop_front().expect("front");
+                    let addr = msg.addr;
+                    match net.try_inject_request(msg, now) {
+                        Ok(()) => {
+                            outstanding[pe].insert(addr);
+                        }
+                        Err(m) => pending[pe].push_front(m),
+                    }
+                }
+            }
+        }
+        // Serve MMs.
+        for mm in 0..cfg.pes {
+            if let Some(r) = mm_outbox[mm].take() {
+                if let Err(back) = net.try_inject_reply(r, now) {
+                    mm_outbox[mm] = Some(back);
+                }
+            }
+            if mm_outbox[mm].is_some() {
+                continue; // stalled on the reverse link
+            }
+            let free_at = mm_busy.entry(mm).or_insert(0);
+            if *free_at <= now {
+                if let Some(req) = mm_queue[mm].pop_front() {
+                    let slot = mem.entry(req.addr).or_insert(0);
+                    let reply_value = match req.kind {
+                        MsgKind::Load => *slot,
+                        MsgKind::Store => {
+                            *slot = req.value;
+                            0
+                        }
+                        MsgKind::FetchPhi(op) => {
+                            let old = *slot;
+                            *slot = op.apply(old, req.value);
+                            old
+                        }
+                    };
+                    let reply = Reply::to_request(&req, reply_value);
+                    if let Err(back) = net.try_inject_reply(reply, now) {
+                        mm_outbox[mm] = Some(back);
+                    }
+                    *free_at = now + mm_service;
+                }
+            }
+        }
+        let events = net.cycle(now);
+        for msg in events.requests_at_mm {
+            mm_queue[msg.addr.mm.0].push_back(msg);
+        }
+        for reply in events.replies_at_pe {
+            outstanding[reply.dst.0].remove(&reply.addr);
+            replies.insert(reply.id.0, reply.value);
+            done += 1;
+        }
+        assert!(events.dropped.is_empty(), "queued policies never drop");
+        now += 1;
+    }
+    (mem, replies)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Disjoint-address traffic: every store lands, every load of an
+    /// untouched word reads zero, every reply returns.
+    #[test]
+    fn disjoint_stores_all_land(
+        n_exp in 2u32..5, // 4..16 PEs
+        payload in prop::collection::vec((0usize..64, -100i64..100), 1..40),
+        combining in any::<bool>(),
+    ) {
+        let n = 1usize << n_exp;
+        let mut cfg = NetConfig::small(n);
+        cfg.policy = if combining {
+            SwitchPolicy::QueuedCombining
+        } else {
+            SwitchPolicy::QueuedNoCombine
+        };
+        // Give each (pe, i) a unique address so stores never collide.
+        let requests: Vec<_> = payload
+            .iter()
+            .enumerate()
+            .map(|(i, &(raw, v))| {
+                let pe = raw % n;
+                let addr = MemAddr::new(MmId(i % n), 1000 + i);
+                (pe, MsgKind::Store, addr, v)
+            })
+            .collect();
+        let (mem, replies) = run_network(cfg, requests.clone(), 2);
+        prop_assert_eq!(replies.len(), requests.len());
+        for (i, &(_, _, addr, v)) in requests.iter().enumerate() {
+            prop_assert_eq!(mem.get(&addr), Some(&v), "request {}", i);
+        }
+    }
+
+    /// Hot-word fetch-and-adds: final memory is the exact total and the
+    /// replies are the prefix sums of some serialization — with and
+    /// without combining.
+    #[test]
+    fn hot_fetch_adds_serialize(
+        n_exp in 2u32..5,
+        increments in prop::collection::vec(1i64..10, 1..32),
+        combining in any::<bool>(),
+    ) {
+        let n = 1usize << n_exp;
+        let mut cfg = NetConfig::small(n);
+        cfg.policy = if combining {
+            SwitchPolicy::QueuedCombining
+        } else {
+            SwitchPolicy::QueuedNoCombine
+        };
+        let hot = MemAddr::new(MmId(1), 7);
+        // At most one outstanding per (pe, location): spread over PEs,
+        // extra requests queue behind in `pending` and trickle in.
+        let requests: Vec<_> = increments
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i % n, MsgKind::FetchPhi(PhiOp::Add), hot, e))
+            .collect();
+        let (mem, replies) = run_network(cfg, requests, 2);
+        let total: i64 = increments.iter().sum();
+        prop_assert_eq!(mem.get(&hot).copied().unwrap_or(0), total);
+        // Reply multiset must be a prefix-sum chain of some permutation:
+        // sort ascending and rebuild.
+        let mut vals: Vec<Value> = replies.values().copied().collect();
+        vals.sort_unstable();
+        prop_assert_eq!(vals[0], 0, "someone observed the initial value");
+        // Each observed value must be a partial sum of the increments:
+        // check the chain property via the multiset identity.
+        let mut lhs: Vec<Value> = Vec::new();
+        // Pair each reply with its increment: ids were assigned in order.
+        let mut sorted_ids: Vec<u64> = replies.keys().copied().collect();
+        sorted_ids.sort_unstable();
+        for (id, &inc) in sorted_ids.iter().zip(increments.iter()) {
+            lhs.push(replies[id] + inc);
+        }
+        let mut rhs: Vec<Value> = replies.values().copied().collect();
+        let zero_pos = rhs.iter().position(|&v| v == 0).expect("initial observer");
+        rhs.remove(zero_pos);
+        rhs.push(total);
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        prop_assert_eq!(lhs, rhs, "replies are not a serialization chain");
+    }
+
+    /// Mixed loads and stores on one word: every load observes zero or
+    /// some store's value; the final value is one of the stores'.
+    #[test]
+    fn mixed_hot_loads_and_stores_are_coherent(
+        n_exp in 2u32..4,
+        ops in prop::collection::vec((any::<bool>(), 1i64..1000), 2..24),
+    ) {
+        let n = 1usize << n_exp;
+        let cfg = NetConfig::small(n);
+        let hot = MemAddr::new(MmId(0), 3);
+        let requests: Vec<_> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(is_load, v))| {
+                let kind = if is_load { MsgKind::Load } else { MsgKind::Store };
+                (i % n, kind, hot, v)
+            })
+            .collect();
+        let store_values: Vec<Value> = ops
+            .iter()
+            .filter(|(is_load, _)| !is_load)
+            .map(|&(_, v)| v)
+            .collect();
+        let (mem, replies) = run_network(cfg, requests.clone(), 2);
+        let final_v = mem.get(&hot).copied().unwrap_or(0);
+        if store_values.is_empty() {
+            prop_assert_eq!(final_v, 0);
+        } else {
+            prop_assert!(store_values.contains(&final_v), "final {final_v} never stored");
+        }
+        let mut sorted_ids: Vec<u64> = replies.keys().copied().collect();
+        sorted_ids.sort_unstable();
+        for (id, (is_load, _)) in sorted_ids.iter().zip(ops.iter()) {
+            if *is_load {
+                let seen = replies[id];
+                prop_assert!(
+                    seen == 0 || store_values.contains(&seen),
+                    "load observed {seen}, never stored"
+                );
+            }
+        }
+    }
+}

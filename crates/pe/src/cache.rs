@@ -1,0 +1,459 @@
+//! The PE-local cache (§3.2) with `release` and `flush` (§3.4).
+//!
+//! The paper chooses a conventional hardware-managed cache over a separately
+//! addressable local memory: "Experience with uniprocessor systems shows
+//! that a large cache can capture up to 95% of the references to cacheable
+//! variables." A **write-back** update policy is chosen "to reduce network
+//! traffic": dirty words are written to central memory only on eviction —
+//! or on an explicit `flush`.
+//!
+//! Beyond the invisible load/store behaviour, the paper's cache exposes two
+//! commands (§3.4):
+//!
+//! * **release** — "marks a cache entry as available without performing a
+//!   central memory update", freeing space for virtual addresses that will
+//!   no longer be referenced and avoiding write-back traffic;
+//! * **flush** — "enables the PE to force a write-back of cached values",
+//!   needed before task switches and before spawning subtasks that will
+//!   share formerly-private data.
+//!
+//! The model is a set-associative, true-LRU, word-granularity write-back
+//! cache addressed by virtual word address.
+
+use std::collections::HashMap;
+
+use ultra_sim::{Counter, Value};
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Words per line (power of two).
+    pub line_words: usize,
+}
+
+impl Default for CacheConfig {
+    /// 256 sets × 4 ways × 4-word lines = 4 Ki-words.
+    fn default() -> Self {
+        Self {
+            sets: 256,
+            ways: 4,
+            line_words: 4,
+        }
+    }
+}
+
+/// One cache line.
+#[derive(Debug, Clone)]
+struct Line {
+    /// Line-aligned base virtual address.
+    base: usize,
+    data: Vec<Value>,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+/// Result of a read probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The word was cached.
+    Hit(Value),
+    /// The line must be fetched from central memory; if a dirty line was
+    /// evicted to make room, it must be written back first.
+    Miss {
+        /// Line-aligned base address to fetch.
+        fetch_base: usize,
+        /// Evicted dirty line (base, words), if any.
+        writeback: Option<(usize, Vec<Value>)>,
+    },
+}
+
+/// Result of a write probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The word was cached and is now dirty.
+    Hit,
+    /// Write-allocate: fetch the line, then retry; same eviction contract
+    /// as [`ReadOutcome::Miss`].
+    Miss {
+        /// Line-aligned base address to fetch.
+        fetch_base: usize,
+        /// Evicted dirty line (base, words), if any.
+        writeback: Option<(usize, Vec<Value>)>,
+    },
+}
+
+/// Cache instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Read/write probes that hit.
+    pub hits: Counter,
+    /// Read/write probes that missed.
+    pub misses: Counter,
+    /// Dirty lines written back on eviction or flush.
+    pub writebacks: Counter,
+    /// Lines dropped by `release` (write-backs avoided for dirty ones).
+    pub released: Counter,
+}
+
+/// A write-back, set-associative PE cache with `release` and `flush`.
+///
+/// # Example
+///
+/// ```
+/// use ultra_pe::cache::{Cache, CacheConfig, ReadOutcome};
+///
+/// let mut cache = Cache::new(CacheConfig::default());
+/// match cache.read(100) {
+///     ReadOutcome::Miss { fetch_base, writeback } => {
+///         assert!(writeback.is_none());
+///         cache.fill(fetch_base, vec![7; 4]); // fetched from central memory
+///     }
+///     ReadOutcome::Hit(_) => unreachable!("cold cache"),
+/// }
+/// assert_eq!(cache.read(100), ReadOutcome::Hit(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` holds up to `ways` lines.
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sets and line words are powers of two and ways ≥ 1.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            cfg.line_words.is_power_of_two(),
+            "line words must be a power of two"
+        );
+        assert!(cfg.ways >= 1, "need at least one way");
+        Self {
+            sets: vec![Vec::new(); cfg.sets],
+            cfg,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn cfg(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn line_base(&self, addr: usize) -> usize {
+        addr & !(self.cfg.line_words - 1)
+    }
+
+    fn set_index(&self, base: usize) -> usize {
+        (base / self.cfg.line_words) & (self.cfg.sets - 1)
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Probes for a read of virtual word `addr`.
+    pub fn read(&mut self, addr: usize) -> ReadOutcome {
+        let base = self.line_base(addr);
+        let set = self.set_index(base);
+        let stamp = self.touch();
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.base == base) {
+            line.lru = stamp;
+            self.stats.hits.incr();
+            return ReadOutcome::Hit(line.data[addr - base]);
+        }
+        self.stats.misses.incr();
+        let writeback = self.make_room(set);
+        ReadOutcome::Miss {
+            fetch_base: base,
+            writeback,
+        }
+    }
+
+    /// Probes for a write of `value` to virtual word `addr` (write-back,
+    /// write-allocate).
+    pub fn write(&mut self, addr: usize, value: Value) -> WriteOutcome {
+        let base = self.line_base(addr);
+        let set = self.set_index(base);
+        let stamp = self.touch();
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.base == base) {
+            line.lru = stamp;
+            line.data[addr - base] = value;
+            line.dirty = true;
+            self.stats.hits.incr();
+            return WriteOutcome::Hit;
+        }
+        self.stats.misses.incr();
+        let writeback = self.make_room(set);
+        WriteOutcome::Miss {
+            fetch_base: base,
+            writeback,
+        }
+    }
+
+    /// Installs a line fetched from central memory. The caller then retries
+    /// the access that missed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line, if `base` is unaligned, or
+    /// if the set has no room (the miss that prompted this fill made room).
+    pub fn fill(&mut self, base: usize, data: Vec<Value>) {
+        assert_eq!(data.len(), self.cfg.line_words, "fill must be one line");
+        assert_eq!(base % self.cfg.line_words, 0, "unaligned fill");
+        let set = self.set_index(base);
+        assert!(
+            self.sets[set].len() < self.cfg.ways,
+            "no room: fill must follow a miss"
+        );
+        let stamp = self.touch();
+        self.sets[set].push(Line {
+            base,
+            data,
+            dirty: false,
+            lru: stamp,
+        });
+    }
+
+    /// Evicts the LRU line of `set` if it is full, returning its write-back
+    /// obligation.
+    fn make_room(&mut self, set: usize) -> Option<(usize, Vec<Value>)> {
+        if self.sets[set].len() < self.cfg.ways {
+            return None;
+        }
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("set is full");
+        let line = self.sets[set].swap_remove(victim);
+        if line.dirty {
+            self.stats.writebacks.incr();
+            Some((line.base, line.data))
+        } else {
+            None
+        }
+    }
+
+    /// §3.4 **release**: drops every cached line whose base lies in
+    /// `[from, to)` *without* write-back. Returns how many lines were
+    /// dropped.
+    pub fn release(&mut self, from: usize, to: usize) -> usize {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            set.retain(|l| {
+                let gone = l.base >= from && l.base < to;
+                dropped += usize::from(gone);
+                !gone
+            });
+        }
+        self.stats.released.add(dropped as u64);
+        dropped
+    }
+
+    /// §3.4 **flush**: writes back every dirty line whose base lies in
+    /// `[from, to)` (lines stay resident, now clean). Returns the
+    /// write-back list.
+    pub fn flush(&mut self, from: usize, to: usize) -> Vec<(usize, Vec<Value>)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.dirty && line.base >= from && line.base < to {
+                    line.dirty = false;
+                    out.push((line.base, line.data.clone()));
+                }
+            }
+        }
+        self.stats.writebacks.add(out.len() as u64);
+        out
+    }
+
+    /// Flushes the entire cache (§3.4: flush "can be performed … for the
+    /// entire cache", e.g. at a task switch).
+    pub fn flush_all(&mut self) -> Vec<(usize, Vec<Value>)> {
+        self.flush(0, usize::MAX)
+    }
+
+    /// Snapshot of resident lines as `addr -> value` (testing aid).
+    #[must_use]
+    pub fn resident_words(&self) -> HashMap<usize, Value> {
+        let mut out = HashMap::new();
+        for set in &self.sets {
+            for line in set {
+                for (i, &v) in line.data.iter().enumerate() {
+                    out.insert(line.base + i, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 2-word lines: easy to force evictions.
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_words: 2,
+        })
+    }
+
+    fn fill_for_read(c: &mut Cache, addr: usize, val: Value) {
+        match c.read(addr) {
+            ReadOutcome::Miss { fetch_base, .. } => {
+                c.fill(fetch_base, vec![val; 2]);
+            }
+            ReadOutcome::Hit(_) => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 4, 9);
+        assert_eq!(c.read(4), ReadOutcome::Hit(9));
+        assert_eq!(c.read(5), ReadOutcome::Hit(9), "same line");
+        assert_eq!(c.stats().hits.get(), 2);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn write_back_only_on_eviction() {
+        let mut c = tiny();
+        // Lines with base 0, 4, 8 all map to set 0 (line_words=2, sets=2:
+        // set = (base/2) & 1 -> 0, 0, 0 for bases 0, 4, 8).
+        fill_for_read(&mut c, 0, 1);
+        match c.write(0, 42) {
+            WriteOutcome::Hit => {}
+            WriteOutcome::Miss { .. } => panic!("resident line"),
+        }
+        fill_for_read(&mut c, 4, 2);
+        // Set 0 now full; next miss in set 0 must evict LRU (base 0, dirty).
+        match c.read(8) {
+            ReadOutcome::Miss { writeback, .. } => {
+                let (base, data) = writeback.expect("dirty LRU line written back");
+                assert_eq!(base, 0);
+                assert_eq!(data, vec![42, 1]);
+            }
+            ReadOutcome::Hit(_) => panic!("must miss"),
+        }
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 1);
+        fill_for_read(&mut c, 4, 2);
+        match c.read(8) {
+            ReadOutcome::Miss { writeback, .. } => assert!(writeback.is_none()),
+            ReadOutcome::Hit(_) => panic!(),
+        }
+    }
+
+    #[test]
+    fn lru_is_true_lru() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 1);
+        fill_for_read(&mut c, 4, 2);
+        // Touch base 0 so base 4 becomes LRU.
+        let _ = c.read(0);
+        match c.read(8) {
+            ReadOutcome::Miss { .. } => {
+                c.fill(8, vec![3; 2]);
+            }
+            ReadOutcome::Hit(_) => panic!(),
+        }
+        assert_eq!(
+            c.read(0),
+            ReadOutcome::Hit(1),
+            "recently used line survives"
+        );
+        assert!(matches!(c.read(4), ReadOutcome::Miss { .. }), "LRU evicted");
+    }
+
+    #[test]
+    fn release_discards_dirty_data_without_writeback() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 1);
+        let _ = c.write(0, 99);
+        let dropped = c.release(0, 2);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.stats().writebacks.get(), 0, "release avoids write-back");
+        assert!(matches!(c.read(0), ReadOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn flush_writes_back_and_keeps_lines_clean() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 1);
+        let _ = c.write(1, 7);
+        let wb = c.flush_all();
+        assert_eq!(wb, vec![(0, vec![1, 7])]);
+        // Still resident, now clean: evicting it later costs nothing.
+        assert_eq!(c.read(1), ReadOutcome::Hit(7));
+        assert!(c.flush_all().is_empty(), "already clean");
+    }
+
+    #[test]
+    fn flush_range_is_selective() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 1);
+        fill_for_read(&mut c, 2, 2);
+        let _ = c.write(0, 10);
+        let _ = c.write(2, 20);
+        let wb = c.flush(0, 2);
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].0, 0);
+    }
+
+    #[test]
+    fn write_allocate_on_miss() {
+        let mut c = tiny();
+        match c.write(6, 5) {
+            WriteOutcome::Miss { fetch_base, .. } => {
+                assert_eq!(fetch_base, 6);
+                c.fill(6, vec![0, 0]);
+            }
+            WriteOutcome::Hit => panic!("cold cache"),
+        }
+        assert_eq!(c.write(6, 5), WriteOutcome::Hit);
+        assert_eq!(c.read(6), ReadOutcome::Hit(5));
+    }
+
+    #[test]
+    fn resident_words_snapshot() {
+        let mut c = tiny();
+        fill_for_read(&mut c, 0, 3);
+        let words = c.resident_words();
+        assert_eq!(words.get(&0), Some(&3));
+        assert_eq!(words.get(&1), Some(&3));
+        assert_eq!(words.len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! The processor-network interface (§3.4).
+//!
+//! "The PNI performs four functions: virtual to physical address
+//! translation, assembly/disassembly of memory requests, enforcement of the
+//! network pipeline policy, and cache management." Assembly/disassembly is
+//! absorbed by the packet-length model in `ultra-net`; cache management
+//! lives in [`crate::cache`]; this module implements translation and the
+//! pipeline policy:
+//!
+//! * requests to **distinct** locations may be pipelined (issued before
+//!   earlier ones are acknowledged);
+//! * at most **one outstanding reference per memory location** — "the PNI
+//!   is to prohibit a PE from having more than one outstanding reference to
+//!   the same memory location" (§3.3), which is what lets wait-buffer keys
+//!   identify messages uniquely.
+
+use std::collections::HashMap;
+
+use ultra_mem::AddressHasher;
+use ultra_net::message::{Message, MsgId, MsgKind, Reply};
+use ultra_sim::{Counter, Cycle, MemAddr, PeId, Value};
+
+/// Why the PNI refused to issue a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PniError {
+    /// A request to the same physical location is already outstanding;
+    /// §3.3's uniqueness rule forbids a second.
+    LocationBusy,
+}
+
+impl std::fmt::Display for PniError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PniError::LocationBusy => {
+                write!(f, "a reference to this location is already outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PniError {}
+
+/// Per-PE network interface state.
+///
+/// # Example
+///
+/// ```
+/// use ultra_mem::{AddressHasher, TranslationMode};
+/// use ultra_net::message::MsgKind;
+/// use ultra_pe::pni::Pni;
+/// use ultra_sim::PeId;
+///
+/// let hasher = AddressHasher::new(8, TranslationMode::Hashed);
+/// let mut pni = Pni::new(PeId(2), hasher);
+/// let msg = pni.issue(MsgKind::Load, 100, 0, 0).expect("nothing outstanding");
+/// assert_eq!(pni.outstanding(), 1);
+/// // Re-referencing the same virtual word before the reply is forbidden:
+/// assert!(pni.issue(MsgKind::Load, 100, 0, 1).is_err());
+/// # let _ = msg;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pni {
+    pe: PeId,
+    hasher: AddressHasher,
+    /// Physical location → outstanding request id.
+    by_location: HashMap<MemAddr, MsgId>,
+    /// Outstanding id → physical location (for completion).
+    inflight: HashMap<MsgId, MemAddr>,
+    next_id: u64,
+    stats: PniStats,
+}
+
+/// PNI instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct PniStats {
+    /// Requests issued.
+    pub issued: Counter,
+    /// Replies matched to outstanding requests.
+    pub completed: Counter,
+    /// Issue attempts refused by the one-per-location rule.
+    pub location_conflicts: Counter,
+    /// Highest number of simultaneously outstanding requests.
+    pub max_outstanding: usize,
+}
+
+impl Pni {
+    /// Creates the interface for `pe`. Request ids are drawn from a
+    /// PE-disjoint space so that ids are unique machine-wide.
+    #[must_use]
+    pub fn new(pe: PeId, hasher: AddressHasher) -> Self {
+        Self {
+            pe,
+            hasher,
+            by_location: HashMap::new(),
+            inflight: HashMap::new(),
+            // Top 20 bits reserved for the PE number: unique across 2^20 PEs
+            // and 2^44 requests each.
+            next_id: ((pe.0 as u64) << 44) + 1,
+            stats: PniStats::default(),
+        }
+    }
+
+    /// The PE this interface serves.
+    #[must_use]
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PniStats {
+        &self.stats
+    }
+
+    /// Virtual→physical translation (§3.1.4 hashing included).
+    #[must_use]
+    pub fn translate(&self, vaddr: usize) -> MemAddr {
+        self.hasher.translate(vaddr)
+    }
+
+    /// Builds a network request for virtual word `vaddr`, enforcing the
+    /// pipeline policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PniError::LocationBusy`] if a reference to the same location is
+    /// already outstanding.
+    pub fn issue(
+        &mut self,
+        kind: MsgKind,
+        vaddr: usize,
+        value: Value,
+        now: Cycle,
+    ) -> Result<Message, PniError> {
+        let addr = self.translate(vaddr);
+        self.issue_physical(kind, addr, value, now)
+    }
+
+    /// Like [`Pni::issue`] but with a pre-translated physical address.
+    ///
+    /// # Errors
+    ///
+    /// [`PniError::LocationBusy`] if a reference to the same location is
+    /// already outstanding.
+    pub fn issue_physical(
+        &mut self,
+        kind: MsgKind,
+        addr: MemAddr,
+        value: Value,
+        now: Cycle,
+    ) -> Result<Message, PniError> {
+        if self.by_location.contains_key(&addr) {
+            self.stats.location_conflicts.incr();
+            return Err(PniError::LocationBusy);
+        }
+        let id = MsgId(self.next_id);
+        self.next_id += 1;
+        self.by_location.insert(addr, id);
+        self.inflight.insert(id, addr);
+        self.stats.issued.incr();
+        self.stats.max_outstanding = self.stats.max_outstanding.max(self.inflight.len());
+        Ok(Message::request(id, kind, addr, value, self.pe, now))
+    }
+
+    /// Records the arrival of `reply`, freeing its location for new
+    /// references. Returns `true` if the reply matched an outstanding
+    /// request of this PE.
+    pub fn complete(&mut self, reply: &Reply) -> bool {
+        match self.inflight.remove(&reply.id) {
+            Some(addr) => {
+                let removed = self.by_location.remove(&addr);
+                debug_assert_eq!(removed, Some(reply.id));
+                self.stats.completed.incr();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of requests awaiting replies.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether a reference to virtual word `vaddr` is outstanding.
+    #[must_use]
+    pub fn is_location_busy(&self, vaddr: usize) -> bool {
+        self.by_location.contains_key(&self.translate(vaddr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_mem::TranslationMode;
+    use ultra_net::message::ReplyKind;
+
+    fn pni() -> Pni {
+        Pni::new(PeId(3), AddressHasher::new(8, TranslationMode::Interleaved))
+    }
+
+    #[test]
+    fn issues_and_completes() {
+        let mut p = pni();
+        let m = p.issue(MsgKind::Load, 42, 0, 0).unwrap();
+        assert_eq!(m.src, PeId(3));
+        assert_eq!(m.addr, p.translate(42));
+        assert_eq!(p.outstanding(), 1);
+        let r = Reply::to_request(&m, 5);
+        assert!(p.complete(&r));
+        assert_eq!(p.outstanding(), 0);
+        assert!(!p.complete(&r), "double completion rejected");
+    }
+
+    #[test]
+    fn one_outstanding_per_location() {
+        let mut p = pni();
+        let m = p.issue(MsgKind::fetch_add(), 42, 1, 0).unwrap();
+        assert_eq!(
+            p.issue(MsgKind::fetch_add(), 42, 1, 1),
+            Err(PniError::LocationBusy)
+        );
+        assert!(p.is_location_busy(42));
+        assert_eq!(p.stats().location_conflicts.get(), 1);
+        // A different word in the same MM is fine (pipelining allowed).
+        let _ = p.issue(MsgKind::Load, 42 + 8, 0, 1).unwrap();
+        assert_eq!(p.outstanding(), 2);
+        // After completion the location frees up.
+        let r = Reply::to_request(&m, 0);
+        p.complete(&r);
+        assert!(p.issue(MsgKind::Load, 42, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn ids_unique_across_pes() {
+        let hasher = AddressHasher::new(8, TranslationMode::Interleaved);
+        let mut a = Pni::new(PeId(0), hasher);
+        let mut b = Pni::new(PeId(1), hasher);
+        let ma = a.issue(MsgKind::Load, 1, 0, 0).unwrap();
+        let mb = b.issue(MsgKind::Load, 1, 0, 0).unwrap();
+        assert_ne!(ma.id, mb.id);
+    }
+
+    #[test]
+    fn foreign_reply_is_ignored() {
+        let mut p = pni();
+        let foreign = Reply {
+            id: MsgId(999),
+            dst: PeId(3),
+            addr: MemAddr::new(ultra_sim::MmId(0), 0),
+            value: 0,
+            kind: ReplyKind::Ack,
+            request_issued_at: 0,
+            mm_injected_at: 0,
+            amalgam: 0,
+        };
+        assert!(!p.complete(&foreign));
+    }
+
+    #[test]
+    fn max_outstanding_tracked() {
+        let mut p = pni();
+        for i in 0..5 {
+            let _ = p.issue(MsgKind::Load, i, 0, 0).unwrap();
+        }
+        assert_eq!(p.stats().max_outstanding, 5);
+    }
+}

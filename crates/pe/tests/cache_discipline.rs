@@ -1,0 +1,228 @@
+//! The §3.4 software cache-coherence discipline, acted out.
+//!
+//! "Consider a variable V that is declared in task T and is shared with
+//! T's subtasks. Prior to spawning these subtasks, T may treat V as
+//! private (and thus eligible to be cached and pipelined) providing that
+//! V is flushed, released, and marked shared immediately before the
+//! subtasks are spawned. … Once the subtasks have completed T may again
+//! consider V as private and eligible for caching. Coherence is
+//! maintained since V is cached only during periods of exclusive use by
+//! one task."
+
+use std::collections::HashMap;
+use ultra_pe::cache::{Cache, CacheConfig, ReadOutcome, WriteOutcome};
+use ultra_sim::Value;
+
+/// A toy central memory plus helpers to move whole lines.
+struct CentralMemory {
+    words: HashMap<usize, Value>,
+    line_words: usize,
+    writebacks: usize,
+    fetches: usize,
+}
+
+impl CentralMemory {
+    fn new(line_words: usize) -> Self {
+        Self {
+            words: HashMap::new(),
+            line_words,
+            writebacks: 0,
+            fetches: 0,
+        }
+    }
+
+    fn fetch_line(&mut self, base: usize) -> Vec<Value> {
+        self.fetches += 1;
+        (0..self.line_words)
+            .map(|i| self.words.get(&(base + i)).copied().unwrap_or(0))
+            .collect()
+    }
+
+    fn write_line(&mut self, base: usize, data: &[Value]) {
+        self.writebacks += 1;
+        for (i, &v) in data.iter().enumerate() {
+            self.words.insert(base + i, v);
+        }
+    }
+
+    fn read_word(&self, addr: usize) -> Value {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn write_word(&mut self, addr: usize, v: Value) {
+        self.words.insert(addr, v);
+    }
+}
+
+fn cached_read(cache: &mut Cache, mem: &mut CentralMemory, addr: usize) -> Value {
+    loop {
+        match cache.read(addr) {
+            ReadOutcome::Hit(v) => return v,
+            ReadOutcome::Miss {
+                fetch_base,
+                writeback,
+            } => {
+                if let Some((base, data)) = writeback {
+                    mem.write_line(base, &data);
+                }
+                let line = mem.fetch_line(fetch_base);
+                cache.fill(fetch_base, line);
+            }
+        }
+    }
+}
+
+fn cached_write(cache: &mut Cache, mem: &mut CentralMemory, addr: usize, v: Value) {
+    loop {
+        match cache.write(addr, v) {
+            WriteOutcome::Hit => return,
+            WriteOutcome::Miss {
+                fetch_base,
+                writeback,
+            } => {
+                if let Some((base, data)) = writeback {
+                    mem.write_line(base, &data);
+                }
+                let line = mem.fetch_line(fetch_base);
+                cache.fill(fetch_base, line);
+            }
+        }
+    }
+}
+
+const V: usize = 40; // the shared variable's address (line-aligned region)
+
+#[test]
+fn flush_release_spawn_protocol_maintains_coherence() {
+    let cfg = CacheConfig {
+        sets: 8,
+        ways: 2,
+        line_words: 4,
+    };
+    let mut mem = CentralMemory::new(4);
+    let mut t_cache = Cache::new(cfg);
+
+    // Task T treats V as private: cached, written back lazily.
+    cached_write(&mut t_cache, &mut mem, V, 7);
+    cached_write(&mut t_cache, &mut mem, V, 8);
+    assert_eq!(
+        mem.read_word(V),
+        0,
+        "write-back: central memory still stale"
+    );
+
+    // Spawn protocol: flush, release, mark shared.
+    for (base, data) in t_cache.flush(V, V + 4) {
+        mem.write_line(base, &data);
+    }
+    t_cache.release(V, V + 4);
+    assert_eq!(mem.read_word(V), 8, "flush published T's value");
+
+    // Subtasks reference V uncached (shared read-write).
+    assert_eq!(mem.read_word(V), 8, "subtask sees the flushed value");
+    mem.write_word(V, 100); // subtask updates V through the network
+
+    // Subtasks complete; T treats V as private again. Because V was
+    // released, the next access refetches — no stale line.
+    let seen = cached_read(&mut t_cache, &mut mem, V);
+    assert_eq!(seen, 100, "T observes the subtask's update");
+}
+
+#[test]
+fn skipping_the_flush_loses_the_update() {
+    // Negative control: without the flush the subtask reads stale data —
+    // exactly the hazard §3.4's protocol exists to prevent.
+    let cfg = CacheConfig {
+        sets: 8,
+        ways: 2,
+        line_words: 4,
+    };
+    let mut mem = CentralMemory::new(4);
+    let mut t_cache = Cache::new(cfg);
+    cached_write(&mut t_cache, &mut mem, V, 7);
+    // (no flush)
+    assert_eq!(
+        mem.read_word(V),
+        0,
+        "subtask would read 0 instead of 7: incoherent"
+    );
+}
+
+#[test]
+fn skipping_the_release_reads_stale_data() {
+    // Negative control: flushed but not released — T's next read hits the
+    // (clean) cached line and misses the subtask's update.
+    let cfg = CacheConfig {
+        sets: 8,
+        ways: 2,
+        line_words: 4,
+    };
+    let mut mem = CentralMemory::new(4);
+    let mut t_cache = Cache::new(cfg);
+    cached_write(&mut t_cache, &mut mem, V, 7);
+    for (base, data) in t_cache.flush(V, V + 4) {
+        mem.write_line(base, &data);
+    }
+    // (no release)
+    mem.write_word(V, 100); // subtask update
+    let seen = cached_read(&mut t_cache, &mut mem, V);
+    assert_eq!(seen, 7, "stale hit: this is why release is mandatory");
+}
+
+#[test]
+fn release_saves_writeback_traffic() {
+    // §3.4: "the release operation reduces network traffic by lowering
+    // the quantity of data written back to central memory during a task
+    // switch." Scope-exit locals are released, not flushed.
+    let cfg = CacheConfig {
+        sets: 4,
+        ways: 1,
+        line_words: 4,
+    };
+    let scratch_base = 80;
+    // Without release: dirty scratch lines get written back on eviction.
+    let mut mem_a = CentralMemory::new(4);
+    let mut cache_a = Cache::new(cfg);
+    for i in 0..4 {
+        cached_write(&mut cache_a, &mut mem_a, scratch_base + i, 1);
+    }
+    // Evict by touching the conflicting set (same set index, different tag).
+    let conflicting = scratch_base + 4 * 4;
+    let _ = cached_read(&mut cache_a, &mut mem_a, conflicting);
+    assert_eq!(mem_a.writebacks, 1, "dirty eviction wrote back");
+
+    // With release at block exit: no write-back at all.
+    let mut mem_b = CentralMemory::new(4);
+    let mut cache_b = Cache::new(cfg);
+    for i in 0..4 {
+        cached_write(&mut cache_b, &mut mem_b, scratch_base + i, 1);
+    }
+    cache_b.release(scratch_base, scratch_base + 4);
+    let _ = cached_read(&mut cache_b, &mut mem_b, conflicting);
+    assert_eq!(mem_b.writebacks, 0, "released lines vanish silently");
+}
+
+#[test]
+fn cache_captures_most_private_references() {
+    // §3.2: "a large cache can capture up to 95% of the references to
+    // cacheable variables." A looping working set smaller than the cache
+    // must hit on all but cold misses.
+    let cfg = CacheConfig::default(); // 4 Ki-words
+    let mut mem = CentralMemory::new(cfg.line_words);
+    let mut cache = Cache::new(cfg);
+    let working_set = 512;
+    for round in 0..20 {
+        for addr in 0..working_set {
+            let v = cached_read(&mut cache, &mut mem, addr);
+            if round == 0 {
+                assert_eq!(v, 0);
+            }
+        }
+    }
+    let s = cache.stats();
+    let hit_rate = s.hits.get() as f64 / (s.hits.get() + s.misses.get()) as f64;
+    assert!(
+        hit_rate > 0.95,
+        "hit rate {hit_rate:.3} must exceed the paper's 95% figure"
+    );
+}

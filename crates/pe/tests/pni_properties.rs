@@ -1,0 +1,113 @@
+//! Property tests of the PNI pipeline policy (§3.4): arbitrary
+//! issue/complete sequences must preserve the one-outstanding-per-location
+//! invariant, id uniqueness, and exact outstanding accounting.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use ultra_mem::{AddressHasher, TranslationMode};
+use ultra_net::message::{Message, MsgKind, Reply};
+use ultra_pe::pni::{Pni, PniError};
+use ultra_sim::PeId;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Issue a load to this small virtual address.
+    Issue(usize),
+    /// Complete the i-th (mod len) outstanding request.
+    Complete(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..24).prop_map(Action::Issue),
+        (0usize..8).prop_map(Action::Complete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pni_invariants_hold(
+        actions in prop::collection::vec(action_strategy(), 1..200),
+        mode_hashed in any::<bool>(),
+    ) {
+        let mode = if mode_hashed {
+            TranslationMode::Hashed
+        } else {
+            TranslationMode::Interleaved
+        };
+        let hasher = AddressHasher::new(8, mode);
+        let mut pni = Pni::new(PeId(5), hasher);
+        let mut in_flight: Vec<Message> = Vec::new();
+        let mut seen_ids = HashSet::new();
+        let mut busy_locations: HashMap<usize, ()> = HashMap::new();
+
+        for (t, action) in actions.iter().enumerate() {
+            match action {
+                Action::Issue(vaddr) => {
+                    let result = pni.issue(MsgKind::Load, *vaddr, 0, t as u64);
+                    if busy_locations.contains_key(vaddr) {
+                        prop_assert_eq!(
+                            result.clone().err(),
+                            Some(PniError::LocationBusy),
+                            "issue to busy location must be refused"
+                        );
+                    } else {
+                        let msg = result.expect("free location must issue");
+                        prop_assert!(seen_ids.insert(msg.id), "duplicate id");
+                        prop_assert_eq!(msg.addr, pni.translate(*vaddr));
+                        prop_assert_eq!(msg.src, PeId(5));
+                        busy_locations.insert(*vaddr, ());
+                        in_flight.push(msg);
+                    }
+                }
+                Action::Complete(idx) => {
+                    if in_flight.is_empty() {
+                        continue;
+                    }
+                    let msg = in_flight.remove(idx % in_flight.len());
+                    let reply = Reply::to_request(&msg, 42);
+                    prop_assert!(pni.complete(&reply), "known reply must match");
+                    prop_assert!(!pni.complete(&reply), "double complete rejected");
+                    // Find which vaddr this was: reverse via translation.
+                    let vaddr = (0usize..24)
+                        .find(|v| pni.translate(*v) == msg.addr)
+                        .expect("small address space");
+                    busy_locations.remove(&vaddr);
+                }
+            }
+            prop_assert_eq!(pni.outstanding(), in_flight.len());
+            for v in 0usize..24 {
+                prop_assert_eq!(
+                    pni.is_location_busy(v),
+                    busy_locations.contains_key(&v),
+                    "location {} busy-tracking diverged",
+                    v
+                );
+            }
+        }
+        // Drain everything; the PNI must end clean.
+        for msg in in_flight.drain(..) {
+            let reply = Reply::to_request(&msg, 0);
+            prop_assert!(pni.complete(&reply));
+        }
+        prop_assert_eq!(pni.outstanding(), 0);
+    }
+
+    /// Translation is injective across the whole tested address range for
+    /// both modes (no two virtual words alias one physical word).
+    #[test]
+    fn translation_injective(mode_hashed in any::<bool>(), span in 1usize..5000) {
+        let mode = if mode_hashed {
+            TranslationMode::Hashed
+        } else {
+            TranslationMode::Interleaved
+        };
+        let hasher = AddressHasher::new(16, mode);
+        let mut seen = HashSet::new();
+        for v in 0..span {
+            prop_assert!(seen.insert(hasher.translate(v)), "collision at {}", v);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The global cycle clock for the cycle-driven machine simulation.
+//!
+//! The Ultracomputer network is pipelined at the granularity of the *switch
+//! cycle* (paper §3.1.2, §4); the whole machine model in this repository
+//! advances in units of that cycle. The paper's other time units are derived
+//! from it: in the §4.2 simulations the PE instruction time and the MM access
+//! time both equal **two** network cycles.
+
+/// A point in simulated time, measured in network (switch) cycles.
+pub type Cycle = u64;
+
+/// A monotonically advancing cycle counter.
+///
+/// # Example
+///
+/// ```
+/// use ultra_sim::clock::Clock;
+///
+/// let mut clock = Clock::new();
+/// assert_eq!(clock.now(), 0);
+/// clock.tick();
+/// clock.advance(9);
+/// assert_eq!(clock.now(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the clock by one cycle and returns the new time.
+    pub fn tick(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances the clock by `cycles`.
+    pub fn advance(&mut self, cycles: Cycle) {
+        self.now += cycles;
+    }
+}
+
+/// Conversion constants between the paper's time units (§4.2).
+///
+/// The §4.2 network simulations assume the PE instruction time and the MM
+/// access time each equal two network cycles, which makes the minimum
+/// central-memory access time (MM access + two minimum network transits)
+/// equal to eight PE instruction times for the 6-stage 4×4 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeScale {
+    /// Network cycles per PE instruction.
+    pub cycles_per_instruction: Cycle,
+    /// Network cycles per MM access.
+    pub cycles_per_mm_access: Cycle,
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        Self {
+            cycles_per_instruction: 2,
+            cycles_per_mm_access: 2,
+        }
+    }
+}
+
+impl TimeScale {
+    /// Converts a duration in network cycles to PE instruction times.
+    #[must_use]
+    pub fn cycles_to_instructions(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.cycles_per_instruction as f64
+    }
+
+    /// Converts a duration in PE instruction times to network cycles.
+    #[must_use]
+    pub fn instructions_to_cycles(&self, instructions: Cycle) -> Cycle {
+        instructions * self.cycles_per_instruction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_ticks() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+    }
+
+    #[test]
+    fn advance_adds() {
+        let mut c = Clock::new();
+        c.advance(100);
+        c.tick();
+        assert_eq!(c.now(), 101);
+    }
+
+    #[test]
+    fn default_timescale_matches_paper() {
+        let ts = TimeScale::default();
+        assert_eq!(ts.cycles_per_instruction, 2);
+        assert_eq!(ts.cycles_per_mm_access, 2);
+        // 16 network cycles == 8 PE instruction times (paper §4.2).
+        assert!((ts.cycles_to_instructions(16) - 8.0).abs() < f64::EPSILON);
+        assert_eq!(ts.instructions_to_cycles(8), 16);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulation substrate for the NYU Ultracomputer reproduction.
+//!
+//! This crate holds everything the higher-level machine models share but that
+//! is not specific to any one hardware component:
+//!
+//! * [`rng`] — a small, fully deterministic pseudo-random number generator
+//!   ([`rng::SplitMix64`] and [`rng::Xoshiro256StarStar`]) so that every
+//!   experiment in the repository is reproducible from a single seed,
+//!   independent of external crate versions.
+//! * [`clock`] — the global cycle clock ([`clock::Clock`]) used by the
+//!   cycle-driven machine simulation.
+//! * [`stats`] — counters, running means/variances and power-of-two
+//!   histograms used to report latency and occupancy distributions.
+//! * [`ids`] — strongly typed identifiers for processing elements and memory
+//!   modules, memory addresses, and base-`k` digit manipulation helpers used
+//!   by the Omega-network routing logic.
+//!
+//! # Example
+//!
+//! ```
+//! use ultra_sim::rng::{Rng, SplitMix64};
+//! use ultra_sim::stats::Histogram;
+//!
+//! let mut rng = SplitMix64::new(42);
+//! let mut hist = Histogram::new();
+//! for _ in 0..1000 {
+//!     hist.record(rng.range_u64(1..100));
+//! }
+//! assert_eq!(hist.count(), 1000);
+//! assert!(hist.mean() > 0.0);
+//! ```
+
+pub mod clock;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, Cycle};
+pub use ids::{digits, MemAddr, MmId, PeId, Value};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use stats::{Counter, Histogram, RunningStats};

@@ -1,0 +1,388 @@
+//! Counters and summary statistics used throughout the simulator.
+//!
+//! Every reported quantity in `EXPERIMENTS.md` (average memory access time,
+//! idle-cycle percentages, latency distributions, queue occupancy) is
+//! accumulated with the types here.
+
+use core::fmt;
+
+/// A simple event counter.
+///
+/// # Example
+///
+/// ```
+/// use ultra_sim::stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Returns the current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use ultra_sim::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the observations (0 if fewer than two).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An exact histogram over `u64` observations with linear bins below a
+/// threshold and power-of-two bins above, plus exact count/mean.
+///
+/// Designed for latency distributions: the interesting region (a few dozen
+/// cycles) is exact, and heavy tails are still captured.
+///
+/// # Example
+///
+/// ```
+/// use ultra_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(4);
+/// h.record(4);
+/// h.record(100);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.percentile(50.0), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Exact bins for values `0..LINEAR_BINS`.
+    linear: Vec<u64>,
+    /// Power-of-two bins for larger values: bin `i` holds
+    /// `[LINEAR_BINS << i, LINEAR_BINS << (i+1))`.
+    log: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+const LINEAR_BINS: u64 = 256;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+        if v < LINEAR_BINS {
+            if self.linear.len() <= v as usize {
+                self.linear.resize(v as usize + 1, 0);
+            }
+            self.linear[v as usize] += 1;
+        } else {
+            let bin = (64 - (v / LINEAR_BINS).leading_zeros() - 1) as usize;
+            if self.log.len() <= bin {
+                self.log.resize(bin + 1, 0);
+            }
+            self.log[bin] += 1;
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the observations (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at or below which `p` percent of observations fall.
+    ///
+    /// Exact below 256; the lower edge of the matching power-of-two bin
+    /// above. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 100.0`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (v, &c) in self.linear.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        for (bin, &c) in self.log.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return LINEAR_BINS << bin;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.linear.len() < other.linear.len() {
+            self.linear.resize(other.linear.len(), 0);
+        }
+        for (a, b) in self.linear.iter_mut().zip(&other.linear) {
+            *a += b;
+        }
+        if self.log.len() < other.log.len() {
+            self.log.resize(other.log.len(), 0);
+        }
+        for (a, b) in self.log.iter_mut().zip(&other.log) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn running_stats_mean_variance() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn running_stats_empty_is_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_exact_small_values() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(50.0), 2);
+        assert_eq!(h.percentile(100.0), 3);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn histogram_large_values_go_to_log_bins() {
+        let mut h = Histogram::new();
+        h.record(300);
+        h.record(5000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 5000);
+        // p50 falls in the first log bin, whose lower edge is 256.
+        assert_eq!(h.percentile(50.0), 256);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+}

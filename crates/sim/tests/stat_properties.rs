@@ -1,0 +1,122 @@
+//! Property tests for the statistics substrate: the streaming
+//! accumulators must agree with naive reference computations on arbitrary
+//! inputs, and the RNG must be a well-behaved uniform source.
+
+use proptest::prelude::*;
+use ultra_sim::rng::{Rng, SplitMix64, Xoshiro256StarStar};
+use ultra_sim::stats::{Histogram, RunningStats};
+
+proptest! {
+    #[test]
+    fn running_stats_matches_reference(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    #[test]
+    fn running_stats_merge_any_split(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cut = ((xs.len() as f64) * cut_frac) as usize;
+        let mut whole = RunningStats::new();
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < cut {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn histogram_mean_count_max_are_exact(values in prop::collection::vec(0u64..100_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-9 * (1.0 + mean));
+    }
+
+    #[test]
+    fn histogram_percentile_exact_below_256(values in prop::collection::vec(0u64..256, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &p in &[0.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            prop_assert_eq!(h.percentile(p), sorted[rank], "p = {}", p);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn rng_below_is_roughly_uniform(seed in any::<u64>(), bound in 2usize..32) {
+        let mut rng = SplitMix64::new(seed);
+        let draws = 8_000;
+        let mut counts = vec![0u32; bound];
+        for _ in 0..draws {
+            counts[rng.below(bound)] += 1;
+        }
+        let expect = draws as f64 / bound as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (f64::from(c) - expect).abs() < 6.0 * expect.sqrt() + 10.0,
+                "bucket {} count {} far from {}",
+                i, c, expect
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_distinct(seed in any::<u64>()) {
+        let mut a1 = SplitMix64::new(seed);
+        let mut a2 = SplitMix64::new(seed);
+        let mut b = Xoshiro256StarStar::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+        // The two generator families must not mirror each other.
+        let mut a3 = SplitMix64::new(seed);
+        let same = (0..64).filter(|_| a3.next_u64() == b.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}

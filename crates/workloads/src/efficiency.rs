@@ -1,0 +1,254 @@
+//! §5's efficiency methodology: measure, fit, project (Tables 2 and 3).
+//!
+//! "An analysis of the parallel variant of this program shows that the
+//! time required to reduce an N by N matrix using P processors is well
+//! approximated by `T(P,N) = aN + dN³/P + W(P,N)` … We determined the
+//! constants experimentally by simulating TRED2 for several (P,N) pairs
+//! and measuring both the total time T and the waiting time W."
+//!
+//! [`measure_tred2`] runs the TRED2 generator on the ideal-backend
+//! machine (the paper's WASHCLOTH setting) and extracts `T` and `W`;
+//! [`EfficiencyModel::fit`] recovers `a` and `b` by least squares and
+//! models `W` with the paper's observation that it is
+//! "of order max(N, P^.5)"; efficiencies are then
+//! `E(P,N) = T(1,N) / (P·T(P,N))` — with waiting (Table 2) or with the
+//! waiting recovered, `W := 0` (Table 3: "If we make the optimistic
+//! assumption that all the waiting time can be recovered").
+
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::report::MachineReport;
+
+use crate::tred2::Tred2;
+
+/// One simulated (P, N) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// PE count.
+    pub p: usize,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Total run time in PE instruction times.
+    pub t: f64,
+    /// Average per-PE waiting (barrier) time in PE instruction times.
+    pub w: f64,
+}
+
+/// Runs TRED2 on `p` ideal-backend PEs for an `n×n` matrix and measures
+/// `T` and `W`.
+///
+/// # Panics
+///
+/// Panics if the machine fails to drain (a generator bug).
+#[must_use]
+pub fn measure_tred2(p: usize, n: usize, seed: u64) -> Measurement {
+    let mut machine = MachineBuilder::new(p)
+        .ideal(2)
+        .seed(seed)
+        .build_spmd(&Tred2::new(n).program());
+    let outcome = machine.run();
+    assert!(outcome.completed, "TRED2 must complete (p={p}, n={n})");
+    let report = MachineReport::from_machine(&machine);
+    let w_cycles = machine.merged_pe_stats().barrier_wait_cycles.get() as f64 / p as f64;
+    Measurement {
+        p,
+        n,
+        t: report.instruction_times(),
+        w: report.time.cycles_to_instructions(1) * w_cycles,
+    }
+}
+
+/// The fitted `T(P,N) = aN + bN³/P + W(P,N)` model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyModel {
+    /// Serial per-step overhead coefficient.
+    pub a: f64,
+    /// Divisible-work coefficient.
+    pub b: f64,
+    /// Waiting-time coefficient on `N`.
+    pub w_n: f64,
+    /// Waiting-time coefficient on `√P`.
+    pub w_sqrt_p: f64,
+}
+
+/// Solves the 2×2 least-squares problem `y ≈ c₁·x₁ + c₂·x₂`.
+fn lsq2(rows: &[(f64, f64, f64)]) -> (f64, f64) {
+    let (mut s11, mut s12, mut s22, mut sy1, mut sy2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x1, x2, y) in rows {
+        s11 += x1 * x1;
+        s12 += x1 * x2;
+        s22 += x2 * x2;
+        sy1 += x1 * y;
+        sy2 += x2 * y;
+    }
+    let det = s11 * s22 - s12 * s12;
+    assert!(det.abs() > 1e-9, "degenerate design matrix");
+    ((s22 * sy1 - s12 * sy2) / det, (s11 * sy2 - s12 * sy1) / det)
+}
+
+impl EfficiencyModel {
+    /// Fits the model to measurements (the paper's "determined the
+    /// constants experimentally").
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two measurements or a degenerate design.
+    #[must_use]
+    pub fn fit(measurements: &[Measurement]) -> Self {
+        assert!(measurements.len() >= 2, "need at least two (P,N) points");
+        let work_rows: Vec<(f64, f64, f64)> = measurements
+            .iter()
+            .map(|m| {
+                let n = m.n as f64;
+                (n, n * n * n / m.p as f64, m.t - m.w)
+            })
+            .collect();
+        let (a, b) = lsq2(&work_rows);
+        let wait_rows: Vec<(f64, f64, f64)> = measurements
+            .iter()
+            .map(|m| (m.n as f64, (m.p as f64).sqrt(), m.w))
+            .collect();
+        let (w_n, w_sqrt_p) = lsq2(&wait_rows);
+        Self {
+            a,
+            b,
+            w_n: w_n.max(0.0),
+            w_sqrt_p: w_sqrt_p.max(0.0),
+        }
+    }
+
+    /// Modelled waiting time `W(P,N)` — "of order max(N, P^.5)".
+    #[must_use]
+    pub fn waiting(&self, p: usize, n: usize) -> f64 {
+        if p == 1 {
+            0.0
+        } else {
+            self.w_n * n as f64 + self.w_sqrt_p * (p as f64).sqrt()
+        }
+    }
+
+    /// Modelled `T(P,N)` including waiting.
+    #[must_use]
+    pub fn t(&self, p: usize, n: usize) -> f64 {
+        let nf = n as f64;
+        self.a * nf + self.b * nf * nf * nf / p as f64 + self.waiting(p, n)
+    }
+
+    /// Serial time `T(1,N)`.
+    #[must_use]
+    pub fn t1(&self, n: usize) -> f64 {
+        self.t(1, n)
+    }
+
+    /// Table 2's efficiency: `E(P,N) = T(1,N) / (P·T(P,N))`.
+    #[must_use]
+    pub fn efficiency(&self, p: usize, n: usize) -> f64 {
+        self.t1(n) / (p as f64 * self.t(p, n))
+    }
+
+    /// Table 3's efficiency: waiting time assumed recovered (`W := 0`).
+    #[must_use]
+    pub fn efficiency_no_wait(&self, p: usize, n: usize) -> f64 {
+        let nf = n as f64;
+        let t = self.a * nf + self.b * nf * nf * nf / p as f64;
+        self.t1(n) / (p as f64 * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsq2_recovers_exact_coefficients() {
+        let rows: Vec<(f64, f64, f64)> = (1..10)
+            .map(|i| {
+                let x1 = i as f64;
+                let x2 = (i * i) as f64;
+                (x1, x2, 3.0 * x1 + 0.5 * x2)
+            })
+            .collect();
+        let (c1, c2) = lsq2(&rows);
+        assert!((c1 - 3.0).abs() < 1e-9);
+        assert!((c2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_model() {
+        let truth = EfficiencyModel {
+            a: 120.0,
+            b: 35.0,
+            w_n: 2.0,
+            w_sqrt_p: 10.0,
+        };
+        let ms: Vec<Measurement> = [(4usize, 16usize), (4, 32), (16, 16), (16, 32), (16, 64)]
+            .iter()
+            .map(|&(p, n)| Measurement {
+                p,
+                n,
+                t: truth.t(p, n),
+                w: truth.waiting(p, n),
+            })
+            .collect();
+        let fit = EfficiencyModel::fit(&ms);
+        assert!((fit.a - truth.a).abs() / truth.a < 1e-6);
+        assert!((fit.b - truth.b).abs() / truth.b < 1e-6);
+        assert!((fit.w_n - truth.w_n).abs() < 1e-6);
+        assert!((fit.w_sqrt_p - truth.w_sqrt_p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_tred2_has_speedup_structure() {
+        // T decreases with P for fixed N; W is positive for P > 1.
+        let m4 = measure_tred2(4, 20, 1);
+        let m16 = measure_tred2(16, 20, 1);
+        assert!(m16.t < m4.t, "T(16,20)={} !< T(4,20)={}", m16.t, m4.t);
+        assert!(m16.w > 0.0);
+    }
+
+    #[test]
+    fn efficiency_table_shape_matches_paper() {
+        // Fit from small measured pairs, then check the monotonic shape of
+        // Table 2/3: efficiency falls with P at fixed N and rises with N
+        // at fixed P.
+        let ms: Vec<Measurement> = [
+            (4usize, 12usize),
+            (4, 24),
+            (8, 12),
+            (8, 24),
+            (16, 24),
+            (16, 36),
+        ]
+        .iter()
+        .map(|&(p, n)| measure_tred2(p, n, 7))
+        .collect();
+        let model = EfficiencyModel::fit(&ms);
+        assert!(model.a > 0.0, "a = {}", model.a);
+        assert!(model.b > 0.0, "b = {}", model.b);
+        for &n in &[16usize, 64, 256] {
+            for &(p_lo, p_hi) in &[(16usize, 64usize), (64, 256)] {
+                assert!(
+                    model.efficiency(p_lo, n) > model.efficiency(p_hi, n),
+                    "E must fall with P at N={n}"
+                );
+            }
+        }
+        for &p in &[16usize, 64] {
+            assert!(
+                model.efficiency(p, 64) > model.efficiency(p, 16),
+                "E must rise with N at P={p}"
+            );
+        }
+        // Table 3 dominates Table 2 pointwise.
+        for &n in &[16usize, 64] {
+            for &p in &[16usize, 64, 256] {
+                assert!(model.efficiency_no_wait(p, n) >= model.efficiency(p, n));
+            }
+        }
+        // Diagonal structure: big machines need big problems — on the
+        // (P = N²/16) diagonal efficiency is roughly constant (Table 2's
+        // visible diagonal bands).
+        let e1 = model.efficiency(16, 16);
+        let e2 = model.efficiency(64, 32);
+        assert!((e1 - e2).abs() < 0.25, "diagonal bands: {e1} vs {e2}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Incompressible fluid flow within an elastic boundary (§5).
+//!
+//! The paper lists this among the applications already studied on the
+//! paracomputer simulator ("incompressible fluid flow within an elastic
+//! boundary" — the immersed-boundary class of problems). Structurally it
+//! alternates two very different phases per timestep, which is exactly
+//! what makes it a good MIMD stress case (§2.5's argument against SIMD):
+//!
+//! * a **regular** fluid phase: pressure relaxation over a `G×G` grid,
+//!   rows self-scheduled (like [`crate::weather`]);
+//! * an **irregular** boundary phase: `M` elastic boundary points, each
+//!   interpolating from grid cells near its (moving, data-dependent)
+//!   position — modelled as hash-scattered loads — and accumulating
+//!   forces into shared cells with combinable fetch-and-adds.
+//!
+//! One barrier separates the phases and one ends the step.
+
+use ultracomputer::program::{body, Expr, Op, Program};
+
+/// Base address of the fluid grid.
+pub const GRID_BASE: usize = 1 << 25;
+/// Base address of the boundary-point force accumulators.
+pub const FORCE_BASE: usize = 1 << 27;
+/// Base of the per-(step, phase) scheduling counters.
+pub const COUNTER_BASE: usize = (1 << 29) + (1 << 20);
+
+/// Fluid-with-elastic-boundary workload generator.
+///
+/// # Example
+///
+/// ```
+/// use ultra_workloads::Fluid;
+/// use ultracomputer::machine::MachineBuilder;
+///
+/// let mut m = MachineBuilder::new(4)
+///     .ideal(2)
+///     .build_spmd(&Fluid::new(16, 24, 2).program());
+/// assert!(m.run().completed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fluid {
+    /// Grid edge length `G`.
+    pub grid: usize,
+    /// Number of elastic boundary points `M`.
+    pub boundary_points: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Columns per grid work group.
+    pub group: usize,
+    /// Pure-compute instructions per grid group.
+    pub grid_compute: u32,
+    /// Compute per boundary point (spreading/interpolation arithmetic).
+    pub boundary_compute: u32,
+    /// Cache-satisfied references per group/point.
+    pub private_refs: u32,
+}
+
+impl Fluid {
+    /// Defaults with a reference mix in Table 1's neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the grid is at least 4×4 with at least one boundary
+    /// point and one step.
+    #[must_use]
+    pub fn new(grid: usize, boundary_points: usize, steps: usize) -> Self {
+        assert!(grid >= 4, "grid must be at least 4x4");
+        assert!(boundary_points >= 1, "need boundary points");
+        assert!(steps >= 1, "need at least one timestep");
+        Self {
+            grid,
+            boundary_points,
+            steps,
+            group: 8,
+            grid_compute: 30,
+            boundary_compute: 26,
+            private_refs: 6,
+        }
+    }
+
+    /// Builds the per-PE program (parameters: 0 = G, 1 = M, 2 = steps).
+    #[must_use]
+    pub fn program(&self) -> Program {
+        let g = Expr::Param(0);
+        let m = Expr::Param(1);
+        let grp = self.group as i64;
+        // r7 = timestep, r4 = claimed row/point, r3 = column group,
+        // r2/r1 = loads.
+
+        // Fluid phase: relax one grid row per claim, walking columns in
+        // groups (prefetch the row cell, compute, store back).
+        let grid_group = body(vec![
+            Op::Load {
+                addr: Expr::add(
+                    GRID_BASE as i64,
+                    Expr::add(
+                        Expr::mul(Expr::Reg(4), g.clone()),
+                        Expr::mul(Expr::Reg(3), grp),
+                    ),
+                ),
+                dst: 2,
+            },
+            Op::Compute(self.grid_compute),
+            Op::PrivateRef(self.private_refs),
+            Op::Store {
+                addr: Expr::add(
+                    GRID_BASE as i64,
+                    Expr::add(
+                        Expr::mul(Expr::Reg(4), g.clone()),
+                        Expr::mul(Expr::Reg(3), grp),
+                    ),
+                ),
+                value: Expr::add(Expr::Reg(2), 1),
+            },
+        ]);
+        let grid_row = body(vec![Op::For {
+            reg: 3,
+            from: Expr::Const(0),
+            to: Expr::div(Expr::add(g.clone(), grp - 1), grp),
+            body: grid_group,
+        }]);
+
+        // Boundary phase: one elastic point per claim. Its grid position
+        // is data-dependent — modelled as a hash of (point, step) — and it
+        // both reads the nearby fluid cell and adds its force into a
+        // shared accumulator (combinable under contention).
+        let boundary_point = body(vec![
+            Op::Load {
+                addr: Expr::add(
+                    GRID_BASE as i64,
+                    Expr::rem(
+                        Expr::hash(Expr::Reg(4), Expr::mul(Expr::Reg(7), 97)),
+                        Expr::mul(g.clone(), g.clone()),
+                    ),
+                ),
+                dst: 2,
+            },
+            Op::Compute(self.boundary_compute),
+            Op::PrivateRef(self.private_refs),
+            Op::FetchAdd {
+                addr: Expr::add(FORCE_BASE as i64, Expr::rem(Expr::Reg(4), 16)),
+                delta: Expr::add(Expr::Reg(2), 1),
+                dst: None,
+            },
+        ]);
+
+        let step_body = body(vec![
+            Op::Compute(10), // timestep setup
+            Op::SelfSched {
+                reg: 4,
+                counter: Expr::add(COUNTER_BASE as i64, Expr::mul(Expr::Reg(7), 2)),
+                limit: g.clone(),
+                body: grid_row,
+            },
+            Op::Barrier,
+            Op::SelfSched {
+                reg: 4,
+                counter: Expr::add(
+                    COUNTER_BASE as i64,
+                    Expr::add(Expr::mul(Expr::Reg(7), 2), 1),
+                ),
+                limit: m,
+                body: boundary_point,
+            },
+            Op::Barrier,
+        ]);
+
+        Program::new(
+            body(vec![
+                Op::For {
+                    reg: 7,
+                    from: Expr::Const(0),
+                    to: Expr::Param(2),
+                    body: step_body,
+                },
+                Op::Halt,
+            ]),
+            vec![
+                self.grid as i64,
+                self.boundary_points as i64,
+                self.steps as i64,
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultracomputer::machine::MachineBuilder;
+    use ultracomputer::report::MachineReport;
+
+    #[test]
+    fn runs_on_both_backends() {
+        let prog = Fluid::new(12, 20, 2).program();
+        for build in [
+            MachineBuilder::new(4).ideal(2),
+            MachineBuilder::new(4).network(1),
+        ] {
+            let mut m = build.build_spmd(&prog);
+            assert!(m.run().completed);
+        }
+    }
+
+    #[test]
+    fn both_phases_fully_claimed_each_step() {
+        let (grid, points, steps, pes) = (16, 30, 3, 4);
+        let mut m = MachineBuilder::new(pes)
+            .ideal(2)
+            .build_spmd(&Fluid::new(grid, points, steps).program());
+        assert!(m.run().completed);
+        for step in 0..steps {
+            let fluid_claims = m.read_shared(COUNTER_BASE + step * 2) as usize;
+            let boundary_claims = m.read_shared(COUNTER_BASE + step * 2 + 1) as usize;
+            assert_eq!(fluid_claims, grid + pes, "fluid phase, step {step}");
+            assert_eq!(boundary_claims, points + pes, "boundary phase, step {step}");
+        }
+    }
+
+    #[test]
+    fn forces_accumulate_into_shared_cells() {
+        let (grid, points, steps) = (8, 24, 2);
+        let mut m = MachineBuilder::new(4)
+            .ideal(2)
+            .build_spmd(&Fluid::new(grid, points, steps).program());
+        assert!(m.run().completed);
+        let total_force: i64 = (0..16).map(|i| m.read_shared(FORCE_BASE + i)).sum();
+        // Every boundary point contributes (cell value + 1) once per step;
+        // grid values evolve, but the count of contributions is exact:
+        // each adds at least 1.
+        assert!(
+            total_force >= (points * steps) as i64,
+            "force {total_force} < contribution floor"
+        );
+    }
+
+    #[test]
+    fn reference_mix_is_sane() {
+        let mut m = MachineBuilder::new(8)
+            .ideal(2)
+            .build_spmd(&Fluid::new(16, 32, 2).program());
+        assert!(m.run().completed);
+        let r = MachineReport::from_machine(&m);
+        let shared = r.shared_refs_per_instr();
+        assert!((0.02..=0.15).contains(&shared), "shared/instr = {shared}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Scientific workload generators for the Ultracomputer (paper §4.2, §5).
+//!
+//! The paper's Table 1 monitors four parallel programs; its Tables 2–3
+//! measure and project the efficiency of one of them (TRED2). This crate
+//! rebuilds those programs as synthetic-but-structurally-faithful
+//! generators over the `ultracomputer::program` DSL:
+//!
+//! * [`tred2::Tred2`] — §5's parallel Householder reduction of a symmetric
+//!   matrix to tridiagonal form: `N−2` sequential steps, each with a
+//!   vector phase and an `O(j²)` update phase split among PEs by
+//!   fetch-and-add self-scheduling, with a barrier per phase.
+//! * [`weather::Weather`] — Table 1 rows 1–2: a two-dimensional PDE
+//!   relaxation (the "NASA weather program"), self-scheduled by grid row,
+//!   one barrier per sweep.
+//! * [`multigrid::Multigrid`] — Table 1 row 4: a multigrid Poisson
+//!   V-cycle, the level ladder unrolled, each level self-scheduled.
+//! * [`particle::Particle`] — the particle-tracking Monte-Carlo style
+//!   workload of §2.5/Kalos: scattered field lookups (hash-mixed
+//!   addresses) and fetch-and-add tallies.
+//! * [`fluid::Fluid`] — §5's "incompressible fluid flow within an elastic
+//!   boundary": a regular grid phase alternating with an irregular
+//!   boundary-point phase each timestep.
+//!
+//! Reference mixes (memory references and shared references per
+//! instruction) are tunable and default to values that land in Table 1's
+//! reported ranges; the fidelity claim is the *structure* — how work is
+//! claimed, how often the network is touched, where the barriers are —
+//! not the floating-point contents, which do not affect timing on this
+//! machine model.
+//!
+//! [`efficiency`] implements §5's methodology end to end: measure
+//! `T(P,N)` and `W(P,N)` for small pairs, fit `T = aN + bN³/P + W`,
+//! and project the full Table 2/Table 3 grids.
+
+pub mod efficiency;
+pub mod fluid;
+pub mod multigrid;
+pub mod particle;
+pub mod speedup;
+pub mod tred2;
+pub mod weather;
+
+pub use efficiency::{EfficiencyModel, Measurement};
+pub use fluid::Fluid;
+pub use multigrid::Multigrid;
+pub use particle::Particle;
+pub use tred2::Tred2;
+pub use weather::Weather;

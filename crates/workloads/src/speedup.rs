@@ -1,0 +1,108 @@
+//! Speedup curves for any workload — §5's stated goal: "to measure the
+//! obtained parallelism … and to predict the efficiency that future large
+//! scale parallel systems can attain."
+//!
+//! [`speedup_curve`] runs one program on the ideal (paracomputer) backend
+//! at a ladder of PE counts and reports speedup and efficiency relative
+//! to the single-PE run — the WASHCLOTH methodology, reusable for every
+//! generator in this crate.
+
+use ultra_sim::Cycle;
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::program::Program;
+
+/// One (P, time) sample of a speedup study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// PE count.
+    pub pes: usize,
+    /// Run time in cycles.
+    pub cycles: Cycle,
+    /// `T(1) / T(P)`.
+    pub speedup: f64,
+    /// `speedup / P`.
+    pub efficiency: f64,
+}
+
+/// Runs `program` at each PE count in `ladder` (must start at 1) on the
+/// ideal backend and returns the curve.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or does not start at 1, or if any run
+/// fails to complete.
+#[must_use]
+pub fn speedup_curve(program: &Program, ladder: &[usize], seed: u64) -> Vec<SpeedupPoint> {
+    assert!(
+        ladder.first() == Some(&1),
+        "ladder must start at P = 1 for the baseline"
+    );
+    let mut baseline = 0.0;
+    ladder
+        .iter()
+        .map(|&p| {
+            let mut machine = MachineBuilder::new(p)
+                .ideal(2)
+                .seed(seed)
+                .build_spmd(program);
+            let out = machine.run();
+            assert!(out.completed, "P = {p} did not drain");
+            if p == 1 {
+                baseline = out.cycles as f64;
+            }
+            let speedup = baseline / out.cycles as f64;
+            SpeedupPoint {
+                pes: p,
+                cycles: out.cycles,
+                speedup,
+                efficiency: speedup / p as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Multigrid, Tred2, Weather};
+
+    #[test]
+    fn tred2_speedup_is_monotone_and_sublinear() {
+        let curve = speedup_curve(&Tred2::new(20).program(), &[1, 2, 4, 8], 3);
+        assert_eq!(curve.len(), 4);
+        assert!((curve[0].speedup - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].speedup > w[0].speedup, "speedup must grow: {curve:?}");
+            assert!(
+                w[1].efficiency <= w[0].efficiency + 1e-9,
+                "efficiency must not grow with P: {curve:?}"
+            );
+        }
+        assert!(curve[3].speedup <= 8.0 + 1e-9, "no superlinear speedup");
+    }
+
+    #[test]
+    fn weather_parallelizes_well_at_small_p() {
+        let curve = speedup_curve(&Weather::new(32, 2).program(), &[1, 4], 3);
+        assert!(
+            curve[1].efficiency > 0.5,
+            "4-PE weather efficiency {:.2} too low",
+            curve[1].efficiency
+        );
+    }
+
+    #[test]
+    fn multigrid_coarse_levels_cap_speedup() {
+        // The coarse rungs (4 rows) bound parallelism: at P = 8 efficiency
+        // must be visibly below 1.
+        let curve = speedup_curve(&Multigrid::new(16, 1).program(), &[1, 8], 3);
+        assert!(curve[1].efficiency < 0.95, "{curve:?}");
+        assert!(curve[1].speedup > 1.5, "{curve:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at P = 1")]
+    fn ladder_without_baseline_rejected() {
+        let _ = speedup_curve(&Tred2::new(12).program(), &[2, 4], 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Parallel TRED2: Householder reduction to tridiagonal form (§5).
+//!
+//! "A parallelized variant of the program TRED2 (taken from Argonne's
+//! EISPACK), which uses Householder's method to reduce a real symmetric
+//! matrix to tridiagonal form." Its parallel structure (Korn's analysis,
+//! which the paper quotes) is:
+//!
+//! `T(P,N) = aN + bN³/P + W(P,N)`
+//!
+//! — a *serial per-step overhead* every PE executes (loop initializations,
+//! `aN` over the `N−2` steps), *divisible work* (the rank-2 submatrix
+//! update, `Σ j² ≈ N³/3`), and *waiting time* at the per-phase barriers.
+//!
+//! The generator reproduces that shape exactly: per step `s` over the
+//! shrinking submatrix of size `m = N−1−s`, a self-scheduled vector phase
+//! over `⌈m/group⌉` work groups, a barrier, a self-scheduled update phase
+//! over `m` rows whose inner loops walk the row in groups, and a second
+//! barrier. Work-group instruction mixes default to Table 1's TRED2 row
+//! (≈0.25 memory references and ≈0.05 shared references per instruction).
+
+use ultracomputer::program::{body, Expr, Op, Program};
+
+/// Base address of the (synthetic) matrix.
+pub const MATRIX_BASE: usize = 1 << 20;
+/// Base address of the Householder scratch vector.
+pub const VECTOR_BASE: usize = 1 << 24;
+/// Base address of the per-step self-scheduling counters.
+pub const COUNTER_BASE: usize = 1 << 28;
+
+/// TRED2 workload generator.
+///
+/// # Example
+///
+/// ```
+/// use ultra_workloads::Tred2;
+/// use ultracomputer::machine::MachineBuilder;
+///
+/// let mut machine = MachineBuilder::new(4)
+///     .ideal(2)
+///     .build_spmd(&Tred2::new(12).program());
+/// assert!(machine.run().completed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tred2 {
+    /// Matrix dimension `N`.
+    pub n: usize,
+    /// Elements handled per claimed work group.
+    pub group: usize,
+    /// Per-step serial overhead instructions (the `aN` term's `a`).
+    pub overhead_instr: u32,
+    /// Pure-compute instructions per work group.
+    pub group_compute: u32,
+    /// Cache-satisfied references per work group.
+    pub group_private: u32,
+}
+
+impl Tred2 {
+    /// Defaults tuned to Table 1's TRED2 reference mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (no reduction steps would remain).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "TRED2 needs at least a 3x3 matrix");
+        Self {
+            n,
+            group: 6,
+            overhead_instr: 12,
+            group_compute: 34,
+            group_private: 9,
+        }
+    }
+
+    /// Builds the per-PE program (parameters: 0 = N, 1 = group size).
+    #[must_use]
+    pub fn program(&self) -> Program {
+        let n = Expr::Param(0);
+        let g = self.group as i64;
+        // r7 = step, r6 = m (submatrix size), r5 = group count,
+        // r4 = claimed index, r3 = inner index, r2/r1 = load targets.
+        let step = Expr::Reg(7);
+        let m = Expr::Reg(6);
+
+        // Phase 1: build the Householder vector — ⌈m/group⌉ groups, each
+        // loading a representative column element and storing a partial.
+        let phase1_body = body(vec![
+            // Prefetch the column element, overlap with the group compute.
+            Op::Load {
+                addr: Expr::add(MATRIX_BASE as i64, Expr::mul(Expr::Reg(4), g)),
+                dst: 2,
+            },
+            Op::Compute(self.group_compute),
+            Op::PrivateRef(self.group_private),
+            Op::Store {
+                addr: Expr::add(VECTOR_BASE as i64, Expr::Reg(4)),
+                value: Expr::add(Expr::Reg(2), 1),
+            },
+        ]);
+
+        // Phase 2: the rank-2 update — the m×m submatrix flattened into
+        // element groups so every claim is the same small quantum
+        // (fine-grain self-scheduling keeps the pre-barrier straggler
+        // time down to one group regardless of m).
+        let phase2_group = body(vec![
+            Op::Load {
+                addr: Expr::add(MATRIX_BASE as i64, Expr::mul(Expr::Reg(4), g)),
+                dst: 2,
+            },
+            Op::Compute(self.group_compute),
+            Op::PrivateRef(self.group_private),
+            Op::Store {
+                addr: Expr::add(MATRIX_BASE as i64, Expr::mul(Expr::Reg(4), g)),
+                value: Expr::add(Expr::Reg(2), 1),
+            },
+        ]);
+
+        let step_body = body(vec![
+            // Serial per-step overhead executed by every PE — the aN term.
+            Op::Compute(self.overhead_instr),
+            // m = N - 1 - step.
+            Op::Set {
+                reg: 6,
+                value: Expr::sub(Expr::sub(n.clone(), 1), step.clone()),
+            },
+            // Phase 1 group count = ceil(m / group).
+            Op::Set {
+                reg: 5,
+                value: Expr::div(Expr::add(m.clone(), g - 1), g),
+            },
+            Op::SelfSched {
+                reg: 4,
+                counter: Expr::add(COUNTER_BASE as i64, Expr::mul(step.clone(), 2)),
+                limit: Expr::Reg(5),
+                body: phase1_body,
+            },
+            // PEs flow straight from the vector phase into the update
+            // phase (separate claim counters keep them disjoint); one
+            // barrier per step separates Householder steps.
+            Op::SelfSched {
+                reg: 4,
+                counter: Expr::add(
+                    COUNTER_BASE as i64,
+                    Expr::add(Expr::mul(step.clone(), 2), 1),
+                ),
+                limit: Expr::div(Expr::add(Expr::mul(m.clone(), m), g - 1), g),
+                body: phase2_group,
+            },
+            Op::Barrier,
+        ]);
+
+        Program::new(
+            body(vec![
+                Op::For {
+                    reg: 7,
+                    from: Expr::Const(0),
+                    to: Expr::sub(n, 2),
+                    body: step_body,
+                },
+                Op::Halt,
+            ]),
+            vec![self.n as i64, g],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultracomputer::machine::MachineBuilder;
+    use ultracomputer::report::MachineReport;
+
+    #[test]
+    fn runs_to_completion_on_both_backends() {
+        let prog = Tred2::new(10).program();
+        for build in [
+            MachineBuilder::new(4).ideal(2),
+            MachineBuilder::new(4).network(1),
+        ] {
+            let mut m = build.build_spmd(&prog);
+            assert!(m.run().completed, "TRED2 must drain");
+        }
+    }
+
+    #[test]
+    fn work_claimed_exactly_once_per_step() {
+        let n = 10;
+        let mut m = MachineBuilder::new(4)
+            .ideal(2)
+            .build_spmd(&Tred2::new(n).program());
+        assert!(m.run().completed);
+        // Each phase counter must have been claimed limit + P times
+        // (every claim over the limit is one per PE when the loop exits).
+        let p = 4;
+        for step in 0..(n - 2) {
+            let msize = n - 1 - step;
+            let c1 = m.read_shared(COUNTER_BASE + step * 2) as usize;
+            let c2 = m.read_shared(COUNTER_BASE + step * 2 + 1) as usize;
+            assert_eq!(c1, msize.div_ceil(6) + p, "phase 1 counter, step {step}");
+            assert_eq!(
+                c2,
+                (msize * msize).div_ceil(6) + p,
+                "phase 2 counter, step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_mix_lands_near_table1() {
+        let mut m = MachineBuilder::new(16)
+            .ideal(2)
+            .build_spmd(&Tred2::new(24).program());
+        assert!(m.run().completed);
+        let r = MachineReport::from_machine(&m);
+        let mem = r.mem_refs_per_instr();
+        let shared = r.shared_refs_per_instr();
+        // Table 1, TRED2 row: 0.25 and 0.05.
+        assert!((0.15..=0.35).contains(&mem), "mem/instr = {mem}");
+        assert!((0.02..=0.10).contains(&shared), "shared/instr = {shared}");
+    }
+
+    #[test]
+    fn more_pes_finish_faster() {
+        let prog = Tred2::new(20).program();
+        let t4 = {
+            let mut m = MachineBuilder::new(4).ideal(2).build_spmd(&prog);
+            assert!(m.run().completed);
+            m.now()
+        };
+        let t16 = {
+            let mut m = MachineBuilder::new(16).ideal(2).build_spmd(&prog);
+            assert!(m.run().completed);
+            m.now()
+        };
+        assert!(
+            t16 < t4,
+            "16 PEs ({t16} cycles) must beat 4 PEs ({t4} cycles)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 3x3")]
+    fn tiny_matrix_rejected() {
+        let _ = Tred2::new(2);
+    }
+}

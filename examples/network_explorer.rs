@@ -1,0 +1,61 @@
+//! Explore network configurations with the §4.1 analytic model — the
+//! trade study behind Figure 7 and the duplexed-4×4 recommendation.
+//!
+//! ```text
+//! cargo run --release -p ultracomputer --example network_explorer
+//! ```
+
+use ultra_analysis::packaging::PackagingModel;
+use ultra_analysis::queueing::NetworkModel;
+
+fn main() {
+    let n = 4096;
+    println!("configuration study for a {n}-PE machine (B = k/m = 1)\n");
+    println!(
+        "{:>4} {:>4} {:>7} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "k", "d", "stages", "capacity", "cost C", "T(p=0)", "T(p=0.10)", "T(p=0.20)"
+    );
+    for k in [2usize, 4, 8] {
+        for d in [1usize, 2, 3, 6] {
+            let m = NetworkModel::with_unit_bandwidth(n, k, d);
+            let fmt = |p: f64| match m.transit_time(p) {
+                Some(t) => format!("{t:.2}"),
+                None => "saturated".to_string(),
+            };
+            println!(
+                "{:>4} {:>4} {:>7} {:>9.3} {:>9.3} {:>10.2} {:>12} {:>12}",
+                k,
+                d,
+                m.stages(),
+                m.capacity(),
+                m.cost_factor(),
+                m.min_transit(),
+                fmt(0.10),
+                fmt(0.20)
+            );
+        }
+    }
+
+    println!("\nequal-cost comparison the paper highlights (C = 0.25):");
+    let a = NetworkModel::with_unit_bandwidth(n, 4, 2);
+    let b = NetworkModel::with_unit_bandwidth(n, 8, 6);
+    for p in [0.05, 0.15, 0.25, 0.35, 0.45] {
+        let ta = a
+            .transit_time(p)
+            .map_or("saturated".into(), |t| format!("{t:.2}"));
+        let tb = b
+            .transit_time(p)
+            .map_or("saturated".into(), |t| format!("{t:.2}"));
+        println!("  p = {p:.2}:  4x4 duplexed {ta:>10}   8x8 six-fold {tb:>10}");
+    }
+
+    println!("\nand what the winner costs to build (§3.6):");
+    let r = PackagingModel::paper_4096().report();
+    println!(
+        "  {} chips total ({:.1}% network), {} PE boards + {} MM boards",
+        r.total_chips,
+        100.0 * r.network_fraction,
+        r.boards_per_side,
+        r.boards_per_side
+    );
+}

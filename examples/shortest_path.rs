@@ -1,0 +1,139 @@
+//! The appendix's motivating application, run for real: parallel
+//! shortest paths over a shared work queue.
+//!
+//! Deo, Pang & Lord ("Two Parallel Algorithms for Shortest Path
+//! Problems") predicted: "regardless of the number of processors used …
+//! algorithm PPDM has a constant upper bound on its speedup, because
+//! every processor demands private use of the Q." The appendix refutes
+//! this with the critical-section-free fetch-and-add queue. Here workers
+//! run a label-correcting single-source shortest-path over a random graph
+//! with the frontier in an [`ultra_algorithms::UltraQueue`]; distances
+//! relax via atomic `fetch_min`-style updates. The result is checked
+//! against sequential Dijkstra.
+//!
+//! ```text
+//! cargo run --release -p ultracomputer --example shortest_path
+//! ```
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use ultra_algorithms::UltraQueue;
+use ultra_sim::{Rng, SplitMix64};
+
+const INF: i64 = i64::MAX / 4;
+
+struct Graph {
+    /// adjacency: node -> (neighbour, weight)
+    edges: Vec<Vec<(usize, i64)>>,
+}
+
+fn random_graph(nodes: usize, degree: usize, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = vec![Vec::new(); nodes];
+    // A ring for connectivity plus random chords.
+    for (u, adj) in edges.iter_mut().enumerate() {
+        adj.push(((u + 1) % nodes, 1 + rng.below(20) as i64));
+        for _ in 0..degree {
+            let v = rng.below(nodes);
+            if v != u {
+                adj.push((v, 1 + rng.below(100) as i64));
+            }
+        }
+    }
+    Graph { edges }
+}
+
+fn dijkstra(g: &Graph, src: usize) -> Vec<i64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![INF; g.edges.len()];
+    dist[src] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0i64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &g.edges[u] {
+            if d + w < dist[v] {
+                dist[v] = d + w;
+                heap.push(Reverse((d + w, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Label-correcting SSSP: workers pull nodes from the shared queue, relax
+/// their edges, and enqueue improved neighbours. No critical section
+/// anywhere: the queue is fetch-and-add coordinated, distances are atomic
+/// min-updates, and termination uses a shared in-flight counter.
+fn parallel_sssp(g: &Graph, src: usize, workers: usize) -> (Vec<i64>, usize) {
+    let dist: Vec<AtomicI64> = (0..g.edges.len()).map(|_| AtomicI64::new(INF)).collect();
+    dist[src].store(0, Ordering::SeqCst);
+    let queue = Arc::new(UltraQueue::new(16 * g.edges.len()));
+    // Items in the queue or being processed; 0 = done.
+    let in_flight = Arc::new(AtomicUsize::new(1));
+    let relaxations = Arc::new(AtomicUsize::new(0));
+    queue.enqueue(src as i64);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let in_flight = Arc::clone(&in_flight);
+            let relaxations = Arc::clone(&relaxations);
+            let dist = &dist;
+            scope.spawn(move || loop {
+                let Some(u) = queue.try_dequeue() else {
+                    if in_flight.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                let u = u as usize;
+                let du = dist[u].load(Ordering::SeqCst);
+                for &(v, w) in &g.edges[u] {
+                    let candidate = du + w;
+                    // Atomic min via fetch_min (a fetch-and-phi! §2.4).
+                    let prev = dist[v].fetch_min(candidate, Ordering::SeqCst);
+                    if candidate < prev {
+                        relaxations.fetch_add(1, Ordering::SeqCst);
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        queue.enqueue(v as i64);
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+    (
+        dist.iter().map(|d| d.load(Ordering::SeqCst)).collect(),
+        relaxations.load(Ordering::SeqCst),
+    )
+}
+
+fn main() {
+    let nodes = 3_000;
+    let g = random_graph(nodes, 4, 0xBEEF);
+    let reference = dijkstra(&g, 0);
+
+    println!(
+        "single-source shortest paths, {nodes} nodes, ~{} edges",
+        g.edges.iter().map(Vec::len).sum::<usize>()
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let (dist, relaxations) = parallel_sssp(&g, 0, workers);
+        let elapsed = start.elapsed();
+        assert_eq!(dist, reference, "parallel SSSP diverged from Dijkstra");
+        println!(
+            "  {workers} workers: {elapsed:>10.2?}  ({relaxations} relaxations, result exact)"
+        );
+    }
+    println!(
+        "\nDeo, Pang & Lord: \"every processor demands private use of the Q\"\n\
+         — but this Q is the appendix's fetch-and-add queue: no worker ever\n\
+         executed a critical section, and the answers match Dijkstra exactly."
+    );
+}

@@ -1,0 +1,54 @@
+//! A slice of the paper's §5 study: simulate parallel TRED2 for a few
+//! (P, N) pairs, fit `T(P,N) = aN + bN³/P + W(P,N)`, and print the
+//! efficiencies the fit predicts.
+//!
+//! ```text
+//! cargo run --release -p ultracomputer --example tred2_efficiency
+//! ```
+
+use ultra_workloads::efficiency::{measure_tred2, EfficiencyModel, Measurement};
+
+fn main() {
+    let pairs = [
+        (4usize, 16usize),
+        (4, 24),
+        (8, 16),
+        (8, 32),
+        (16, 32),
+        (16, 48),
+    ];
+    println!("simulating TRED2 on the paracomputer backend:");
+    let measurements: Vec<Measurement> = pairs
+        .iter()
+        .map(|&(p, n)| {
+            let m = measure_tred2(p, n, 1);
+            println!(
+                "  P={:<3} N={:<3}  T = {:>8.0} instr,  waiting W = {:>7.0} instr",
+                p, n, m.t, m.w
+            );
+            m
+        })
+        .collect();
+
+    let model = EfficiencyModel::fit(&measurements);
+    println!(
+        "\nfit:  T(P,N) = {:.1}·N + {:.2}·N³/P + ({:.1}·N + {:.1}·√P)",
+        model.a, model.b, model.w_n, model.w_sqrt_p
+    );
+
+    println!("\npredicted efficiencies E(P,N) = T(1,N)/(P·T(P,N)):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14}",
+        "P", "N", "with wait", "wait recovered"
+    );
+    for (p, n) in [(16, 64), (64, 64), (64, 256), (256, 256), (1024, 1024)] {
+        println!(
+            "{:>8} {:>8} {:>9.0}% {:>13.0}%",
+            p,
+            n,
+            100.0 * model.efficiency(p, n),
+            100.0 * model.efficiency_no_wait(p, n)
+        );
+    }
+    println!("\n(the paper's rule of thumb: big machines need big problems — the\n efficiency diagonal is visible above)");
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: ./repro.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+for bin in packaging fig7 table1 table2 table3 hotspot queue_depth bandwidth multiprog speedup native_queue; do
+    echo "== $bin =="
+    cargo run --release -q -p ultra-bench --bin "$bin" | tee "results/$bin.txt"
+    echo
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,109 @@
+//! Cross-validation of the §4.1 analytic queueing model against the
+//! event-level simulator — the relationship the paper itself leaned on
+//! ("Our preliminary analyses and partial simulations have yielded
+//! encouraging results", §3.1.4).
+//!
+//! The analytic model assumes infinite queues, independent arrivals and
+//! no combining; the simulator is run under matching conditions. Exact
+//! agreement is not expected (the formula idealizes an open network; the
+//! fabric applies backpressure at the sources), but the simulated mean
+//! forward transit must track the analytic curve within a modest band
+//! below saturation, and both must agree on the zero-load floor.
+
+use ultra_analysis::queueing::NetworkModel;
+use ultra_bench::{run_open_loop, OpenLoopConfig};
+use ultra_net::config::NetConfig;
+use ultra_pe::traffic::UniformTraffic;
+
+fn simulate(n: usize, k: usize, p: f64) -> f64 {
+    let cfg = OpenLoopConfig {
+        net: NetConfig {
+            pes: n,
+            k,
+            request_queue_packets: usize::MAX,
+            reply_queue_packets: usize::MAX,
+            wait_entries: 0, // no combining: the model's assumption 1
+            policy: ultra_net::config::SwitchPolicy::QueuedNoCombine,
+            data_packets: 3,
+            ctl_packets: 1,
+        },
+        copies: 1,
+        mm_service: 2,
+        warmup: 400,
+        measure: 4_000,
+    };
+    // Stores only: every forward message is 3 packets = the model's m.
+    let mut traffic = UniformTraffic::new(n, p, 0.0, 1234);
+    run_open_loop(cfg, &mut traffic).forward_transit_mean
+}
+
+#[test]
+fn simulated_transit_tracks_the_analytic_curve() {
+    for &(n, k) in &[(64usize, 2usize), (256, 4)] {
+        let model = NetworkModel::new(n, k, 3, 1);
+        for &fraction in &[0.1, 0.3, 0.5, 0.6] {
+            let p = model.capacity() * fraction;
+            let analytic = model.transit_time(p).expect("below saturation");
+            let simulated = simulate(n, k, p);
+            let ratio = simulated / analytic;
+            assert!(
+                (0.8..1.45).contains(&ratio),
+                "n={n} k={k} p={p:.3}: simulated {simulated:.2} vs analytic \
+                 {analytic:.2} (ratio {ratio:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_load_floor_agrees_exactly() {
+    // A single message in an otherwise empty fabric must take exactly the
+    // analytic minimum D + m - 1.
+    for &(n, k) in &[(64usize, 2usize), (256, 4), (64, 8)] {
+        let model = NetworkModel::new(n, k, 3, 1);
+        let simulated = simulate(n, k, 0.002); // nearly empty
+        let floor = model.min_transit();
+        assert!(
+            simulated >= floor - 1e-9,
+            "n={n} k={k}: sim {simulated:.2} below the physical floor {floor}"
+        );
+        // p = 0.002 is "nearly" empty, not empty: with hundreds of PEs a
+        // residual collision every few messages lifts the mean a cycle or
+        // so above the floor.
+        assert!(
+            simulated <= floor * 1.35,
+            "n={n} k={k}: sim {simulated:.2} far above the empty-network floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn saturation_throttles_the_simulator_where_the_model_diverges() {
+    // Offered load beyond capacity: the analytic transit is undefined and
+    // the simulator's sources must be backpressure-throttled below the
+    // offered rate.
+    let n = 64;
+    let model = NetworkModel::new(n, 2, 3, 1);
+    let over = model.capacity() * 1.5;
+    assert!(model.transit_time(over).is_none());
+    let cfg = OpenLoopConfig {
+        net: NetConfig {
+            policy: ultra_net::config::SwitchPolicy::QueuedNoCombine,
+            wait_entries: 0,
+            ..NetConfig::small(n)
+        },
+        copies: 1,
+        mm_service: 2,
+        warmup: 400,
+        measure: 4_000,
+    };
+    let mut traffic = UniformTraffic::new(n, over, 0.0, 5);
+    let r = run_open_loop(cfg, &mut traffic);
+    assert!(
+        r.throughput < model.capacity() * 1.05,
+        "throughput {:.3} cannot exceed capacity {:.3}",
+        r.throughput,
+        model.capacity()
+    );
+    assert!(r.stalled_attempts > 0, "overload must stall the generators");
+}

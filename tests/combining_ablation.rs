@@ -1,0 +1,118 @@
+//! End-to-end ablation of request combining (the paper's central
+//! hardware claim, §3.1.2–3.1.3).
+
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::program::{body, Expr, Op, Program};
+use ultracomputer::ultra_net::config::{NetConfig, SwitchPolicy};
+
+fn hot_counter(rounds: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(rounds),
+                body: body(vec![Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: Some(0),
+                }]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+fn run(n: usize, policy: SwitchPolicy, rounds: i64) -> (u64, i64, u64) {
+    let mut cfg = NetConfig::small(n);
+    cfg.policy = policy;
+    let mut m = MachineBuilder::new(n)
+        .net(cfg)
+        .build_spmd(&hot_counter(rounds));
+    let out = m.run();
+    assert!(out.completed);
+    (out.cycles, m.read_shared(0), m.net_stats().combines.get())
+}
+
+#[test]
+fn combining_accelerates_hot_spot_and_preserves_semantics() {
+    let (n, rounds) = (32, 20);
+    let (t_comb, total_comb, combines) = run(n, SwitchPolicy::QueuedCombining, rounds);
+    let (t_serial, total_serial, no_combines) = run(n, SwitchPolicy::QueuedNoCombine, rounds);
+    // Identical results either way — the serialization principle.
+    assert_eq!(total_comb, n as i64 * rounds);
+    assert_eq!(total_serial, n as i64 * rounds);
+    assert!(combines > 0);
+    assert_eq!(no_combines, 0);
+    // And a real speedup: the serialized run pays ~1 MM service per
+    // update; the combined run folds whole waves.
+    assert!(
+        t_serial as f64 > 2.0 * t_comb as f64,
+        "combining {t_comb} cycles vs serialized {t_serial} cycles"
+    );
+}
+
+#[test]
+fn hot_spot_penalty_grows_with_machine_size_only_without_combining() {
+    let rounds = 10;
+    let (t_comb_16, ..) = run(16, SwitchPolicy::QueuedCombining, rounds);
+    let (t_comb_64, ..) = run(64, SwitchPolicy::QueuedCombining, rounds);
+    let (t_ser_16, ..) = run(16, SwitchPolicy::QueuedNoCombine, rounds);
+    let (t_ser_64, ..) = run(64, SwitchPolicy::QueuedNoCombine, rounds);
+    let comb_growth = t_comb_64 as f64 / t_comb_16 as f64;
+    let ser_growth = t_ser_64 as f64 / t_ser_16 as f64;
+    assert!(
+        ser_growth > 1.8 * comb_growth,
+        "serialized growth {ser_growth:.2} must far exceed combined {comb_growth:.2}"
+    );
+}
+
+#[test]
+fn uniform_traffic_unaffected_by_combining_switch() {
+    // With no shared hot words, the two policies should perform the same —
+    // combining costs nothing when it never triggers.
+    let prog = Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(40),
+                body: body(vec![Op::Store {
+                    // Distinct address per (PE, iteration).
+                    addr: Expr::add(
+                        Expr::Const(5000),
+                        Expr::add(Expr::mul(Expr::PeIndex, 64), Expr::Reg(1)),
+                    ),
+                    value: Expr::Reg(1),
+                }]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    );
+    let mut times = Vec::new();
+    for policy in [SwitchPolicy::QueuedCombining, SwitchPolicy::QueuedNoCombine] {
+        let mut cfg = NetConfig::small(16);
+        cfg.policy = policy;
+        let mut m = MachineBuilder::new(16).net(cfg).build_spmd(&prog);
+        let out = m.run();
+        assert!(out.completed);
+        assert_eq!(m.net_stats().combines.get(), 0, "no combinable traffic");
+        times.push(out.cycles);
+    }
+    assert_eq!(times[0], times[1]);
+}
+
+#[test]
+fn barrier_arrivals_combine_in_the_network() {
+    // P simultaneous barrier fetch-and-adds must combine heavily.
+    let prog = Program::new(body(vec![Op::Barrier, Op::Barrier, Op::Halt]), vec![]);
+    let mut m = MachineBuilder::new(32).build_spmd(&prog);
+    assert!(m.run().completed);
+    let combines = m.net_stats().combines.get();
+    assert!(
+        combines >= 32,
+        "two barrier waves over 32 PEs combined only {combines} times"
+    );
+}

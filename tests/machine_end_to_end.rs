@@ -1,0 +1,157 @@
+//! Whole-machine integration: PEs + PNIs + combining network + MNIs + MMs
+//! running real programs, cross-checked against the ideal paracomputer.
+
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::program::{body, CmpOp, Cond, Expr, Op, Program};
+use ultracomputer::report::MachineReport;
+
+/// A mixed-primitive torture program: self-scheduled work claims, loads,
+/// stores, fetch-and-adds, barriers, conditionals.
+fn torture(items: i64) -> Program {
+    Program::new(
+        body(vec![
+            // Round 1: claim items, mark each claimed slot.
+            Op::SelfSched {
+                reg: 0,
+                counter: Expr::Const(0),
+                limit: Expr::Const(items),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::add(Expr::Const(1000), Expr::Reg(0)),
+                        delta: Expr::Const(1),
+                        dst: None,
+                    },
+                    Op::Compute(3),
+                ]),
+            },
+            Op::Barrier,
+            // Round 2: PE0 sums the marks serially and stores the total.
+            Op::If {
+                cond: Cond::new(Expr::PeIndex, CmpOp::Eq, 0),
+                then_ops: body(vec![
+                    Op::Set {
+                        reg: 3,
+                        value: Expr::Const(0),
+                    },
+                    Op::For {
+                        reg: 1,
+                        from: Expr::Const(0),
+                        to: Expr::Const(items),
+                        body: body(vec![
+                            Op::Load {
+                                addr: Expr::add(Expr::Const(1000), Expr::Reg(1)),
+                                dst: 2,
+                            },
+                            Op::Set {
+                                reg: 3,
+                                value: Expr::add(Expr::Reg(3), Expr::Reg(2)),
+                            },
+                        ]),
+                    },
+                    Op::Store {
+                        addr: Expr::Const(999),
+                        value: Expr::Reg(3),
+                    },
+                    Op::Fence,
+                ]),
+                else_ops: body(vec![]),
+            },
+            Op::Barrier,
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+#[test]
+fn torture_program_agrees_across_backends_and_policies() {
+    let items = 50;
+    for (name, builder) in [
+        ("ideal", MachineBuilder::new(8).ideal(2)),
+        ("network d=1", MachineBuilder::new(8).network(1)),
+        ("network d=2", MachineBuilder::new(8).network(2)),
+    ] {
+        let mut m = builder.build_spmd(&torture(items));
+        let out = m.run();
+        assert!(out.completed, "{name} did not drain");
+        assert_eq!(m.read_shared(999), items, "{name}: wrong mark total");
+        assert_eq!(m.read_shared(0), items + 8, "{name}: wrong claim count");
+    }
+}
+
+#[test]
+fn network_and_ideal_agree_on_interleaved_fetch_add_sums() {
+    // Heavy interleaving: every PE adds its PE number to a ring of cells.
+    let prog = Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(64),
+                body: body(vec![Op::FetchAdd {
+                    addr: Expr::add(Expr::Const(100), Expr::rem(Expr::Reg(1), 7)),
+                    delta: Expr::add(Expr::PeIndex, 1),
+                    dst: None,
+                }]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    );
+    let mut expected: Vec<i64> = vec![0; 7];
+    for pe in 0i64..16 {
+        for i in 0..64i64 {
+            expected[(i % 7) as usize] += pe + 1;
+        }
+    }
+    for builder in [
+        MachineBuilder::new(16).ideal(2),
+        MachineBuilder::new(16).network(1),
+    ] {
+        let mut m = builder.build_spmd(&prog);
+        assert!(m.run().completed);
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(m.read_shared(100 + i), want, "cell {i}");
+        }
+    }
+}
+
+#[test]
+fn translation_modes_do_not_change_results() {
+    use ultracomputer::ultra_mem::TranslationMode;
+    let prog = torture(30);
+    for mode in [TranslationMode::Hashed, TranslationMode::Interleaved] {
+        let mut m = MachineBuilder::new(8).translation(mode).build_spmd(&prog);
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(999), 30, "{mode:?}");
+    }
+}
+
+#[test]
+fn report_is_self_consistent_end_to_end() {
+    let mut m = MachineBuilder::new(16).build_spmd(&torture(64));
+    assert!(m.run().completed);
+    let r = MachineReport::from_machine(&m);
+    // Every injected request was answered.
+    assert_eq!(r.net.injected_requests.get(), r.net.delivered_replies.get());
+    assert_eq!(r.net.combines.get(), r.net.decombines.get());
+    // The merged per-PE counters cover all network traffic.
+    assert_eq!(r.pe.shared_refs.get(), r.net.injected_requests.get());
+    assert!(r.avg_cm_access_instr() >= 4.0, "below physical floor");
+    assert!(r.idle_pct() <= 100.0);
+}
+
+#[test]
+fn drop_policy_machine_still_completes_by_retrying() {
+    use ultracomputer::ultra_net::config::{NetConfig, SwitchPolicy};
+    let mut cfg = NetConfig::small(8);
+    cfg.policy = SwitchPolicy::DropOnConflict;
+    let mut m = MachineBuilder::new(8).net(cfg).build_spmd(&torture(20));
+    let out = m.run();
+    assert!(out.completed, "drops must be retried to completion");
+    assert_eq!(m.read_shared(999), 20);
+    assert!(
+        m.net_stats().drops.get() > 0,
+        "the contended run must actually exercise drops"
+    );
+}

@@ -1,0 +1,129 @@
+//! Stress and property tests of the native fetch-and-add algorithms and
+//! the interleaved queue simulation.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ultra_algorithms::{FaaBarrier, FaaRwLock, InterleavedQueueSim, SelfSchedule, UltraQueue};
+
+#[test]
+fn queue_barrier_rwlock_compose() {
+    // A miniature pipeline: stage A produces under a reader section,
+    // everyone barriers, stage B consumes and checks.
+    // Capacity must exceed total production: consumers only start after
+    // the barrier, so producers must never block on a full queue.
+    let q = Arc::new(UltraQueue::new(512));
+    let barrier = Arc::new(FaaBarrier::new(4));
+    let lock = Arc::new(FaaRwLock::new());
+    let handles: Vec<_> = (0..4)
+        .map(|tid| {
+            let q = Arc::clone(&q);
+            let barrier = Arc::clone(&barrier);
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    lock.read(|| q.enqueue(tid * 1000 + i));
+                }
+                barrier.wait();
+                let mut got = 0;
+                while q.try_dequeue().is_some() {
+                    got += 1;
+                }
+                got
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 400);
+}
+
+#[test]
+fn self_schedule_under_threads_covers_exactly() {
+    let sched = Arc::new(SelfSchedule::new(5_000));
+    let claimed = Arc::new(std::sync::Mutex::new(vec![0u8; 5_000]));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let sched = Arc::clone(&sched);
+            let claimed = Arc::clone(&claimed);
+            std::thread::spawn(move || {
+                while let Some(r) = sched.next_chunk(13) {
+                    let mut c = claimed.lock().unwrap();
+                    for i in r {
+                        c[i] += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(claimed.lock().unwrap().iter().all(|&c| c == 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The appendix queue's conservation and FIFO condition hold for
+    /// arbitrary mixes of inserts/deletes, capacities, and interleavings.
+    #[test]
+    fn interleaved_queue_sim_properties(
+        size in 1usize..12,
+        inserts in 0i64..30,
+        deletes in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = InterleavedQueueSim::new(size, seed);
+        for v in 0..inserts {
+            sim.spawn_insert(1000 + v);
+        }
+        for _ in 0..deletes {
+            sim.spawn_delete();
+        }
+        let events = sim.run(5_000_000);
+        sim.check_conservation(&events);
+        sim.check_fifo_condition(&events);
+    }
+
+    /// The native queue conserves items for arbitrary thread/op mixes.
+    #[test]
+    fn native_queue_conserves(
+        capacity in 2usize..32,
+        per_thread in 1usize..40,
+    ) {
+        let q = Arc::new(UltraQueue::new(capacity));
+        let produced: i64 = (2 * per_thread) as i64;
+        let producers: Vec<_> = (0..2)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        q.enqueue((t * per_thread + i) as i64);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..per_thread {
+                        got.push(q.dequeue());
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len() as i64, produced, "items lost or duplicated");
+        prop_assert!(q.try_dequeue().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the serialization principle (§2.1–§2.2): the effect
+//! of simultaneous operations equals *some* serial order — on the ideal
+//! paracomputer by construction, and on the full network machine by
+//! theorem (combining), which these tests check empirically.
+
+use proptest::prelude::*;
+use ultra_net::message::PhiOp;
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::paracomputer::{MemOp, Paracomputer};
+use ultracomputer::program::{body, Expr, Op, Program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent F&A batches return the prefix sums of some permutation
+    /// and leave the total in memory.
+    #[test]
+    fn fetch_add_batch_is_a_serialization(
+        increments in prop::collection::vec(-20i64..20, 1..40),
+        seed in any::<u64>(),
+        initial in -100i64..100,
+    ) {
+        let mut pc = Paracomputer::new(seed);
+        pc.store(0, initial);
+        let ops: Vec<MemOp> =
+            increments.iter().map(|&e| MemOp::fetch_add(0, e)).collect();
+        let results = pc.apply_batch(&ops);
+        // Memory ends at initial + sum regardless of order.
+        let total: i64 = increments.iter().sum();
+        prop_assert_eq!(pc.load(0), initial + total);
+        // Each result must be reachable as a prefix sum of some
+        // permutation: verify by reconstructing the order. Sort results
+        // with their increments by result value: in the serialization,
+        // the j-th executed op observed initial + (sum of earlier incs).
+        // Serialization-chain check: in any serial order the j-th op
+        // observes the (j-1)-th op's result plus its increment, so the
+        // multiset { result_i + increment_i } must equal the results
+        // multiset with one `initial` removed (the first op's view) and
+        // `initial + total` added (the chain's end).
+        let mut lhs: Vec<i64> = results
+            .iter()
+            .zip(&increments)
+            .map(|(r, e)| r + e)
+            .collect();
+        let mut rhs: Vec<i64> = results.clone();
+        let pos = rhs.iter().position(|&r| r == initial);
+        prop_assert!(pos.is_some(), "someone must observe the initial value");
+        rhs.remove(pos.unwrap());
+        rhs.push(initial + total);
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        prop_assert_eq!(lhs, rhs, "results are not a serialization chain");
+    }
+
+    /// For commutative phi, the final memory value is independent of the
+    /// serialization order chosen (§2.4).
+    #[test]
+    fn commutative_phi_final_state_order_independent(
+        operands in prop::collection::vec(-50i64..50, 1..20),
+        op_idx in 0usize..6,
+        initial in -50i64..50,
+    ) {
+        let op = [PhiOp::Add, PhiOp::And, PhiOp::Or, PhiOp::Xor, PhiOp::Max, PhiOp::Min][op_idx];
+        let mut finals = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let mut pc = Paracomputer::new(seed);
+            pc.store(0, initial);
+            let ops: Vec<MemOp> = operands
+                .iter()
+                .map(|&e| MemOp::FetchPhi { op, addr: 0, operand: e })
+                .collect();
+            let _ = pc.apply_batch(&ops);
+            finals.insert(pc.load(0));
+        }
+        prop_assert_eq!(finals.len(), 1);
+    }
+
+    /// Swap chains: concurrent swaps circulate values — every originally
+    /// present value (initial + all operands) survives, exactly once,
+    /// across the results and the final cell.
+    #[test]
+    fn concurrent_swaps_conserve_values(
+        operands in prop::collection::vec(0i64..1000, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut pc = Paracomputer::new(seed);
+        pc.store(0, -1);
+        let ops: Vec<MemOp> = operands
+            .iter()
+            .map(|&v| MemOp::FetchPhi { op: PhiOp::Second, addr: 0, operand: v })
+            .collect();
+        let results = pc.apply_batch(&ops);
+        let mut outcome: Vec<i64> = results;
+        outcome.push(pc.load(0));
+        outcome.sort_unstable();
+        let mut expected: Vec<i64> = operands.clone();
+        expected.push(-1);
+        expected.sort_unstable();
+        prop_assert_eq!(outcome, expected);
+    }
+}
+
+/// The same prefix-sum property, end to end through the combining network
+/// machine: every PE's fetch-and-add ticket is distinct and dense.
+#[test]
+fn network_machine_tickets_are_dense_and_distinct() {
+    for n in [8usize, 16, 64] {
+        let prog = Program::new(
+            body(vec![
+                Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: Some(0),
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(10_000), Expr::Reg(0)),
+                    value: Expr::add(Expr::PeIndex, 1),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(n).build_spmd(&prog);
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), n as i64);
+        let mut owners = Vec::new();
+        for t in 0..n {
+            let owner = m.read_shared(10_000 + t);
+            assert!(owner >= 1, "ticket {t} unclaimed");
+            owners.push(owner);
+        }
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners.len(), n, "each PE claimed exactly one ticket");
+    }
+}
+
+/// §2.1's simultaneous load/store example on the real machine: the final
+/// value must be one of the stored values.
+#[test]
+fn simultaneous_stores_leave_one_of_the_values() {
+    let prog = Program::new(
+        body(vec![
+            Op::Store {
+                addr: Expr::Const(7),
+                value: Expr::add(Expr::PeIndex, 100),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    );
+    let mut m = MachineBuilder::new(16).build_spmd(&prog);
+    assert!(m.run().completed);
+    let v = m.read_shared(7);
+    assert!((100..116).contains(&v), "final value {v} was never stored");
+}

@@ -1,0 +1,114 @@
+//! Cross-crate workload integration: every paper workload runs to
+//! completion on both backends and produces sane reports.
+
+use ultra_workloads::{Fluid, Multigrid, Particle, Tred2, Weather};
+use ultracomputer::machine::MachineBuilder;
+use ultracomputer::program::Program;
+use ultracomputer::report::MachineReport;
+
+fn check(name: &str, program: &Program, pes: usize) {
+    for (backend, builder) in [
+        ("ideal", MachineBuilder::new(pes).ideal(2)),
+        ("network", MachineBuilder::new(pes).network(1)),
+    ] {
+        let mut m = builder.build_spmd(program);
+        let out = m.run();
+        assert!(out.completed, "{name} on {backend} did not drain");
+        let r = MachineReport::from_machine(&m);
+        assert!(
+            r.pe.instructions.get() > 100,
+            "{name} on {backend}: trivial instruction count"
+        );
+        assert!(
+            r.shared_refs_per_instr() > 0.0 && r.shared_refs_per_instr() < 0.5,
+            "{name} on {backend}: implausible shared mix {}",
+            r.shared_refs_per_instr()
+        );
+        assert!(
+            r.idle_pct() < 95.0,
+            "{name} on {backend}: pathological idle"
+        );
+    }
+}
+
+#[test]
+fn tred2_smoke() {
+    check("tred2", &Tred2::new(14).program(), 8);
+}
+
+#[test]
+fn weather_smoke() {
+    check("weather", &Weather::new(16, 2).program(), 8);
+}
+
+#[test]
+fn multigrid_smoke() {
+    check("multigrid", &Multigrid::new(16, 1).program(), 8);
+}
+
+#[test]
+fn particle_smoke() {
+    check("particle", &Particle::new(24, 4).program(), 8);
+}
+
+#[test]
+fn fluid_smoke() {
+    check("fluid", &Fluid::new(12, 16, 2).program(), 8);
+}
+
+#[test]
+fn tred2_under_multiprogramming_is_exact() {
+    // §3.5: contexts act as extra (slower) virtual PEs; the workload's
+    // claim counters must still come out exact.
+    let n = 12;
+    let prog = Tred2::new(n).program();
+    let mut m = MachineBuilder::new(4).multiprogramming(2).build_spmd(&prog);
+    assert!(m.run().completed, "multiprogrammed TRED2 must drain");
+    let virtual_pes = 8;
+    for step in 0..(n - 2) {
+        let msize = n - 1 - step;
+        let c2 = m.read_shared(ultra_workloads::tred2::COUNTER_BASE + step * 2 + 1) as usize;
+        assert_eq!(
+            c2,
+            (msize * msize).div_ceil(6) + virtual_pes,
+            "step {step}: every virtual PE participates in self-scheduling"
+        );
+    }
+}
+
+#[test]
+fn network_backend_is_slower_but_agrees() {
+    // The same TRED2 instance takes longer through the real network than
+    // on the paracomputer, and both fully consume the work counters.
+    let prog = Tred2::new(12).program();
+    let mut ideal = MachineBuilder::new(4).ideal(2).build_spmd(&prog);
+    let mut net = MachineBuilder::new(4).network(1).build_spmd(&prog);
+    assert!(ideal.run().completed);
+    assert!(net.run().completed);
+    assert!(
+        net.now() > ideal.now(),
+        "network {} cycles must exceed ideal {}",
+        net.now(),
+        ideal.now()
+    );
+    for step in 0..10 {
+        let a = ideal.read_shared(ultra_workloads::tred2::COUNTER_BASE + step * 2);
+        let b = net.read_shared(ultra_workloads::tred2::COUNTER_BASE + step * 2);
+        assert_eq!(a, b, "claim counters agree at step {step}");
+    }
+}
+
+#[test]
+fn efficiency_pipeline_runs_end_to_end() {
+    use ultra_workloads::efficiency::{measure_tred2, EfficiencyModel};
+    let ms = vec![
+        measure_tred2(4, 12, 3),
+        measure_tred2(4, 20, 3),
+        measure_tred2(8, 16, 3),
+        measure_tred2(8, 24, 3),
+    ];
+    let model = EfficiencyModel::fit(&ms);
+    let e = model.efficiency(16, 64);
+    assert!((0.0..=1.05).contains(&e), "E(16,64) = {e}");
+    assert!(model.efficiency_no_wait(16, 64) >= e);
+}
