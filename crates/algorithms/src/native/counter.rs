@@ -6,8 +6,7 @@
 //! shared index receives the appropriate total increment."
 
 use std::sync::atomic::{AtomicI64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A shared counter whose updates are single fetch-and-adds.
 ///
@@ -62,7 +61,7 @@ impl MutexCounter {
 
     /// Lock, read, add, unlock.
     pub fn fetch_add(&self, delta: i64) -> i64 {
-        let mut guard = self.0.lock();
+        let mut guard = self.0.lock().expect("counter lock poisoned");
         let old = *guard;
         *guard += delta;
         old
@@ -71,7 +70,7 @@ impl MutexCounter {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
-        *self.0.lock()
+        *self.0.lock().expect("counter lock poisoned")
     }
 }
 

@@ -25,8 +25,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Error returned when inserting into a full queue (the appendix's
 /// `QueueOverflow` flag), handing the datum back.
@@ -160,7 +159,7 @@ impl<T> UltraQueue<T> {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
-        *slot.value.lock() = Some(data);
+        *slot.value.lock().expect("slot lock poisoned") = Some(data);
         slot.turn.store(2 * generation + 1, Ordering::SeqCst);
         // FetchAdd(#Qi, 1).
         self.lower.fetch_add(1, Ordering::SeqCst);
@@ -184,6 +183,7 @@ impl<T> UltraQueue<T> {
         let data = slot
             .value
             .lock()
+            .expect("slot lock poisoned")
             .take()
             .expect("turn granted, item present");
         slot.turn.store(2 * (generation + 1), Ordering::SeqCst);
@@ -241,7 +241,7 @@ impl<T> MutexQueue<T> {
     ///
     /// Returns the datum back if the queue is full.
     pub fn try_enqueue(&self, data: T) -> Result<(), QueueFull<T>> {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().expect("queue lock poisoned");
         if q.len() >= self.capacity {
             return Err(QueueFull(data));
         }
@@ -251,7 +251,7 @@ impl<T> MutexQueue<T> {
 
     /// Locked delete.
     pub fn try_dequeue(&self) -> Option<T> {
-        self.inner.lock().pop_front()
+        self.inner.lock().expect("queue lock poisoned").pop_front()
     }
 }
 

@@ -1,133 +1,124 @@
-//! Criterion bench: native fetch-and-add coordination vs. lock-based
+//! Micro-bench: native fetch-and-add coordination vs. lock-based
 //! baselines (experiment E9's engine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use ultra_algorithms::{FaaBarrier, FaaCounter, MutexCounter, MutexQueue, UltraQueue};
+use ultra_bench::microbench::Group;
 
-fn bench_counters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counter_contended");
+fn bench_counters() {
+    let mut group = Group::new("counter_contended");
     for &threads in &[2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("fetch_add", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let counter = Arc::new(FaaCounter::new(0));
-                std::thread::scope(|s| {
-                    for _ in 0..t {
-                        let counter = &counter;
-                        s.spawn(move || {
-                            for _ in 0..10_000 {
-                                black_box(counter.fetch_add(1));
-                            }
-                        });
-                    }
-                });
-                assert_eq!(counter.get(), (t * 10_000) as i64);
+        group.bench(&format!("fetch_add/{threads}"), || {
+            let counter = Arc::new(FaaCounter::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        for _ in 0..10_000 {
+                            black_box(counter.fetch_add(1));
+                        }
+                    });
+                }
             });
+            assert_eq!(counter.get(), (threads * 10_000) as i64);
         });
-        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let counter = Arc::new(MutexCounter::new(0));
-                std::thread::scope(|s| {
-                    for _ in 0..t {
-                        let counter = &counter;
-                        s.spawn(move || {
-                            for _ in 0..10_000 {
-                                black_box(counter.fetch_add(1));
-                            }
-                        });
-                    }
-                });
-                assert_eq!(counter.get(), (t * 10_000) as i64);
+        group.bench(&format!("mutex/{threads}"), || {
+            let counter = Arc::new(MutexCounter::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        for _ in 0..10_000 {
+                            black_box(counter.fetch_add(1));
+                        }
+                    });
+                }
             });
+            assert_eq!(counter.get(), (threads * 10_000) as i64);
         });
     }
     group.finish();
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_mixed_ops");
+fn bench_queues() {
+    let mut group = Group::new("queue_mixed_ops");
     group.sample_size(20);
     for &threads in &[2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("ultra", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let q = UltraQueue::new(256);
-                std::thread::scope(|s| {
-                    for tid in 0..t {
-                        let q = &q;
-                        s.spawn(move || {
-                            for i in 0..5_000 {
-                                if (tid + i) % 2 == 0 {
-                                    let _ = q.try_enqueue(i as i64);
-                                } else {
-                                    black_box(q.try_dequeue());
-                                }
+        group.bench(&format!("ultra/{threads}"), || {
+            let q = UltraQueue::new(256);
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..5_000 {
+                            if (tid + i) % 2 == 0 {
+                                let _ = q.try_enqueue(i as i64);
+                            } else {
+                                black_box(q.try_dequeue());
                             }
-                        });
-                    }
-                });
+                        }
+                    });
+                }
             });
         });
-        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let q = MutexQueue::new(256);
-                std::thread::scope(|s| {
-                    for tid in 0..t {
-                        let q = &q;
-                        s.spawn(move || {
-                            for i in 0..5_000 {
-                                if (tid + i) % 2 == 0 {
-                                    let _ = q.try_enqueue(i as i64);
-                                } else {
-                                    black_box(q.try_dequeue());
-                                }
+        group.bench(&format!("mutex/{threads}"), || {
+            let q = MutexQueue::new(256);
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..5_000 {
+                            if (tid + i) % 2 == 0 {
+                                let _ = q.try_enqueue(i as i64);
+                            } else {
+                                black_box(q.try_dequeue());
                             }
-                        });
-                    }
-                });
+                        }
+                    });
+                }
             });
         });
     }
     group.finish();
 }
 
-fn bench_barriers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("barrier_rounds");
+fn bench_barriers() {
+    let mut group = Group::new("barrier_rounds");
     group.sample_size(10);
     for &threads in &[4usize, 8] {
-        group.bench_with_input(BenchmarkId::new("faa", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let bar = FaaBarrier::new(t);
-                std::thread::scope(|s| {
-                    for _ in 0..t {
-                        let bar = &bar;
-                        s.spawn(move || {
-                            for _ in 0..200 {
-                                bar.wait();
-                            }
-                        });
-                    }
-                });
+        group.bench(&format!("faa/{threads}"), || {
+            let bar = FaaBarrier::new(threads);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let bar = &bar;
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            bar.wait();
+                        }
+                    });
+                }
             });
         });
-        group.bench_with_input(BenchmarkId::new("std", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let bar = std::sync::Barrier::new(t);
-                std::thread::scope(|s| {
-                    for _ in 0..t {
-                        let bar = &bar;
-                        s.spawn(move || {
-                            for _ in 0..200 {
-                                bar.wait();
-                            }
-                        });
-                    }
-                });
+        group.bench(&format!("std/{threads}"), || {
+            let bar = std::sync::Barrier::new(threads);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let bar = &bar;
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            bar.wait();
+                        }
+                    });
+                }
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_counters, bench_queues, bench_barriers);
-criterion_main!(benches);
+fn main() {
+    bench_counters();
+    bench_queues();
+    bench_barriers();
+}

@@ -1,41 +1,43 @@
-//! Criterion bench: network transit under uniform load (Figure 7's
+//! Micro-bench: network transit under uniform load (Figure 7's
 //! engine) — measures simulator throughput and pins the analytic model's
 //! evaluation cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ultra_analysis::queueing::NetworkModel;
+use ultra_bench::microbench::Group;
 use ultra_bench::{run_open_loop, OpenLoopConfig};
 use ultra_net::config::NetConfig;
 use ultra_pe::traffic::UniformTraffic;
 
-fn bench_open_loop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("open_loop_uniform");
+fn bench_open_loop() {
+    let mut group = Group::new("open_loop_uniform");
     group.sample_size(10);
     for &n in &[64usize, 256] {
-        group.bench_with_input(BenchmarkId::new("simulate", n), &n, |b, &n| {
-            b.iter(|| {
-                let cfg = OpenLoopConfig {
-                    net: NetConfig::small(n),
-                    copies: 1,
-                    mm_service: 2,
-                    warmup: 100,
-                    measure: 500,
-                };
-                let mut traffic = UniformTraffic::new(n, 0.10, 0.5, 7);
-                black_box(run_open_loop(cfg, &mut traffic))
-            });
+        group.bench(&format!("simulate/{n}"), || {
+            let cfg = OpenLoopConfig {
+                net: NetConfig::small(n),
+                copies: 1,
+                mm_service: 2,
+                warmup: 100,
+                measure: 500,
+            };
+            let mut traffic = UniformTraffic::new(n, 0.10, 0.5, 7);
+            black_box(run_open_loop(cfg, &mut traffic));
         });
     }
     group.finish();
 }
 
-fn bench_analytic(c: &mut Criterion) {
+fn bench_analytic() {
     let model = NetworkModel::with_unit_bandwidth(4096, 4, 2);
-    c.bench_function("analytic_figure7_curve", |b| {
-        b.iter(|| black_box(model.figure7_curve(0.9, 100)));
+    let mut group = Group::new("analytic");
+    group.bench("figure7_curve", || {
+        black_box(model.figure7_curve(0.9, 100));
     });
+    group.finish();
 }
 
-criterion_group!(benches, bench_open_loop, bench_analytic);
-criterion_main!(benches);
+fn main() {
+    bench_open_loop();
+    bench_analytic();
+}

@@ -1,0 +1,285 @@
+//! Experiment E14: graceful degradation under faults — the fault-regime
+//! analogue of E6/E8.
+//!
+//! Four studies:
+//!
+//! 1. **Healthy baseline**: the exact E8 `bandwidth` configuration
+//!    (n = 64, p = 0.25, d = 1) run through the fault-aware runner with
+//!    `FaultPlan::none()` — its numbers match that harness verbatim,
+//!    demonstrating zero-cost idle injection.
+//! 2. **Dead switch ports** (open loop, `d = 2` copies): bandwidth and
+//!    transit time as a growing fraction of forward switch ports dies;
+//!    routes refused by one copy fail over to the other, and words
+//!    unreachable in every copy are abandoned (counted, not wedged).
+//! 3. **Dead memory modules** (open loop): traffic re-hashes around the
+//!    dead modules onto survivors, with a hot-spot column comparing
+//!    combining on/off under the same faults.
+//! 4. **Dead network copy** (closed loop, the full machine): with one of
+//!    `d = 2` copies fail-stopped, every PE's fetch-and-adds still apply
+//!    exactly once (the serialization principle holds) and the machine
+//!    retains well over 40% of its healthy bandwidth.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin degradation
+//! ```
+
+use ultra_bench::{run_open_loop_faulty, OpenLoopConfig};
+use ultra_faults::{FaultPlan, NetShape};
+use ultra_net::config::{NetConfig, SwitchPolicy};
+use ultra_pe::traffic::{HotspotTraffic, UniformTraffic};
+use ultra_sim::{MemAddr, MmId, Value};
+use ultracomputer::program::{body, Expr, Op, Program};
+use ultracomputer::{FaultSummary, MachineBuilder, MachineReport};
+
+/// PEs for the open-loop sweeps (matches the E8 n = 64 row).
+const N: usize = 64;
+/// Offered load (matches E8).
+const P: f64 = 0.25;
+
+fn sweep_cfg(policy: SwitchPolicy, copies: usize) -> OpenLoopConfig {
+    OpenLoopConfig {
+        net: NetConfig {
+            policy,
+            ..NetConfig::small(N)
+        },
+        copies,
+        mm_service: 1,
+        warmup: 500,
+        measure: 4_000,
+    }
+}
+
+fn traffic() -> UniformTraffic {
+    // Same stream as the E8 harness: loads only, seed 3.
+    UniformTraffic::new(N, P, 1.0, 3)
+}
+
+fn shape(copies: usize) -> NetShape {
+    NetShape {
+        copies,
+        stages: 6,
+        switches_per_stage: N / 2,
+        k: 2,
+        mms: N,
+    }
+}
+
+fn bar(rel: f64) -> String {
+    let filled = (rel.clamp(0.0, 1.0) * 40.0).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(40 - filled))
+}
+
+fn e8_baseline() {
+    println!("-- E14 baseline: FaultPlan::none() reproduces the E8 bandwidth rows (n = {N}) --\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "policy", "per-PE thruput", "mean RT (cyc)", "drops"
+    );
+    for (policy, label) in [
+        (SwitchPolicy::QueuedCombining, "queued"),
+        (SwitchPolicy::DropOnConflict, "drop"),
+    ] {
+        let r = run_open_loop_faulty(sweep_cfg(policy, 1), &FaultPlan::none(), &mut traffic());
+        println!(
+            "{:>10} {:>14.4} {:>14.1} {:>10}",
+            label,
+            r.throughput,
+            r.round_trip.mean(),
+            r.drops
+        );
+    }
+    println!();
+}
+
+fn dead_port_sweep() {
+    println!("-- E14a: dead forward switch ports (open loop, d = 2, p = {P}) --\n");
+    println!(
+        "{:>7} {:>14} {:>14} {:>10} {:>10} {:>11} {:>8}",
+        "dead %", "per-PE thruput", "mean RT (cyc)", "refused", "failovers", "unroutable", "rel bw"
+    );
+    let mut curve: Vec<(f64, f64)> = Vec::new();
+    let mut healthy = 0.0;
+    for frac in [0.0, 0.02, 0.05, 0.10, 0.20] {
+        let plan = FaultPlan::random_static(0xE14, shape(2), 0.0, frac);
+        let r = run_open_loop_faulty(
+            sweep_cfg(SwitchPolicy::QueuedCombining, 2),
+            &plan,
+            &mut traffic(),
+        );
+        if frac == 0.0 {
+            healthy = r.throughput;
+        }
+        let rel = r.throughput / healthy;
+        println!(
+            "{:>6.0}% {:>14.4} {:>14.1} {:>10} {:>10} {:>11} {:>7.0}%",
+            100.0 * frac,
+            r.throughput,
+            r.round_trip.mean(),
+            r.fault_refusals,
+            r.failovers,
+            r.unroutable,
+            100.0 * rel
+        );
+        curve.push((frac, rel));
+    }
+    println!("\nrelative bandwidth vs dead-port fraction:");
+    for (frac, rel) in curve {
+        println!(
+            "  {:>4.0}% |{}| {:>4.0}%",
+            100.0 * frac,
+            bar(rel),
+            100.0 * rel
+        );
+    }
+    println!();
+}
+
+fn dead_mm_sweep() {
+    println!("-- E14b: dead memory modules, traffic re-hashed onto survivors (open loop) --\n");
+    println!("uniform loads (d = 1) | hot-spot 20% F&A, combining on vs off:");
+    println!(
+        "{:>7} {:>9} {:>14} {:>14} {:>8} | {:>12} {:>12} {:>9}",
+        "dead %",
+        "dead MMs",
+        "per-PE thruput",
+        "mean RT (cyc)",
+        "rel bw",
+        "hot combine",
+        "hot nocomb",
+        "combines"
+    );
+    let mut healthy = 0.0;
+    for frac in [0.0, 0.05, 0.10, 0.20, 0.40] {
+        let plan = FaultPlan::random_static(0xE14B, shape(1), frac, 0.0);
+        let dead = plan.dead_mms().len();
+        let r = run_open_loop_faulty(
+            sweep_cfg(SwitchPolicy::QueuedCombining, 1),
+            &plan,
+            &mut traffic(),
+        );
+        if frac == 0.0 {
+            healthy = r.throughput;
+        }
+        assert!(
+            r.completed * 100 >= r.injected * 99,
+            "re-hashing must lose no request to a dead module \
+             ({} of {} completed)",
+            r.completed,
+            r.injected
+        );
+        // The E6-style ablation under the same dead-MM plan: 20% of the
+        // offered load is a fetch-and-add on one hot word. Combining
+        // keeps the hot module off the critical path even degraded.
+        let hot = |policy| {
+            let mut t = HotspotTraffic::new(N, P, 0.2, MemAddr::new(MmId(5), 9), 11);
+            run_open_loop_faulty(sweep_cfg(policy, 1), &plan, &mut t)
+        };
+        let hc = hot(SwitchPolicy::QueuedCombining);
+        let hn = hot(SwitchPolicy::QueuedNoCombine);
+        println!(
+            "{:>6.0}% {:>9} {:>14.4} {:>14.1} {:>7.0}% | {:>12.4} {:>12.4} {:>9}",
+            100.0 * frac,
+            dead,
+            r.throughput,
+            r.round_trip.mean(),
+            100.0 * r.throughput / healthy,
+            hc.throughput,
+            hn.throughput,
+            hc.combines
+        );
+    }
+    println!();
+}
+
+/// Every PE claims `iters` tickets from one hot word and marks each
+/// ticket's slot — exactness of both is the serialization principle.
+fn ticket_program(iters: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(iters),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: Some(0),
+                    },
+                    Op::Store {
+                        addr: Expr::add(Expr::Const(1000), Expr::Reg(0)),
+                        value: Expr::Const(1),
+                    },
+                ]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+fn machine_run(pes: usize, iters: i64, plan: FaultPlan) -> (u64, FaultSummary, bool) {
+    let mut m = MachineBuilder::new(pes)
+        .network(2)
+        .faults(plan)
+        .build_spmd(&ticket_program(iters));
+    let out = m.run();
+    let total = pes as i64 * iters;
+    let mut exact = out.completed && m.read_shared(0) == total as Value;
+    for slot in 0..total as usize {
+        exact &= m.read_shared(1000 + slot) == 1;
+    }
+    let report = MachineReport::from_machine(&m);
+    println!("{report}");
+    (out.cycles, m.fault_summary(), exact)
+}
+
+fn dead_copy_machine() {
+    let pes = 16;
+    let iters = 20;
+    println!("-- E14c: one of d = 2 network copies dead (closed loop, full machine) --\n");
+    println!("{pes} PEs x {iters} fetch-and-add tickets each, healthy:");
+    let (healthy_cycles, _, healthy_exact) = machine_run(pes, iters, FaultPlan::none());
+    println!("\nsame workload, copy 0 fail-stopped at boot:");
+    let (degraded_cycles, faults, degraded_exact) =
+        machine_run(pes, iters, FaultPlan::none().dead_copy(0));
+    let rel = healthy_cycles as f64 / degraded_cycles as f64;
+    println!();
+    assert!(healthy_exact, "healthy run must be exact");
+    assert!(
+        degraded_exact,
+        "every ticket must still be claimed exactly once through the survivor"
+    );
+    assert!(faults.failovers > 0, "the survivor must carry refused work");
+    println!(
+        "correctness: all {} tickets exact in both runs (serialization principle holds)",
+        pes as i64 * iters
+    );
+    println!(
+        "bandwidth:   {healthy_cycles} healthy cycles vs {degraded_cycles} degraded \
+         -> {:.0}% of healthy (criterion: >= 40%)",
+        100.0 * rel
+    );
+    assert!(
+        rel >= 0.40,
+        "one dead copy of two must retain >= 40% of healthy bandwidth (got {:.0}%)",
+        100.0 * rel
+    );
+}
+
+fn main() {
+    println!("E14 — graceful degradation under deterministic fault injection\n");
+    e8_baseline();
+    dead_port_sweep();
+    dead_mm_sweep();
+    dead_copy_machine();
+    println!(
+        "\nExpected shape: dead ports shave bandwidth roughly in proportion to\n\
+         the routes they block (failover to the second copy absorbs most of\n\
+         it), dead MMs cost the survivor fraction's worth of service rate\n\
+         while combining still flattens the hot spot, and a whole dead copy\n\
+         halves injection bandwidth at worst — the redundancy the paper\n\
+         builds in (d copies, hashed MMs) degrades gracefully instead of\n\
+         failing."
+    );
+}

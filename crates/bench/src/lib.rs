@@ -10,7 +10,10 @@
 //! hot-spot ablation (E6), the queue-depth study (E7) and the bandwidth
 //! scaling study (E8).
 
-use ultra_mem::MemBank;
+pub mod microbench;
+
+use ultra_faults::FaultPlan;
+use ultra_mem::{AddressHasher, MemBank, TranslationMode};
 use ultra_net::config::NetConfig;
 use ultra_net::message::{Message, MsgId};
 use ultra_net::omega::ReplicatedOmega;
@@ -67,6 +70,13 @@ pub struct OpenLoopReport {
     pub stalled_attempts: u64,
     /// Largest forward-queue packet occupancy observed anywhere.
     pub queue_high_water: usize,
+    /// Injections refused by a dead copy or dead port (fault plans only).
+    pub fault_refusals: u64,
+    /// Refused requests a later network copy carried instead.
+    pub failovers: u64,
+    /// Requests abandoned because every copy's route to their MM was
+    /// dead — the open-loop stand-in for the OS remapping that memory.
+    pub unroutable: u64,
 }
 
 /// Runs `traffic` against the configured network + memory and measures.
@@ -80,11 +90,43 @@ pub struct OpenLoopReport {
 /// Panics on internal inconsistencies (lost replies).
 #[must_use]
 pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> OpenLoopReport {
+    run_open_loop_faulty(cfg, &FaultPlan::none(), traffic)
+}
+
+/// [`run_open_loop`] under a static [`FaultPlan`]: per-copy fault masks
+/// are installed (dead copies/ports refuse injections and fail over),
+/// dead MMs are killed and the generated traffic is re-hashed around
+/// them exactly as the machine's degraded translation would. With
+/// [`FaultPlan::none`] this is identical to the healthy runner.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies (lost replies).
+#[must_use]
+pub fn run_open_loop_faulty(
+    cfg: OpenLoopConfig,
+    plan: &FaultPlan,
+    traffic: &mut dyn TrafficPattern,
+) -> OpenLoopReport {
     let n = cfg.net.pes;
     let mut nets = ReplicatedOmega::new(cfg.net, cfg.copies);
+    for c in 0..cfg.copies {
+        let mask = plan.mask_for_copy(c);
+        if !mask.is_healthy() {
+            nets.copy_mut(c).set_fault_mask(mask);
+        }
+    }
+    let mut hasher = AddressHasher::new(n, TranslationMode::Interleaved);
+    let dead = plan.dead_mms();
+    if !dead.is_empty() {
+        hasher.set_dead_mms(&dead);
+    }
     let mut banks: Vec<MemBank> = (0..n)
         .map(|i| MemBank::new(MmId(i), cfg.mm_service))
         .collect();
+    for mm in &dead {
+        banks[mm.0].kill();
+    }
     let mut copy_of: std::collections::HashMap<MsgId, usize> = std::collections::HashMap::new();
     let mut pending: Vec<Option<Message>> = vec![None; n];
     let mut next_id: u64 = 1;
@@ -98,6 +140,9 @@ pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> O
         throughput: 0.0,
         stalled_attempts: 0,
         queue_high_water: 0,
+        fault_refusals: 0,
+        failovers: 0,
+        unroutable: 0,
     };
     let horizon = cfg.warmup + cfg.measure;
     // Drain window: let in-flight traffic finish (no new injections).
@@ -107,6 +152,13 @@ pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> O
         // 1. Flush pending injections.
         for slot in pending.iter_mut() {
             if let Some(msg) = slot.take() {
+                // A request every copy refuses outright (dead copy or a
+                // dead port on its only route) can never inject: abandon
+                // it instead of wedging this PE's buffer forever.
+                if (0..nets.copies()).all(|c| nets.copy(c).fault_refuses(&msg)) {
+                    report.unroutable += 1;
+                    continue;
+                }
                 let id = msg.id;
                 let issued_at = msg.issued_at;
                 match nets.try_inject_request(msg, now) {
@@ -165,7 +217,7 @@ pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> O
                         let msg = Message::request(
                             MsgId(next_id),
                             spec.kind,
-                            spec.addr,
+                            hasher.remap(spec.addr),
                             spec.value,
                             PeId(pe),
                             now,
@@ -190,6 +242,8 @@ pub fn run_open_loop(cfg: OpenLoopConfig, traffic: &mut dyn TrafficPattern) -> O
     report.queue_high_water = nets.request_queue_high_water();
     report.drops = nets.total_stat(|s| s.drops.get());
     report.combines = nets.total_stat(|s| s.combines.get());
+    report.fault_refusals = nets.total_stat(|s| s.fault_refusals.get());
+    report.failovers = nets.failovers();
     report.throughput = report.completed as f64 / (n as f64 * cfg.measure as f64);
     report
 }

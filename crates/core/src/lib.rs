@@ -58,7 +58,7 @@ pub mod program;
 pub mod report;
 pub mod trace;
 
-pub use machine::{BackendKind, Machine, MachineBuilder, MachineConfig, RunOutcome};
+pub use machine::{BackendKind, FaultSummary, Machine, MachineBuilder, MachineConfig, RunOutcome};
 pub use paracomputer::{MemOp, Paracomputer};
 pub use program::{Expr, Op, Program};
 pub use report::MachineReport;
@@ -68,6 +68,7 @@ pub use report::MachineReport;
 #[doc = include_str!("../../../README.md")]
 mod readme_doctests {}
 
+pub use ultra_faults;
 pub use ultra_mem;
 pub use ultra_net;
 pub use ultra_pe;

@@ -30,6 +30,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use ultra_faults::{Fault, FaultClock, FaultPlan, RetryPolicy};
 use ultra_mem::{AddressHasher, MemBank, TranslationMode};
 use ultra_net::config::NetConfig;
 use ultra_net::message::{Message, MsgId, MsgKind, Reply};
@@ -38,7 +39,7 @@ use ultra_net::stats::NetStats;
 use ultra_pe::pni::{Pni, PniError};
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
-use ultra_sim::{Cycle, MmId, PeId, Value};
+use ultra_sim::{Cycle, MemAddr, MmId, PeId, Value};
 
 use crate::interp::{Fetched, IssueSpec, PeInterp};
 use crate::paracomputer::Paracomputer;
@@ -89,6 +90,11 @@ pub struct MachineConfig {
     /// §3.5 hardware multiprogramming factor: interpreter contexts per
     /// physical PE (1 = no multiprogramming).
     pub contexts_per_pe: usize,
+    /// Fault-injection plan (network backend only — the ideal
+    /// paracomputer has no hardware to break). [`FaultPlan::none`]
+    /// leaves the machine bit-identical to a build without the fault
+    /// subsystem.
+    pub faults: FaultPlan,
 }
 
 /// Builder for [`Machine`] (see the crate examples).
@@ -116,8 +122,19 @@ impl MachineBuilder {
                 max_cycles: 50_000_000,
                 barrier_parties: None,
                 contexts_per_pe: 1,
+                faults: FaultPlan::none(),
             },
         }
+    }
+
+    /// Runs the machine under `plan`: static faults are applied before
+    /// cycle 0, scheduled ones fire at their exact cycles. Unless the plan
+    /// carries an explicit [`RetryPolicy`], any unhealthy plan enables the
+    /// PNI retry protocol with a depth-derived default.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
     }
 
     /// Replaces the network configuration (PE count included).
@@ -247,9 +264,52 @@ enum BackendImpl {
         nets: ReplicatedOmega,
         banks: Vec<MemBank>,
         /// Which copy carried each in-flight request (replies return the
-        /// same way).
-        copy_of: HashMap<MsgId, usize>,
+        /// same way). Keyed by attempt too: a retry may travel a
+        /// different copy than the original, and each answer must return
+        /// through the copy that carried its request so decombining
+        /// matches.
+        copy_of: HashMap<(MsgId, u32), usize>,
     },
+}
+
+/// Aggregate resilience counters for one run. All zero under
+/// [`FaultPlan::none`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Injections refused by a dead copy or a dead port on the route
+    /// (each one is a failover attempt).
+    pub refusals: u64,
+    /// Requests accepted by a later copy after an earlier copy refused.
+    pub failovers: u64,
+    /// Requests swallowed by lossy links.
+    pub dropped: u64,
+    /// Timed-out requests re-issued by the PNIs.
+    pub retries: u64,
+    /// Redundant replies discarded at the PEs.
+    pub duplicate_replies: u64,
+    /// Duplicate requests answered from the MM dedup cache.
+    pub dedup_hits: u64,
+    /// Duplicate requests swallowed at the MMs (the original's reply was
+    /// still en route).
+    pub dedup_swallowed: u64,
+    /// Requests discarded unserved by dead MMs.
+    pub dead_discards: u64,
+    /// Wait-buffer slots lost to stuck entries.
+    pub stuck_wait_entries: u64,
+    /// Outbound requests abandoned because no live copy had a route
+    /// (recovered by retry under the re-hashed translation).
+    pub unroutable: u64,
+    /// Physical PEs fail-stopped because the degraded network left them
+    /// no route to any module.
+    pub deconfigured_pes: u64,
+}
+
+impl FaultSummary {
+    /// Whether any fault machinery actually fired.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
 }
 
 /// Outcome of [`Machine::run`].
@@ -284,6 +344,17 @@ pub struct Machine {
     now: Cycle,
     halted_count: usize,
     trace: Trace,
+    /// Fires the plan's scheduled faults at their exact cycles.
+    fault_clock: FaultClock,
+    /// Modules currently dead (static + fired), for cumulative re-hashing.
+    dead_mms: Vec<MmId>,
+    /// Redundant replies (retry answered alongside the original).
+    duplicate_replies: u64,
+    /// Outbound requests abandoned because every copy refused the route.
+    unroutable: u64,
+    /// Physical PEs fail-stopped because no live copy routes them to
+    /// any module.
+    dead_pes: Vec<PeId>,
 }
 
 impl Machine {
@@ -299,28 +370,63 @@ impl Machine {
         assert!(k >= 1, "need at least one context per PE");
         let vpes = n * k;
         assert_eq!(programs.len(), vpes, "need one program per context");
-        let hasher = AddressHasher::new(n, cfg.translation);
+        let plan = cfg.faults.clone();
+        let mut hasher = AddressHasher::new(n, cfg.translation);
+        let static_dead = plan.dead_mms();
+        if !static_dead.is_empty() {
+            hasher.set_dead_mms(&static_dead);
+        }
+        let retry = plan.retry_policy().or_else(|| {
+            (!plan.is_healthy()).then(|| RetryPolicy::for_depth(Self::net_depth(&cfg.net)))
+        });
         let interps: Vec<PeInterp> = programs
             .iter()
             .enumerate()
             .map(|(vid, p)| PeInterp::new(PeId(vid), vpes, p))
             .collect();
-        let pnis = (0..n).map(|i| Pni::new(PeId(i), hasher)).collect();
+        let mut pnis: Vec<Pni> = (0..n).map(|i| Pni::new(PeId(i), hasher.clone())).collect();
+        if let Some(policy) = retry {
+            for pni in &mut pnis {
+                pni.enable_retry(policy);
+            }
+        }
         let backend = match cfg.backend {
             BackendKind::Ideal { latency } => BackendImpl::Ideal {
                 para: Paracomputer::new(cfg.seed),
                 latency,
                 pending: BTreeMap::new(),
             },
-            BackendKind::Network { copies } => BackendImpl::Network {
-                nets: ReplicatedOmega::new(cfg.net, copies),
-                banks: (0..n)
+            BackendKind::Network { copies } => {
+                let mut nets = ReplicatedOmega::new(cfg.net, copies);
+                for c in 0..copies {
+                    let mask = plan.mask_for_copy(c);
+                    if !mask.is_healthy() {
+                        nets.copy_mut(c).set_fault_mask(mask);
+                    }
+                }
+                let mut banks: Vec<MemBank> = (0..n)
                     .map(|i| MemBank::new(MmId(i), cfg.time.cycles_per_mm_access))
-                    .collect(),
-                copy_of: HashMap::new(),
-            },
+                    .collect();
+                for mm in &static_dead {
+                    banks[mm.0].kill();
+                }
+                for (i, bank) in banks.iter_mut().enumerate() {
+                    let factor = plan.slow_factor(MmId(i));
+                    if factor > 1 {
+                        bank.set_service_time(cfg.time.cycles_per_mm_access * Cycle::from(factor));
+                    }
+                    if retry.is_some() {
+                        bank.enable_dedup();
+                    }
+                }
+                BackendImpl::Network {
+                    nets,
+                    banks,
+                    copy_of: HashMap::new(),
+                }
+            }
         };
-        Self {
+        let mut machine = Self {
             hasher,
             interps,
             states: vec![CtxState::Ready; vpes],
@@ -336,8 +442,26 @@ impl Machine {
             now: 0,
             halted_count: 0,
             trace: Trace::new(),
+            fault_clock: plan.clock(),
+            dead_mms: static_dead,
+            duplicate_replies: 0,
+            unroutable: 0,
+            dead_pes: Vec::new(),
             cfg,
+        };
+        machine.absorb_unreachable();
+        machine
+    }
+
+    /// Network depth in stages (`log_k N`).
+    fn net_depth(net: &NetConfig) -> usize {
+        let mut stages = 0;
+        let mut reach = 1;
+        while reach < net.pes {
+            reach *= net.k;
+            stages += 1;
         }
+        stages.max(1)
     }
 
     /// Enables event tracing with room for `capacity` events (ring
@@ -421,12 +545,51 @@ impl Machine {
                     total.wait_buffer_declines.add(s.wait_buffer_declines.get());
                     total.drops.add(s.drops.get());
                     total.inject_stalls.add(s.inject_stalls.get());
+                    total.fault_dropped.add(s.fault_dropped.get());
+                    total.fault_refusals.add(s.fault_refusals.get());
+                    total.stuck_wait_entries.add(s.stuck_wait_entries.get());
                     total.forward_transit.merge(&s.forward_transit);
                     total.reverse_transit.merge(&s.reverse_transit);
                 }
                 total
             }
         }
+    }
+
+    /// Physical PEs fail-stopped because the degraded network left them
+    /// no route to any module. Empty on a healthy machine.
+    #[must_use]
+    pub fn dead_pes(&self) -> &[PeId] {
+        &self.dead_pes
+    }
+
+    /// Aggregate resilience counters (refusals, failovers, retries,
+    /// dedup). All zero under [`FaultPlan::none`].
+    #[must_use]
+    pub fn fault_summary(&self) -> FaultSummary {
+        let mut f = FaultSummary {
+            duplicate_replies: self.duplicate_replies,
+            unroutable: self.unroutable,
+            deconfigured_pes: self.dead_pes.len() as u64,
+            retries: self.pnis.iter().map(|p| p.stats().retries.get()).sum(),
+            ..FaultSummary::default()
+        };
+        if let BackendImpl::Network { nets, banks, .. } = &self.backend {
+            f.failovers = nets.failovers();
+            for i in 0..nets.copies() {
+                let s = nets.copy(i).stats();
+                f.refusals += s.fault_refusals.get();
+                f.dropped += s.fault_dropped.get();
+                f.stuck_wait_entries += s.stuck_wait_entries.get();
+            }
+            for bank in banks {
+                let s = bank.stats();
+                f.dedup_hits += s.dedup_hits.get();
+                f.dedup_swallowed += s.dedup_swallowed.get();
+                f.dead_discards += s.dead_discards.get();
+            }
+        }
+        f
     }
 
     /// The §3.1.4 serial-bottleneck indicator: the deepest request queue
@@ -502,13 +665,181 @@ impl Machine {
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        let fired = self.fault_clock.due(now);
+        for fault in fired {
+            self.apply_fault(fault);
+        }
         self.flush_outgoing(now);
         self.backend_cycle(now);
+        self.queue_due_retries(now);
         self.release_barrier_if_complete();
         for phys in 0..self.pes() {
             self.pe_cycle(phys, now);
         }
         self.now += 1;
+    }
+
+    /// Applies one fired fault to the live machine. Faults target the
+    /// network backend; on the ideal backend they are no-ops.
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::KillCopy { copy } => {
+                if let BackendImpl::Network { nets, .. } = &mut self.backend {
+                    nets.copy_mut(copy).kill();
+                }
+            }
+            Fault::KillMm { mm } => self.kill_mm(mm),
+            Fault::SlowMm { mm, factor } => {
+                if let BackendImpl::Network { banks, .. } = &mut self.backend {
+                    banks[mm.0]
+                        .set_service_time(self.cfg.time.cycles_per_mm_access * Cycle::from(factor));
+                }
+            }
+            Fault::KillSwitchPort {
+                copy,
+                stage,
+                switch,
+                port,
+            } => {
+                if let BackendImpl::Network { nets, .. } = &mut self.backend {
+                    let net = nets.copy_mut(copy);
+                    let mut mask = net.fault_mask().clone();
+                    mask.kill_port(stage, switch, port);
+                    net.set_fault_mask(mask);
+                }
+            }
+            Fault::StickWaitEntry {
+                copy,
+                stage,
+                switch,
+            } => {
+                if let BackendImpl::Network { nets, .. } = &mut self.backend {
+                    let _ = nets.copy_mut(copy).poison_wait_entry(stage, switch);
+                }
+            }
+        }
+        if matches!(fault, Fault::KillCopy { .. } | Fault::KillSwitchPort { .. }) {
+            self.absorb_unreachable();
+        }
+    }
+
+    /// Degraded-mode reconfiguration after route loss. Dead copies plus
+    /// dead ports can sever routes entirely; requests on a severed route
+    /// could never inject and would wedge the machine, so:
+    ///
+    /// 1. A PE with no route to *any* module in *any* copy is
+    ///    fail-stopped (deconfigured) — the paper's fail-soft stance:
+    ///    the machine keeps running with fewer PEs.
+    /// 2. A module some *live* PE cannot reach is folded into the dead
+    ///    set, the stand-in for the OS remapping memory away from
+    ///    modules the degraded network no longer serves; re-hashing
+    ///    (§3.1.4) adopts its words. At least one module always
+    ///    survives.
+    fn absorb_unreachable(&mut self) {
+        let n = self.cfg.net.pes;
+        let reach: Vec<Vec<bool>> = {
+            let BackendImpl::Network { nets, .. } = &self.backend else {
+                return;
+            };
+            // One fully healthy copy routes everything.
+            if (0..nets.copies()).any(|c| nets.copy(c).fault_mask().is_healthy()) {
+                return;
+            }
+            (0..n)
+                .map(|pe| {
+                    (0..n)
+                        .map(|mm| {
+                            let probe = Message::request(
+                                MsgId(0),
+                                MsgKind::Load,
+                                MemAddr::new(MmId(mm), 0),
+                                0,
+                                PeId(pe),
+                                0,
+                            );
+                            (0..nets.copies()).any(|c| !nets.copy(c).fault_refuses(&probe))
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        for (pe, row) in reach.iter().enumerate() {
+            if row.iter().all(|&ok| !ok) {
+                self.deconfigure_pe(pe);
+            }
+        }
+        let mut lost = vec![false; n];
+        for (pe, row) in reach.iter().enumerate() {
+            if self.dead_pes.contains(&PeId(pe)) {
+                continue;
+            }
+            for (mm, &ok) in row.iter().enumerate() {
+                if !ok {
+                    lost[mm] = true;
+                }
+            }
+        }
+        for (mm, &lost) in lost.iter().enumerate() {
+            if !lost || self.dead_mms.contains(&MmId(mm)) {
+                continue;
+            }
+            if self.dead_mms.len() + 2 > n {
+                break;
+            }
+            self.kill_mm(MmId(mm));
+        }
+    }
+
+    /// Fail-stops physical PE `pe`: every context halts, queued and
+    /// outstanding requests are abandoned (late replies for them are
+    /// dropped as orphans). Mid-run deconfiguration does not release
+    /// barriers the dead PE was expected at — like the real machine, a
+    /// barrier with a dead participant never completes.
+    fn deconfigure_pe(&mut self, pe: usize) {
+        if self.dead_pes.contains(&PeId(pe)) {
+            return;
+        }
+        self.dead_pes.push(PeId(pe));
+        let k = self.cfg.contexts_per_pe;
+        for ctx in pe * k..(pe + 1) * k {
+            if self.states[ctx] != CtxState::Halted {
+                self.states[ctx] = CtxState::Halted;
+                self.halted_count += 1;
+            }
+        }
+        for msg in self.outgoing[pe].drain(..) {
+            self.meta.remove(&msg.id);
+        }
+        for id in self.pnis[pe].abandon_all() {
+            self.meta.remove(&id);
+        }
+    }
+
+    /// Kills module `mm` mid-run: its contents are lost, queued requests
+    /// are discarded (PNI timeouts recover them), and translation
+    /// re-hashes around the cumulative dead set on every PNI.
+    fn kill_mm(&mut self, mm: MmId) {
+        if self.dead_mms.contains(&mm) {
+            return;
+        }
+        self.dead_mms.push(mm);
+        self.hasher.set_dead_mms(&self.dead_mms);
+        if let BackendImpl::Network { banks, .. } = &mut self.backend {
+            banks[mm.0].kill();
+        }
+        for pni in &mut self.pnis {
+            pni.set_hasher(self.hasher.clone());
+        }
+    }
+
+    /// Re-issues timed-out requests (retry protocol; no-op when disabled).
+    fn queue_due_retries(&mut self, now: Cycle) {
+        for phys in 0..self.pes() {
+            let retries = self.pnis[phys].due_retries(now);
+            for msg in retries {
+                self.outgoing[phys].push_back(msg);
+            }
+        }
     }
 
     /// Tries to push queued outbound messages into the backend.
@@ -524,11 +855,22 @@ impl Machine {
                         self.outgoing[pe].pop_front();
                     }
                     BackendImpl::Network { nets, copy_of, .. } => {
+                        // A request every copy refuses (dead copy, or a
+                        // dead port on its only route in each) can never
+                        // inject: abandon it rather than wedging this
+                        // PE's queue; the PNI timeout re-issues it under
+                        // whatever translation the degraded hash uses by
+                        // then.
+                        if (0..nets.copies()).all(|c| nets.copy(c).fault_refuses(msg)) {
+                            self.outgoing[pe].pop_front();
+                            self.unroutable += 1;
+                            continue;
+                        }
                         let m = msg.clone();
-                        let id = m.id;
+                        let key = (m.id, m.attempt);
                         match nets.try_inject_request(m, now) {
                             Ok(copy) => {
-                                copy_of.insert(id, copy);
+                                copy_of.insert(key, copy);
                                 self.outgoing[pe].pop_front();
                             }
                             Err(_) => break, // backpressure; retry next cycle
@@ -583,7 +925,13 @@ impl Machine {
                 for bank in banks.iter_mut() {
                     bank.cycle(now);
                     while let Some(reply) = bank.peek_reply() {
-                        let copy = *copy_of.get(&reply.id).expect("reply to unknown request");
+                        let Some(&copy) = copy_of.get(&(reply.id, reply.attempt)) else {
+                            // An answer to an attempt whose twin already
+                            // round-tripped; nobody is waiting for it.
+                            let _ = bank.pop_reply();
+                            self.duplicate_replies += 1;
+                            continue;
+                        };
                         let r = reply.clone();
                         match nets.try_inject_reply(copy, r, now) {
                             Ok(()) => {
@@ -600,7 +948,7 @@ impl Machine {
                         banks[msg.addr.mm.0].push_request(msg);
                     }
                     for reply in events.replies_at_pe {
-                        copy_of.remove(&reply.id);
+                        copy_of.remove(&(reply.id, reply.attempt));
                         deliveries.push(reply);
                     }
                     for dropped in events.dropped {
@@ -616,10 +964,14 @@ impl Machine {
     }
 
     fn deliver_reply(&mut self, reply: &Reply, now: Cycle) {
-        let meta = self
-            .meta
-            .remove(&reply.id)
-            .expect("reply to unknown request");
+        let Some(meta) = self.meta.remove(&reply.id) else {
+            // The retry protocol makes duplicate answers legal: a timed-out
+            // request and its retry can both be served (the MM dedup cache
+            // keeps the *effect* exactly-once). The first answer completed
+            // the request; later ones are discarded here.
+            self.duplicate_replies += 1;
+            return;
+        };
         let ctx = meta.ctx;
         let phys = ctx / self.cfg.contexts_per_pe;
         let matched = self.pnis[phys].complete(reply);
@@ -1158,6 +1510,111 @@ mod tests {
         let cycles: Vec<_> = m.trace().events().map(TraceEvent::cycle).collect();
         assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(m.trace().dropped(), 0);
+    }
+
+    // ---- fault injection & resilience ----
+
+    #[test]
+    fn dead_mm_at_boot_machine_counts_exactly() {
+        // The counter word's healthy home may be the dead module; the
+        // re-hash sends every access to the adoptive module instead and
+        // the run stays exact.
+        for dead in 0..8usize {
+            let mut m = MachineBuilder::new(8)
+                .faults(FaultPlan::none().dead_mm(MmId(dead)))
+                .build_spmd(&counter_program(6));
+            assert!(m.run().completed, "dead MM {dead} must not wedge the run");
+            assert_eq!(m.read_shared(0), 48, "dead MM {dead}");
+        }
+    }
+
+    #[test]
+    fn dead_copy_fails_over_and_counts_exactly() {
+        // d = 2 with one copy fully dead: every injection is refused by
+        // the dead copy and carried by the survivor.
+        let mut m = MachineBuilder::new(8)
+            .network(2)
+            .faults(FaultPlan::none().dead_copy(0))
+            .build_spmd(&counter_program(8));
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), 64);
+        let f = m.fault_summary();
+        assert!(f.failovers > 0, "survivor must pick up refused requests");
+        assert_eq!(f.refusals, f.failovers, "every refusal failed over");
+    }
+
+    #[test]
+    fn lossy_links_with_retry_stay_exactly_once() {
+        // 10% of injections are swallowed; the PNI timeout re-issues them
+        // and the MM dedup cache keeps each fetch-and-add single-shot.
+        let mut m = MachineBuilder::new(8)
+            .faults(FaultPlan::none().seed(7).link_loss(0.10))
+            .max_cycles(2_000_000)
+            .build_spmd(&counter_program(10));
+        assert!(m.run().completed, "retries must recover every loss");
+        assert_eq!(m.read_shared(0), 80, "applied exactly once despite loss");
+        let f = m.fault_summary();
+        assert!(f.dropped > 0, "losses must actually occur at 10%");
+        assert!(f.retries >= f.dropped, "every loss needs a retry");
+    }
+
+    #[test]
+    fn scheduled_copy_death_mid_run_is_survivable() {
+        let mut m = MachineBuilder::new(8)
+            .network(2)
+            .faults(FaultPlan::none().schedule(50, Fault::KillCopy { copy: 1 }))
+            .build_spmd(&counter_program(12));
+        assert!(m.run().completed);
+        assert_eq!(m.read_shared(0), 96);
+        assert!(m.fault_summary().refusals > 0, "the dead copy refused work");
+    }
+
+    #[test]
+    fn scheduled_mm_death_mid_run_rehashes_and_recovers() {
+        // Distinct-slot stores: slots written before the death and living
+        // on surviving modules keep their values; requests in flight to
+        // the dying module are discarded and recovered by retry.
+        let p = Program::new(
+            body(vec![
+                Op::Store {
+                    addr: Expr::add(Expr::Const(100), Expr::PeIndex),
+                    value: Expr::Const(7),
+                },
+                Op::Fence,
+                Op::Barrier,
+                Op::Store {
+                    addr: Expr::add(Expr::Const(200), Expr::PeIndex),
+                    value: Expr::Const(9),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let healthy = AddressHasher::new(8, TranslationMode::Hashed);
+        let dying = MmId(3);
+        let mut m = MachineBuilder::new(8)
+            .faults(FaultPlan::none().schedule(60, Fault::KillMm { mm: dying }))
+            .build_spmd(&p);
+        let out = m.run();
+        assert!(out.completed, "machine must drain after the module dies");
+        assert!(m.fault_summary().retries > 0 || m.fault_summary().dead_discards == 0);
+        // Post-barrier stores all happened under the degraded hash.
+        for pe in 0..8 {
+            assert_eq!(m.read_shared(200 + pe), 9, "post-death store {pe}");
+        }
+        // Pre-death stores survive unless their word lived on the victim.
+        for pe in 0..8 {
+            if healthy.translate(100 + pe).mm != dying {
+                assert_eq!(m.read_shared(100 + pe), 7, "surviving store {pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_plan_reports_zero_fault_activity() {
+        let mut m = MachineBuilder::new(8).build_spmd(&counter_program(5));
+        assert!(m.run().completed);
+        assert!(!m.fault_summary().any());
     }
 
     // ---- §3.5 hardware multiprogramming ----

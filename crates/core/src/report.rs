@@ -10,7 +10,7 @@ use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
 use ultra_sim::Cycle;
 
-use crate::machine::Machine;
+use crate::machine::{FaultSummary, Machine};
 
 /// Summary of one machine run, in the paper's units.
 #[derive(Debug, Clone)]
@@ -25,6 +25,8 @@ pub struct MachineReport {
     pub time: TimeScale,
     /// Number of PEs.
     pub pes: usize,
+    /// Resilience counters (all zero on a healthy run).
+    pub faults: FaultSummary,
 }
 
 impl MachineReport {
@@ -48,6 +50,7 @@ impl MachineReport {
             net: m.net_stats(),
             time: m.cfg().time,
             pes: active,
+            faults: m.fault_summary(),
         }
     }
 
@@ -135,7 +138,23 @@ impl fmt::Display for MachineReport {
             self.net.combines,
             100.0 * self.net.combine_rate(),
             self.net.drops
-        )
+        )?;
+        if self.faults.any() {
+            write!(
+                f,
+                "\n  faults: {} refused, {} failovers, {} lost, {} retries, {} dedup hits, {} dup replies, {} dead-MM discards, {} unroutable, {} dead PEs",
+                self.faults.refusals,
+                self.faults.failovers,
+                self.faults.dropped,
+                self.faults.retries,
+                self.faults.dedup_hits,
+                self.faults.duplicate_replies,
+                self.faults.dead_discards,
+                self.faults.unroutable,
+                self.faults.deconfigured_pes
+            )?;
+        }
+        Ok(())
     }
 }
 

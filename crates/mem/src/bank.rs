@@ -1,8 +1,23 @@
 //! One memory module with its memory-network interface.
+//!
+//! # Fault hooks
+//!
+//! The §4.1 degradation story needs three things from a module: it can
+//! *die* (fail-stop: contents and in-flight work lost, translation
+//! re-hashes around it), it can *slow down* (service-time multiplier),
+//! and — when the machine runs a retry protocol — it keeps a **dedup
+//! cache** so a retried request whose original was already applied is
+//! never applied twice. The cache is keyed by every sequence number folded
+//! into a combined request, so even a retry of a constituent that was
+//! absorbed by combining is recognized. A duplicate is answered from the
+//! cache when the module knows that constituent's exact reply value (it
+//! was applied alone, or was the combined amalgam's survivor) and is
+//! silently swallowed otherwise — safe, because replies are never lost in
+//! the fault model, so the original decombined reply is still en route.
 
 use std::collections::{HashMap, VecDeque};
 
-use ultra_net::message::{Message, MsgKind, Reply};
+use ultra_net::message::{Message, MsgId, MsgKind, Reply};
 use ultra_sim::{Counter, Cycle, MmId, Value};
 
 /// Instrumentation for one memory bank.
@@ -21,6 +36,13 @@ pub struct MemStats {
     pub max_queue_depth: usize,
     /// Cycles during which the module was actively serving a request.
     pub busy_cycles: Counter,
+    /// Duplicate (retried) requests answered from the dedup cache.
+    pub dedup_hits: Counter,
+    /// Duplicate requests swallowed without a reply (original reply still
+    /// en route through a combining tree).
+    pub dedup_swallowed: Counter,
+    /// Requests discarded because the module was dead.
+    pub dead_discards: Counter,
 }
 
 /// A memory module plus its MNI: FIFO request queue, fixed service time,
@@ -39,6 +61,13 @@ pub struct MemBank {
     outbox: VecDeque<Reply>,
     service_time: Cycle,
     stats: MemStats,
+    dead: bool,
+    /// Retry dedup cache (None = disabled, the fault-free default — no
+    /// per-request bookkeeping at all). `Some(value)` = that sequence
+    /// number was applied and observed `value`; `None` = it was applied
+    /// as an absorbed constituent of a combined request, whose exact
+    /// observed value only the combining tree knows.
+    seen: Option<HashMap<MsgId, Option<Value>>>,
 }
 
 impl MemBank {
@@ -59,6 +88,8 @@ impl MemBank {
             outbox: VecDeque::new(),
             service_time,
             stats: MemStats::default(),
+            dead: false,
+            seen: None,
         }
     }
 
@@ -66,6 +97,56 @@ impl MemBank {
     #[must_use]
     pub fn mm(&self) -> MmId {
         self.mm
+    }
+
+    /// Enables the exactly-once dedup cache (required when the machine
+    /// runs the PNI retry protocol; off by default so fault-free runs do
+    /// no extra bookkeeping).
+    pub fn enable_dedup(&mut self) {
+        if self.seen.is_none() {
+            self.seen = Some(HashMap::new());
+        }
+    }
+
+    /// Fail-stops this module: contents, queued work, and undelivered
+    /// replies are all lost, and every future request is discarded
+    /// unserved (its PE recovers via retry against the re-hashed
+    /// translation).
+    pub fn kill(&mut self) {
+        self.dead = true;
+        let discarded =
+            self.queue.len() + usize::from(self.in_service.is_some()) + self.outbox.len();
+        self.stats.dead_discards.add(discarded as u64);
+        self.queue.clear();
+        self.in_service = None;
+        self.outbox.clear();
+        self.words.clear();
+        if let Some(seen) = &mut self.seen {
+            seen.clear();
+        }
+    }
+
+    /// Whether the module has fail-stopped.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Degrades (or restores) the per-request service time — the slow-MM
+    /// fault. Takes effect from the next request to enter service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_time` is zero.
+    pub fn set_service_time(&mut self, service_time: Cycle) {
+        assert!(service_time >= 1, "service time must be at least one cycle");
+        self.service_time = service_time;
+    }
+
+    /// The current per-request service time.
+    #[must_use]
+    pub fn service_time(&self) -> Cycle {
+        self.service_time
     }
 
     /// Accumulated statistics.
@@ -92,6 +173,13 @@ impl MemBank {
     /// Panics if the request is addressed to a different module.
     pub fn push_request(&mut self, msg: Message) {
         assert_eq!(msg.addr.mm, self.mm, "request delivered to wrong module");
+        if self.dead {
+            // Discarded before application: the issuing PE's retry (after
+            // translation re-hashes around this module) is the request's
+            // first and only application.
+            self.stats.dead_discards.incr();
+            return;
+        }
         self.queue.push_back(msg);
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
     }
@@ -124,10 +212,42 @@ impl MemBank {
         if let Some((done_at, _)) = self.in_service {
             if now + 1 >= done_at {
                 let (_, msg) = self.in_service.take().expect("checked");
-                let value = self.apply(&msg);
-                self.outbox.push_back(Reply::to_request(&msg, value));
+                self.serve(&msg);
             }
         }
+    }
+
+    /// Serves one request at completion time: consults the dedup cache
+    /// (when enabled), applies the request at most once, and enqueues the
+    /// reply owed (if any).
+    fn serve(&mut self, msg: &Message) {
+        if let Some(seen) = &self.seen {
+            if let Some(dup) = msg.folded.iter().find_map(|id| seen.get(id)) {
+                // Some constituent of this request was already applied —
+                // never apply again. Retries carry exactly one folded id,
+                // so a cached exact value answers the duplicate directly;
+                // a `None` marker means the value only exists in the
+                // combining tree's decombined reply, which is still en
+                // route (replies are never lost), so stay silent.
+                match *dup {
+                    Some(value) => {
+                        self.stats.dedup_hits.incr();
+                        self.outbox.push_back(Reply::to_request(msg, value));
+                    }
+                    None => self.stats.dedup_swallowed.incr(),
+                }
+                return;
+            }
+        }
+        let value = self.apply(msg);
+        if let Some(seen) = &mut self.seen {
+            // The survivor id's observed value is exactly `value`; the
+            // absorbed constituents' values live in the wait buffers.
+            for &id in &msg.folded {
+                seen.insert(id, if id == msg.id { Some(value) } else { None });
+            }
+        }
+        self.outbox.push_back(Reply::to_request(msg, value));
     }
 
     /// The MNI ALU: applies one request to the memory array and returns the
@@ -258,6 +378,86 @@ mod tests {
     fn rejects_misrouted_request() {
         let mut bank = MemBank::new(MmId(1), 1);
         bank.push_request(req(1, MsgKind::Load, 0, 0));
+    }
+
+    #[test]
+    fn killed_module_discards_everything() {
+        let mut bank = MemBank::new(MmId(0), 2);
+        bank.poke(3, 42);
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+        bank.cycle(0);
+        bank.kill();
+        assert!(bank.is_dead());
+        assert!(bank.is_idle(), "all in-flight work discarded");
+        assert_eq!(bank.peek(3), 0, "contents lost");
+        bank.push_request(req(2, MsgKind::Store, 0, 9));
+        assert!(bank.is_idle(), "dead module accepts nothing");
+        for now in 0..10 {
+            bank.cycle(now);
+        }
+        assert!(bank.pop_reply().is_none());
+        assert_eq!(bank.stats().dead_discards.get(), 2);
+    }
+
+    #[test]
+    fn slow_module_takes_longer_per_request() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.set_service_time(4);
+        assert_eq!(bank.service_time(), 4);
+        bank.push_request(req(1, MsgKind::Load, 0, 0));
+        for now in 0..3 {
+            bank.cycle(now);
+            assert!(bank.peek_reply().is_none(), "still serving at {now}");
+        }
+        bank.cycle(3);
+        assert!(bank.pop_reply().is_some());
+    }
+
+    #[test]
+    fn dedup_answers_duplicate_without_reapplying() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.enable_dedup();
+        bank.push_request(req(7, MsgKind::FetchPhi(PhiOp::Add), 0, 5));
+        bank.cycle(0);
+        assert_eq!(bank.pop_reply().unwrap().value, 0);
+        assert_eq!(bank.peek(0), 5);
+        // A (spurious) retry of the same sequence number arrives later.
+        let mut dup = req(7, MsgKind::FetchPhi(PhiOp::Add), 0, 5);
+        dup = dup.as_retry(1, 10);
+        bank.push_request(dup);
+        bank.cycle(10);
+        let r = bank.pop_reply().unwrap();
+        assert_eq!(r.value, 0, "duplicate observes the original's value");
+        assert_eq!(r.attempt, 1, "reply tagged with the retry attempt");
+        assert_eq!(bank.peek(0), 5, "applied exactly once");
+        assert_eq!(bank.stats().dedup_hits.get(), 1);
+    }
+
+    #[test]
+    fn dedup_swallows_retry_of_absorbed_constituent() {
+        let mut bank = MemBank::new(MmId(0), 1);
+        bank.enable_dedup();
+        // A combined amalgam: survivor id 1 folding ids 1 and 2.
+        let mut amalgam = req(1, MsgKind::FetchPhi(PhiOp::Add), 0, 8);
+        amalgam.folded = vec![MsgId(1), MsgId(2)];
+        bank.push_request(amalgam);
+        bank.cycle(0);
+        assert_eq!(bank.pop_reply().unwrap().value, 0);
+        assert_eq!(bank.peek(0), 8);
+        // Retry of the absorbed constituent 2: its exact value lives in
+        // the combining tree, so the module must not invent one.
+        let dup = req(2, MsgKind::FetchPhi(PhiOp::Add), 0, 3).as_retry(1, 10);
+        bank.push_request(dup);
+        bank.cycle(10);
+        assert!(bank.pop_reply().is_none(), "swallowed, not re-applied");
+        assert_eq!(bank.peek(0), 8, "applied exactly once");
+        assert_eq!(bank.stats().dedup_swallowed.get(), 1);
+        // Retry of the survivor id 1 is answered from the cache.
+        let dup = req(1, MsgKind::FetchPhi(PhiOp::Add), 0, 8).as_retry(1, 20);
+        bank.push_request(dup);
+        bank.cycle(20);
+        assert_eq!(bank.pop_reply().unwrap().value, 0);
+        assert_eq!(bank.peek(0), 8);
     }
 
     #[test]

@@ -17,8 +17,25 @@
 //!
 //! Both translations are injective (distinct virtual words never collide on
 //! the same physical word), which the property tests verify.
+//!
+//! # Degraded mode (dead memory modules)
+//!
+//! The §4.1 fault model lets whole MMs die; the machine keeps running by
+//! re-hashing around them. When the hasher carries a non-empty dead set,
+//! any word whose healthy translation lands on a dead module is *remapped*
+//! onto a live module, into a reserved offset region disjoint from all
+//! healthy offsets ([`REMAP_BASE`]), keeping the full translation
+//! injective. With an empty dead set the remap layer is structurally
+//! absent and translation is bit-identical to the healthy hasher.
 
 use ultra_sim::{MemAddr, MmId};
+
+/// First offset of the reserved region that remapped (dead-module) words
+/// occupy on their adoptive live module. Healthy offsets are `vaddr / N`,
+/// far below this for any realistic address space (the machine's reserved
+/// barrier words sit at `2^40`), so remapped words can never collide with
+/// native ones.
+pub const REMAP_BASE: usize = 1 << 50;
 
 /// How virtual word addresses map onto `(module, offset)` pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -44,10 +61,15 @@ pub enum TranslationMode {
 /// let b = h.translate(1001);
 /// assert_ne!((a.mm, a.offset), (b.mm, b.offset));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AddressHasher {
     n_mms: usize,
     mode: TranslationMode,
+    /// `dead_rank[mm] = Some(r)` iff module `mm` is dead and is the
+    /// `r`-th dead module in ascending order. Empty when healthy.
+    dead_rank: Vec<Option<usize>>,
+    /// Live module indices, ascending. Empty when healthy (all live).
+    live: Vec<usize>,
 }
 
 impl AddressHasher {
@@ -62,7 +84,46 @@ impl AddressHasher {
             n_mms.is_power_of_two(),
             "module count must be a power of two"
         );
-        Self { n_mms, mode }
+        Self {
+            n_mms,
+            mode,
+            dead_rank: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Switches the hasher into degraded mode: words whose healthy
+    /// translation lands on a module in `dead` are remapped onto live
+    /// modules (round-robin by dead rank) in the [`REMAP_BASE`] offset
+    /// region. Passing an empty set restores exact healthy translation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every module is dead or a dead index is out of range.
+    pub fn set_dead_mms(&mut self, dead: &[MmId]) {
+        if dead.is_empty() {
+            self.dead_rank = Vec::new();
+            self.live = Vec::new();
+            return;
+        }
+        let mut rank = vec![None; self.n_mms];
+        let mut sorted: Vec<usize> = dead.iter().map(|m| m.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (r, &mm) in sorted.iter().enumerate() {
+            assert!(mm < self.n_mms, "dead module {mm} out of range");
+            rank[mm] = Some(r);
+        }
+        let live: Vec<usize> = (0..self.n_mms).filter(|&m| rank[m].is_none()).collect();
+        assert!(!live.is_empty(), "at least one module must survive");
+        self.dead_rank = rank;
+        self.live = live;
+    }
+
+    /// Whether any module is being remapped around.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.live.is_empty()
     }
 
     /// Number of modules being spread over.
@@ -85,7 +146,29 @@ impl AddressHasher {
                 (vaddr & mask) ^ (mix(group as u64) as usize & mask)
             }
         };
-        MemAddr::new(MmId(mm), group)
+        self.remap(MemAddr::new(MmId(mm), group))
+    }
+
+    /// Applies the degraded-mode remap to a healthy translation. Identity
+    /// when no modules are dead. Injective: distinct dead `(mm, offset)`
+    /// pairs get distinct remapped offsets (`offset · D + rank` with
+    /// `rank < D`), and the [`REMAP_BASE`] region keeps them disjoint
+    /// from every native offset on the adoptive module. Public so
+    /// harnesses that generate *physical* traffic can steer it around
+    /// dead modules the same way translated traffic is steered.
+    #[must_use]
+    pub fn remap(&self, addr: MemAddr) -> MemAddr {
+        if self.live.is_empty() {
+            return addr;
+        }
+        match self.dead_rank[addr.mm.0] {
+            None => addr,
+            Some(rank) => {
+                let d = self.n_mms - self.live.len();
+                let adoptive = self.live[rank % self.live.len()];
+                MemAddr::new(MmId(adoptive), REMAP_BASE + addr.offset * d + rank)
+            }
+        }
     }
 }
 
@@ -160,5 +243,73 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = AddressHasher::new(12, TranslationMode::Hashed);
+    }
+
+    #[test]
+    fn empty_dead_set_is_exact_passthrough() {
+        let healthy = AddressHasher::new(16, TranslationMode::Hashed);
+        let mut degraded = AddressHasher::new(16, TranslationMode::Hashed);
+        degraded.set_dead_mms(&[MmId(3)]);
+        degraded.set_dead_mms(&[]);
+        assert!(!degraded.is_degraded());
+        for v in 0..5_000 {
+            assert_eq!(healthy.translate(v), degraded.translate(v));
+        }
+    }
+
+    #[test]
+    fn degraded_translation_avoids_dead_modules_and_stays_injective() {
+        for mode in [TranslationMode::Interleaved, TranslationMode::Hashed] {
+            let mut h = AddressHasher::new(16, mode);
+            h.set_dead_mms(&[MmId(0), MmId(5), MmId(11)]);
+            assert!(h.is_degraded());
+            let mut seen = HashSet::new();
+            for v in 0..10_000 {
+                let a = h.translate(v);
+                assert!(
+                    ![0usize, 5, 11].contains(&a.mm.0),
+                    "vaddr {v} landed on a dead module ({mode:?})"
+                );
+                assert!(seen.insert((a.mm, a.offset)), "collision at {v} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn remapped_words_live_in_the_reserved_region() {
+        let healthy = AddressHasher::new(8, TranslationMode::Hashed);
+        let mut h = AddressHasher::new(8, TranslationMode::Hashed);
+        h.set_dead_mms(&[MmId(2)]);
+        for v in 0..2_000 {
+            let base = healthy.translate(v);
+            let got = h.translate(v);
+            if base.mm == MmId(2) {
+                assert!(got.offset >= REMAP_BASE, "remapped offset in region");
+                assert_ne!(got.mm, MmId(2));
+            } else {
+                assert_eq!(got, base, "healthy-module words are untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_modules_spread_over_all_survivors() {
+        // With several dead modules, their adoptive homes must not all
+        // collapse onto one survivor.
+        let mut h = AddressHasher::new(16, TranslationMode::Hashed);
+        h.set_dead_mms(&[MmId(1), MmId(2), MmId(3), MmId(4)]);
+        let adoptive: HashSet<_> = (0..5_000)
+            .map(|v| h.translate(v))
+            .filter(|a| a.offset >= REMAP_BASE)
+            .map(|a| a.mm)
+            .collect();
+        assert!(adoptive.len() >= 4, "got {adoptive:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn rejects_killing_every_module() {
+        let mut h = AddressHasher::new(2, TranslationMode::Hashed);
+        h.set_dead_mms(&[MmId(0), MmId(1)]);
     }
 }

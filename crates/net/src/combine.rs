@@ -88,6 +88,9 @@ impl WaitEntry {
             request_issued_at: self.absorbed_issued_at,
             mm_injected_at: 0,
             amalgam,
+            // Only attempt-0 requests ever combine, so the absorbed
+            // request's owed reply is always for its original issue.
+            attempt: 0,
         }
     }
 }
@@ -119,6 +122,22 @@ pub fn try_combine(queued: &mut Message, incoming: &Message) -> Option<WaitEntry
     if queued.addr != incoming.addr {
         return None;
     }
+    // Retried requests never combine: the original issue may still be
+    // alive somewhere in the machine, and the exactly-once guarantee
+    // requires that a duplicate of an already-applied logical request is
+    // only ever recognized at the MM's dedup cache — folding it into a
+    // fresh request would smuggle its effect past that cache. The same
+    // check also declines the (pathological) meeting of two messages that
+    // already share a folded constituent.
+    if queued.attempt > 0
+        || incoming.attempt > 0
+        || queued.folded.iter().any(|id| incoming.folded.contains(id))
+    {
+        return None;
+    }
+    // The forwarded request now answers for every constituent of both.
+    let mut folded = queued.folded.clone();
+    folded.extend_from_slice(&incoming.folded);
     use MsgKind::{FetchPhi, Load, Store};
 
     // Each arm decides: (a) what the forwarded request looks like (mutation
@@ -194,6 +213,7 @@ pub fn try_combine(queued: &mut Message, incoming: &Message) -> Option<WaitEntry
             absorbed
         }
     };
+    queued.folded = folded;
     Some(entry)
 }
 
@@ -386,6 +406,51 @@ mod tests {
     fn mismatched_phi_ops_decline() {
         let mut q = req(1, MsgKind::FetchPhi(PhiOp::Add), 5, 0);
         let i = req(2, MsgKind::FetchPhi(PhiOp::Max), 9, 1);
+        assert!(try_combine(&mut q, &i).is_none());
+    }
+
+    #[test]
+    fn combining_merges_folded_id_lists() {
+        let mut q = req(1, MsgKind::fetch_add(), 5, 0);
+        let i = req(2, MsgKind::fetch_add(), 9, 1);
+        try_combine(&mut q, &i).unwrap();
+        assert_eq!(q.folded, vec![MsgId(1), MsgId(2)]);
+        // A second combine keeps accumulating constituents.
+        let j = req(3, MsgKind::fetch_add(), 1, 2);
+        try_combine(&mut q, &j).unwrap();
+        assert_eq!(q.folded, vec![MsgId(1), MsgId(2), MsgId(3)]);
+    }
+
+    #[test]
+    fn identity_swap_arms_keep_merged_folded_list() {
+        // Load + Store swaps identity to the store; the folded list must
+        // still cover both constituents.
+        let mut q = req(1, MsgKind::Load, 0, 0);
+        let i = req(2, MsgKind::Store, 55, 1);
+        try_combine(&mut q, &i).unwrap();
+        assert_eq!(q.id, MsgId(2));
+        assert_eq!(q.folded, vec![MsgId(1), MsgId(2)]);
+    }
+
+    #[test]
+    fn retried_requests_never_combine() {
+        let mut q = req(1, MsgKind::fetch_add(), 5, 0).as_retry(1, 10);
+        let i = req(2, MsgKind::fetch_add(), 9, 1);
+        assert!(try_combine(&mut q, &i).is_none(), "retried queued declines");
+        let mut q2 = req(3, MsgKind::fetch_add(), 5, 0);
+        let i2 = req(4, MsgKind::fetch_add(), 9, 1).as_retry(2, 10);
+        assert!(
+            try_combine(&mut q2, &i2).is_none(),
+            "retried incoming declines"
+        );
+        assert_eq!(q2.value, 5, "declined combine leaves queued untouched");
+    }
+
+    #[test]
+    fn shared_constituents_never_combine() {
+        let mut q = req(1, MsgKind::fetch_add(), 5, 0);
+        let mut i = req(2, MsgKind::fetch_add(), 9, 1);
+        i.folded = vec![MsgId(2), MsgId(1)];
         assert!(try_combine(&mut q, &i).is_none());
     }
 

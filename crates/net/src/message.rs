@@ -143,6 +143,16 @@ pub struct Message {
     pub issued_at: Cycle,
     /// The origin/destination amalgam address (§3.1.1).
     pub amalgam: usize,
+    /// Retry attempt: 0 for the original issue, incremented by the PNI on
+    /// each timeout re-issue (the id doubles as the sequence number).
+    /// Retried messages are never combined — the original may still be
+    /// alive, and two live copies of one id must not meet in a wait buffer.
+    pub attempt: u32,
+    /// Every logical request folded into this message by combining (its
+    /// own id plus each absorbed message's folded list). The MM's dedup
+    /// cache records all of them, so a retry of any constituent of an
+    /// already-applied combined request is recognized as a duplicate.
+    pub folded: Vec<MsgId>,
 }
 
 impl Message {
@@ -165,7 +175,21 @@ impl Message {
             src,
             issued_at,
             amalgam: addr.mm.0,
+            attempt: 0,
+            folded: vec![id],
         }
+    }
+
+    /// Marks this message as retry attempt `attempt` of the same logical
+    /// request (same id/sequence number), re-entering the network at
+    /// `now`.
+    #[must_use]
+    pub fn as_retry(mut self, attempt: u32, now: Cycle) -> Self {
+        self.attempt = attempt;
+        self.issued_at = now;
+        self.amalgam = self.addr.mm.0;
+        self.folded = vec![self.id];
+        self
     }
 
     /// Length of the forward message in packets under the §4.2 model.
@@ -209,6 +233,9 @@ pub struct Reply {
     /// The reverse-trip amalgam: starts as the destination PE number and is
     /// consumed digit-by-digit on the way back (§3.1.1).
     pub amalgam: usize,
+    /// Which attempt of the request this reply answers (copied from the
+    /// request; lets the PNI/machine pair replies with retried issues).
+    pub attempt: u32,
 }
 
 impl Reply {
@@ -228,6 +255,7 @@ impl Reply {
             request_issued_at: req.issued_at,
             mm_injected_at: 0,
             amalgam: req.src.0,
+            attempt: req.attempt,
         }
     }
 

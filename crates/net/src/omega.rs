@@ -32,6 +32,7 @@ use crate::message::{Message, MsgId, Reply};
 use crate::route::{ForwardHop, ReverseHop, Topology};
 use crate::stats::NetStats;
 use crate::switch::{AcceptOutcome, Switch};
+use ultra_faults::FaultMask;
 use ultra_sim::Cycle;
 
 /// Everything that emerged from the network during one cycle.
@@ -72,6 +73,10 @@ pub struct OmegaNetwork {
     pending_drops: Vec<Message>,
     next_id: u64,
     stats: NetStats,
+    /// Live fault state (§4.1 graceful degradation); healthy by default,
+    /// in which case every fault check below short-circuits and the
+    /// network behaves bit-identically to a fault-free build.
+    mask: FaultMask,
 }
 
 impl OmegaNetwork {
@@ -102,7 +107,64 @@ impl OmegaNetwork {
             rev_egress: Vec::new(),
             pending_drops: Vec::new(),
             next_id: 1,
+            mask: FaultMask::healthy(),
         }
+    }
+
+    /// Installs the boot-time fault state of this copy.
+    pub fn set_fault_mask(&mut self, mask: FaultMask) {
+        self.mask = mask;
+    }
+
+    /// The live fault state.
+    #[must_use]
+    pub fn fault_mask(&self) -> &FaultMask {
+        &self.mask
+    }
+
+    /// Fail-stops this copy: no new requests are accepted from now on;
+    /// traffic already inside (and returning replies) drains normally.
+    pub fn kill(&mut self) {
+        self.mask.kill_copy();
+    }
+
+    /// Fault hook: permanently occupies one wait-buffer slot of switch
+    /// `(stage, switch)` (see [`Switch::poison_wait_entry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(stage, switch)` is out of range.
+    pub fn poison_wait_entry(&mut self, stage: usize, switch: usize) -> bool {
+        self.stages[stage][switch].poison_wait_entry(&mut self.stats)
+    }
+
+    /// Whether this copy's faults make it refuse `msg` outright: the copy
+    /// is dead, or a dead switch port lies on the request's forward route.
+    /// (Distinct from backpressure, which is transient.)
+    #[must_use]
+    pub fn fault_refuses(&self, msg: &Message) -> bool {
+        self.mask.copy_dead() || self.route_blocked(msg)
+    }
+
+    /// Whether a dead forward port lies on `msg`'s unique Omega route.
+    /// In-flight traffic is unaffected (a port death mid-run only blocks
+    /// requests injected after it), so the check runs at injection time.
+    fn route_blocked(&self, msg: &Message) -> bool {
+        if !self.mask.any_port_dead() {
+            return false;
+        }
+        let (mut sw, _) = self.topo.pe_entry(msg.src);
+        for s in 0..self.topo.stages() {
+            let out_port = self.topo.forward_out_port(msg.addr.mm, s);
+            if self.mask.port_dead(s, sw, out_port) {
+                return true;
+            }
+            match self.topo.forward_next(s, sw, out_port) {
+                ForwardHop::ToSwitch(next_sw, _) => sw = next_sw,
+                ForwardHop::ToMm(_) => break,
+            }
+        }
+        false
     }
 
     /// The configuration this network was built with.
@@ -158,6 +220,10 @@ impl OmegaNetwork {
     /// previous message or the entry switch has no room (backpressure); the
     /// caller should retry next cycle.
     pub fn try_inject_request(&mut self, msg: Message, now: Cycle) -> Result<(), Message> {
+        if self.fault_refuses(&msg) {
+            self.stats.fault_refusals.incr();
+            return Err(msg);
+        }
         let pe = msg.src;
         if now < self.pe_link_free[pe.0] {
             self.stats.inject_stalls.incr();
@@ -170,6 +236,15 @@ impl OmegaNetwork {
         }
         let len = msg.packets(self.cfg.data_packets, self.cfg.ctl_packets);
         self.pe_link_free[pe.0] = now + Cycle::from(len);
+        // Lossy PE→network link: the message streams onto the wire (the
+        // link time is consumed) but never reaches the entry switch. The
+        // caller sees a successful injection; recovery is the PNI's
+        // timeout/retry, which is safe because the request was lost
+        // *before* any combining or memory application.
+        if self.mask.roll_link_loss() {
+            self.stats.fault_dropped.incr();
+            return Ok(());
+        }
         self.stats.injected_requests.incr();
         match self.stages[0][sw].accept_request(msg, in_port, now, &self.topo, &mut self.stats) {
             AcceptOutcome::Dropped(m) => self.pending_drops.push(m),
@@ -367,6 +442,7 @@ fn extract_ready<T>(pending: &mut Vec<(Cycle, T)>, now: Cycle, mut sink: impl Fn
 pub struct ReplicatedOmega {
     copies: Vec<OmegaNetwork>,
     cursor: Vec<usize>,
+    failovers: u64,
 }
 
 impl ReplicatedOmega {
@@ -387,7 +463,15 @@ impl ReplicatedOmega {
         Self {
             cursor: vec![0; cfg.pes],
             copies,
+            failovers: 0,
         }
+    }
+
+    /// Requests that a faulted copy refused and a healthy copy then
+    /// carried — the §4.1 redundancy actually doing its job.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
     }
 
     /// Number of copies `d`.
@@ -427,10 +511,17 @@ impl ReplicatedOmega {
         let d = self.copies.len();
         let start = self.cursor[pe];
         let mut msg = msg;
+        let mut fault_refused = false;
         for offset in 0..d {
             let i = (start + offset) % d;
+            if self.copies[i].fault_refuses(&msg) {
+                fault_refused = true;
+            }
             match self.copies[i].try_inject_request(msg, now) {
                 Ok(()) => {
+                    if fault_refused {
+                        self.failovers += 1;
+                    }
                     self.cursor[pe] = (i + 1) % d;
                     return Ok(i);
                 }
@@ -717,6 +808,109 @@ mod tests {
             }
         }
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn dead_copy_fails_over_to_the_survivor() {
+        let cfg = NetConfig::small(8);
+        let mut rep = ReplicatedOmega::new(cfg, 2);
+        rep.copy_mut(0).kill();
+        let m = |id: u64| {
+            Message::request(
+                MsgId(id),
+                MsgKind::Load,
+                MemAddr::new(MmId(1), id as usize), // distinct words: no combining
+                0,
+                PeId(0),
+                0,
+            )
+        };
+        // PE 0's round robin starts at copy 0, which is dead: both
+        // requests must land on copy 1 (the second on a later cycle, once
+        // copy 1's PE link is free again).
+        let c1 = rep.try_inject_request(m(1), 0).unwrap();
+        let c2 = rep.try_inject_request(m(2), 10).unwrap();
+        assert_eq!((c1, c2), (1, 1));
+        assert!(rep.failovers() >= 1, "dead copy forced a failover");
+        assert_eq!(rep.copy(0).stats().fault_refusals.get(), 2);
+        assert_eq!(rep.copy(0).stats().injected_requests.get(), 0);
+        let mut total = 0;
+        for now in 0..40 {
+            for (_i, ev) in rep.cycle(now) {
+                total += ev.requests_at_mm.len();
+            }
+        }
+        assert_eq!(total, 2, "all traffic completes through the survivor");
+    }
+
+    #[test]
+    fn dead_port_blocks_exactly_the_routes_crossing_it() {
+        let mut net = OmegaNetwork::new(NetConfig::small(8));
+        // Kill the stage-0 output port PE 0's route to MM 1 uses.
+        let t = Topology::new(8, 2);
+        let (sw, _) = t.pe_entry(PeId(0));
+        let dead_port = t.forward_out_port(MmId(1), 0);
+        let mut mask = FaultMask::healthy();
+        mask.kill_port(0, sw, dead_port);
+        net.set_fault_mask(mask);
+        let blocked = Message::request(
+            MsgId(1),
+            MsgKind::Load,
+            MemAddr::new(MmId(1), 0),
+            0,
+            PeId(0),
+            0,
+        );
+        assert!(net.fault_refuses(&blocked));
+        assert!(net.try_inject_request(blocked, 0).is_err());
+        assert_eq!(net.stats().fault_refusals.get(), 1);
+        // The same PE reaching an MM through the other port is unaffected.
+        let other_mm = MmId((dead_port * 4) ^ 4); // flips the stage-0 digit
+        let clear = Message::request(
+            MsgId(2),
+            MsgKind::Load,
+            MemAddr::new(other_mm, 0),
+            0,
+            PeId(0),
+            0,
+        );
+        assert!(!net.fault_refuses(&clear));
+        net.try_inject_request(clear, 0).unwrap();
+    }
+
+    #[test]
+    fn lossy_link_swallows_deterministically() {
+        let run = |seed: u64| {
+            let mut net = OmegaNetwork::new(NetConfig::small(8));
+            let mut mask = FaultMask::healthy();
+            mask.set_link_loss(0.5, seed);
+            net.set_fault_mask(mask);
+            let mut delivered = 0;
+            for i in 0..20u64 {
+                let msg = Message::request(
+                    MsgId(i + 1),
+                    MsgKind::Load,
+                    MemAddr::new(MmId((i % 8) as usize), 0),
+                    0,
+                    PeId((i % 8) as usize),
+                    i * 10,
+                );
+                net.try_inject_request(msg, i * 10).unwrap();
+                for now in i * 10..i * 10 + 10 {
+                    delivered += net.cycle(now).requests_at_mm.len();
+                }
+            }
+            (delivered, net.stats().fault_dropped.get())
+        };
+        let (delivered, lost) = run(7);
+        assert_eq!(
+            delivered as u64 + lost,
+            20,
+            "every request lost or delivered"
+        );
+        assert!(lost > 0, "p = 0.5 must lose some of 20");
+        assert!(delivered > 0, "p = 0.5 must deliver some of 20");
+        assert_eq!((delivered, lost), run(7), "same seed, same losses");
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct NetStats {
     pub forward_transit: Histogram,
     /// Reverse transit time in cycles (MNI injection → tail at PE).
     pub reverse_transit: Histogram,
+    /// Requests lost to injected faults (lossy injection links).
+    pub fault_dropped: Counter,
+    /// Injections refused by this copy because a fault (dead copy or a
+    /// dead switch port on the route) forced the request onto another
+    /// copy.
+    pub fault_refusals: Counter,
+    /// Wait-buffer slots permanently lost to stuck-entry faults.
+    pub stuck_wait_entries: Counter,
 }
 
 impl NetStats {

@@ -117,6 +117,35 @@ impl Switch {
         self.wait.len()
     }
 
+    /// Fault hook: one wait-buffer slot sticks. A ghost entry keyed by an
+    /// id no real message can carry is inserted and never deallocated, so
+    /// the slot is permanently lost to combining (the §3.3 capacity
+    /// shrinks by one). Loses no data — only future combining capacity.
+    /// Returns `false` if the buffer has no free slot to lose.
+    pub fn poison_wait_entry(&mut self, stats: &mut NetStats) -> bool {
+        if self.wait.len() >= self.wait_capacity {
+            return false;
+        }
+        // Ids above the top bit are never minted by PNIs (pe << 44 + seq)
+        // or network id bases (1 + copy << 48), so the ghost never matches
+        // a returning reply.
+        let ghost = MsgId(u64::MAX - self.wait.len() as u64);
+        self.wait.insert(
+            ghost,
+            WaitEntry {
+                survivor: ghost,
+                absorbed_id: ghost,
+                absorbed_pe: ultra_sim::PeId(0),
+                addr: ultra_sim::MemAddr::new(ultra_sim::MmId(0), 0),
+                absorbed_issued_at: 0,
+                absorbed_reply_kind: crate::message::ReplyKind::Ack,
+                rule: crate::combine::ReplyRule::Ack,
+            },
+        );
+        stats.stuck_wait_entries.incr();
+        true
+    }
+
     /// Largest packet occupancy any of this switch's ToMM queues reached.
     #[must_use]
     pub fn request_queue_high_water(&self) -> usize {
@@ -545,12 +574,43 @@ mod tests {
             request_issued_at: 0,
             mm_injected_at: 0,
             amalgam: t.reverse_amalgam_at(PeId(0), MmId(3), 0),
+            attempt: 0,
         };
         let in_port = t.forward_out_port(MmId(3), 0);
         sw.accept_reply(r, in_port, 1, &t, &mut stats);
         let port = t.reverse_out_port(PeId(0), 0);
         assert_eq!(sw.to_pe_queue(port).len(), 1);
         assert_eq!(stats.decombines.get(), 0);
+    }
+
+    #[test]
+    fn poisoned_wait_slot_shrinks_combining_capacity() {
+        let t = topo();
+        let mut c = cfg();
+        c.wait_entries = 1;
+        let mut stats = NetStats::new(t.stages());
+        let (sw0, _) = t.pe_entry(PeId(0));
+        let mut sw = Switch::new(0, sw0, &c);
+        assert!(sw.poison_wait_entry(&mut stats));
+        assert_eq!(stats.stuck_wait_entries.get(), 1);
+        assert_eq!(sw.wait_occupancy(), 1);
+        // The single wait slot is gone: a combinable pair must decline.
+        into_stage0(
+            &mut sw,
+            &t,
+            req(1, 0, 3, MsgKind::fetch_add(), 5),
+            &mut stats,
+        );
+        let outcome = into_stage0(
+            &mut sw,
+            &t,
+            req(2, 4, 3, MsgKind::fetch_add(), 9),
+            &mut stats,
+        );
+        assert_eq!(outcome, AcceptOutcome::Queued);
+        assert_eq!(stats.combines.get(), 0);
+        // No free slot left to poison a second time.
+        assert!(!sw.poison_wait_entry(&mut stats));
     }
 
     #[test]

@@ -13,9 +13,22 @@
 //!   is to prohibit a PE from having more than one outstanding reference to
 //!   the same memory location" (§3.3), which is what lets wait-buffer keys
 //!   identify messages uniquely.
+//!
+//! # Retry protocol (fault recovery)
+//!
+//! When the machine runs under a fault plan, the PNI also implements the
+//! recovery protocol: every issued request carries a deadline; an
+//! unanswered request past its deadline is re-issued under the **same id**
+//! (the id doubles as the sequence number) with an incremented attempt
+//! counter and exponential backoff. Retried messages never combine in the
+//! network, and the memory modules' dedup cache guarantees each sequence
+//! number is applied at most once, so a retried fetch-and-add still gets
+//! its §2.1 serialization-chain ticket exactly once. Disabled (the
+//! default), none of this bookkeeping exists.
 
 use std::collections::HashMap;
 
+use ultra_faults::RetryPolicy;
 use ultra_mem::AddressHasher;
 use ultra_net::message::{Message, MsgId, MsgKind, Reply};
 use ultra_sim::{Counter, Cycle, MemAddr, PeId, Value};
@@ -68,6 +81,24 @@ pub struct Pni {
     inflight: HashMap<MsgId, MemAddr>,
     next_id: u64,
     stats: PniStats,
+    /// The recovery protocol, if enabled.
+    retry: Option<RetryPolicy>,
+    /// Everything needed to re-issue each outstanding request (empty when
+    /// the retry protocol is disabled).
+    pending: HashMap<MsgId, PendingRequest>,
+}
+
+/// Book-keeping for one outstanding request under the retry protocol.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    kind: MsgKind,
+    /// Virtual address, when known — lets a retry re-translate after the
+    /// hasher re-hashes around a newly dead module.
+    vaddr: Option<usize>,
+    addr: MemAddr,
+    value: Value,
+    attempt: u32,
+    deadline: Cycle,
 }
 
 /// PNI instrumentation.
@@ -81,6 +112,8 @@ pub struct PniStats {
     pub location_conflicts: Counter,
     /// Highest number of simultaneously outstanding requests.
     pub max_outstanding: usize,
+    /// Timed-out requests re-issued by the retry protocol.
+    pub retries: Counter,
 }
 
 impl Pni {
@@ -97,7 +130,72 @@ impl Pni {
             // and 2^44 requests each.
             next_id: ((pe.0 as u64) << 44) + 1,
             stats: PniStats::default(),
+            retry: None,
+            pending: HashMap::new(),
         }
+    }
+
+    /// Enables the timeout/retry recovery protocol.
+    pub fn enable_retry(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Replaces the translation function — the machine calls this on every
+    /// PNI when a module dies mid-run and translation re-hashes around it.
+    /// Outstanding references are re-keyed under the new translation so
+    /// their retries reach the adoptive module.
+    pub fn set_hasher(&mut self, hasher: AddressHasher) {
+        self.hasher = hasher;
+        if self.retry.is_none() || self.pending.is_empty() {
+            return;
+        }
+        for state in self.pending.values_mut() {
+            if let Some(v) = state.vaddr {
+                state.addr = self.hasher.translate(v);
+            }
+        }
+        self.inflight = self.pending.iter().map(|(&id, s)| (id, s.addr)).collect();
+        self.by_location = self.pending.iter().map(|(&id, s)| (s.addr, id)).collect();
+    }
+
+    /// Collects the requests whose deadline has passed and re-issues each
+    /// under its original id with an incremented attempt counter and a
+    /// backed-off deadline. Empty unless the retry protocol is enabled.
+    /// Deterministic: timed-out requests are returned in id order.
+    pub fn due_retries(&mut self, now: Cycle) -> Vec<Message> {
+        let Some(policy) = self.retry else {
+            return Vec::new();
+        };
+        let mut due: Vec<MsgId> = self
+            .pending
+            .iter()
+            .filter(|(_, s)| s.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable();
+        due.iter()
+            .map(|id| {
+                let state = self.pending.get_mut(id).expect("collected above");
+                state.attempt += 1;
+                state.deadline = policy.deadline(now, state.attempt);
+                self.stats.retries.incr();
+                Message::request(*id, state.kind, state.addr, state.value, self.pe, now)
+                    .as_retry(state.attempt, now)
+            })
+            .collect()
+    }
+
+    /// Forgets every outstanding request and returns their ids — the
+    /// machine calls this when it fail-stops (deconfigures) this PE, so
+    /// late replies for its traffic are recognized as orphans rather
+    /// than retried forever.
+    pub fn abandon_all(&mut self) -> Vec<MsgId> {
+        let mut ids: Vec<MsgId> = self.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        self.inflight.clear();
+        self.by_location.clear();
+        self.pending.clear();
+        ids
     }
 
     /// The PE this interface serves.
@@ -133,7 +231,7 @@ impl Pni {
         now: Cycle,
     ) -> Result<Message, PniError> {
         let addr = self.translate(vaddr);
-        self.issue_physical(kind, addr, value, now)
+        self.issue_at(kind, Some(vaddr), addr, value, now)
     }
 
     /// Like [`Pni::issue`] but with a pre-translated physical address.
@@ -149,6 +247,17 @@ impl Pni {
         value: Value,
         now: Cycle,
     ) -> Result<Message, PniError> {
+        self.issue_at(kind, None, addr, value, now)
+    }
+
+    fn issue_at(
+        &mut self,
+        kind: MsgKind,
+        vaddr: Option<usize>,
+        addr: MemAddr,
+        value: Value,
+        now: Cycle,
+    ) -> Result<Message, PniError> {
         if self.by_location.contains_key(&addr) {
             self.stats.location_conflicts.incr();
             return Err(PniError::LocationBusy);
@@ -159,6 +268,19 @@ impl Pni {
         self.inflight.insert(id, addr);
         self.stats.issued.incr();
         self.stats.max_outstanding = self.stats.max_outstanding.max(self.inflight.len());
+        if let Some(policy) = self.retry {
+            self.pending.insert(
+                id,
+                PendingRequest {
+                    kind,
+                    vaddr,
+                    addr,
+                    value,
+                    attempt: 0,
+                    deadline: policy.deadline(now, 0),
+                },
+            );
+        }
         Ok(Message::request(id, kind, addr, value, self.pe, now))
     }
 
@@ -170,6 +292,7 @@ impl Pni {
             Some(addr) => {
                 let removed = self.by_location.remove(&addr);
                 debug_assert_eq!(removed, Some(reply.id));
+                self.pending.remove(&reply.id);
                 self.stats.completed.incr();
                 true
             }
@@ -235,7 +358,7 @@ mod tests {
     #[test]
     fn ids_unique_across_pes() {
         let hasher = AddressHasher::new(8, TranslationMode::Interleaved);
-        let mut a = Pni::new(PeId(0), hasher);
+        let mut a = Pni::new(PeId(0), hasher.clone());
         let mut b = Pni::new(PeId(1), hasher);
         let ma = a.issue(MsgKind::Load, 1, 0, 0).unwrap();
         let mb = b.issue(MsgKind::Load, 1, 0, 0).unwrap();
@@ -254,8 +377,86 @@ mod tests {
             request_issued_at: 0,
             mm_injected_at: 0,
             amalgam: 0,
+            attempt: 0,
         };
         assert!(!p.complete(&foreign));
+    }
+
+    #[test]
+    fn retry_fires_after_deadline_with_same_id() {
+        let mut p = pni();
+        p.enable_retry(RetryPolicy {
+            base_timeout: 10,
+            backoff_cap: 3,
+        });
+        let m = p.issue(MsgKind::fetch_add(), 7, 1, 0).unwrap();
+        assert!(p.due_retries(9).is_empty(), "deadline not yet reached");
+        let retries = p.due_retries(10);
+        assert_eq!(retries.len(), 1);
+        assert_eq!(retries[0].id, m.id, "retry reuses the sequence number");
+        assert_eq!(retries[0].attempt, 1);
+        assert_eq!(retries[0].folded, vec![m.id]);
+        assert_eq!(p.stats().retries.get(), 1);
+        // Backoff: next deadline is base << 1 after the retry instant.
+        assert!(p.due_retries(10 + 19).is_empty());
+        let again = p.due_retries(10 + 20);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].attempt, 2);
+    }
+
+    #[test]
+    fn completion_cancels_pending_retry() {
+        let mut p = pni();
+        p.enable_retry(RetryPolicy {
+            base_timeout: 5,
+            backoff_cap: 3,
+        });
+        let m = p.issue(MsgKind::Load, 7, 0, 0).unwrap();
+        assert!(p.complete(&Reply::to_request(&m, 3)));
+        assert!(p.due_retries(1_000).is_empty());
+    }
+
+    #[test]
+    fn due_retries_are_id_ordered() {
+        let mut p = pni();
+        p.enable_retry(RetryPolicy {
+            base_timeout: 4,
+            backoff_cap: 3,
+        });
+        let ids: Vec<MsgId> = (0..6)
+            .map(|i| p.issue(MsgKind::Load, i, 0, 0).unwrap().id)
+            .collect();
+        let retried: Vec<MsgId> = p.due_retries(100).iter().map(|m| m.id).collect();
+        assert_eq!(retried, ids);
+    }
+
+    #[test]
+    fn set_hasher_rekeys_outstanding_references() {
+        let mut p = pni();
+        p.enable_retry(RetryPolicy {
+            base_timeout: 8,
+            backoff_cap: 3,
+        });
+        let m = p.issue(MsgKind::fetch_add(), 2, 1, 0).unwrap();
+        let mut degraded = AddressHasher::new(8, TranslationMode::Interleaved);
+        degraded.set_dead_mms(&[ultra_sim::MmId(2)]);
+        let new_addr = degraded.translate(2);
+        assert_ne!(new_addr, m.addr, "vaddr 2 must re-translate");
+        p.set_hasher(degraded);
+        let retries = p.due_retries(100);
+        assert_eq!(retries[0].addr, new_addr, "retry targets the adoptive MM");
+        assert!(p.is_location_busy(2), "busy under the NEW translation");
+        // The reply still completes by id even though the address moved.
+        let mut late = Reply::to_request(&m, 0);
+        late.id = m.id;
+        assert!(p.complete(&late));
+    }
+
+    #[test]
+    fn retry_disabled_means_no_bookkeeping() {
+        let mut p = pni();
+        let _ = p.issue(MsgKind::Load, 1, 0, 0).unwrap();
+        assert!(p.due_retries(u64::MAX - 1).is_empty());
     }
 
     #[test]

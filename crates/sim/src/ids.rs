@@ -14,12 +14,10 @@ pub type Value = i64;
 
 /// Identifier of a processing element (0..N).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeId(pub usize);
 
 /// Identifier of a memory module (0..N).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MmId(pub usize);
 
 impl fmt::Display for PeId {
@@ -61,7 +59,6 @@ impl From<usize> for MmId {
 /// assert_eq!(a.offset, 17);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemAddr {
     /// The memory module holding the word.
     pub mm: MmId,

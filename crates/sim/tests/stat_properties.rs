@@ -1,14 +1,40 @@
 //! Property tests for the statistics substrate: the streaming
 //! accumulators must agree with naive reference computations on arbitrary
 //! inputs, and the RNG must be a well-behaved uniform source.
+//!
+//! The cases are driven by the crate's own deterministic [`SplitMix64`]
+//! rather than an external property-testing framework: every run explores
+//! the same inputs, so a failure is reproducible from the case index alone.
 
-use proptest::prelude::*;
 use ultra_sim::rng::{Rng, SplitMix64, Xoshiro256StarStar};
 use ultra_sim::stats::{Histogram, RunningStats};
 
-proptest! {
-    #[test]
-    fn running_stats_matches_reference(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Runs `f` against `cases` independent deterministic RNG streams.
+fn forall(cases: u64, label: &str, mut f: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0xC0FF_EE00 ^ (case.wrapping_mul(0x9e37_79b9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property `{label}` failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+fn vec_f64(rng: &mut SplitMix64, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len).map(|_| lo + rng.f64() * (hi - lo)).collect()
+}
+
+fn vec_u64(rng: &mut SplitMix64, bound: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len).map(|_| rng.range_u64(0..bound)).collect()
+}
+
+#[test]
+fn running_stats_matches_reference() {
+    forall(128, "running_stats_matches_reference", |rng| {
+        let xs = vec_f64(rng, -1e6, 1e6, 1, 200);
         let mut s = RunningStats::new();
         for &x in &xs {
             s.record(x);
@@ -16,21 +42,21 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        prop_assert_eq!(s.count(), xs.len() as u64);
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
-    }
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+    });
+}
 
-    #[test]
-    fn running_stats_merge_any_split(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let cut = ((xs.len() as f64) * cut_frac) as usize;
+#[test]
+fn running_stats_merge_any_split() {
+    forall(128, "running_stats_merge_any_split", |rng| {
+        let xs = vec_f64(rng, -1e3, 1e3, 2, 100);
+        let cut = rng.below(xs.len() + 1);
         let mut whole = RunningStats::new();
         let mut a = RunningStats::new();
         let mut b = RunningStats::new();
@@ -43,25 +69,31 @@ proptest! {
             }
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        assert!((a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    });
+}
 
-    #[test]
-    fn histogram_mean_count_max_are_exact(values in prop::collection::vec(0u64..100_000, 1..300)) {
+#[test]
+fn histogram_mean_count_max_are_exact() {
+    forall(128, "histogram_mean_count_max_are_exact", |rng| {
+        let values = vec_u64(rng, 100_000, 1, 300);
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.max(), *values.iter().max().unwrap());
         let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-9 * (1.0 + mean));
-    }
+        assert!((h.mean() - mean).abs() < 1e-9 * (1.0 + mean));
+    });
+}
 
-    #[test]
-    fn histogram_percentile_exact_below_256(values in prop::collection::vec(0u64..256, 1..300)) {
+#[test]
+fn histogram_percentile_exact_below_256() {
+    forall(128, "histogram_percentile_exact_below_256", |rng| {
+        let values = vec_u64(rng, 256, 1, 300);
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -70,12 +102,15 @@ proptest! {
         sorted.sort_unstable();
         for &p in &[0.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
             let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
-            prop_assert_eq!(h.percentile(p), sorted[rank], "p = {}", p);
+            assert_eq!(h.percentile(p), sorted[rank], "p = {p}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn percentiles_are_monotone(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn percentiles_are_monotone() {
+    forall(128, "percentiles_are_monotone", |rng| {
+        let values = vec_u64(rng, 1_000_000, 1, 200);
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -83,40 +118,46 @@ proptest! {
         let mut last = 0;
         for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let q = h.percentile(p);
-            prop_assert!(q >= last);
+            assert!(q >= last);
             last = q;
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_below_is_roughly_uniform(seed in any::<u64>(), bound in 2usize..32) {
+#[test]
+fn rng_below_is_roughly_uniform() {
+    forall(64, "rng_below_is_roughly_uniform", |rng| {
+        let seed = rng.next_u64();
+        let bound = 2 + rng.below(30);
         let mut rng = SplitMix64::new(seed);
         let draws = 8_000;
         let mut counts = vec![0u32; bound];
         for _ in 0..draws {
             counts[rng.below(bound)] += 1;
         }
-        let expect = draws as f64 / bound as f64;
+        let expect = f64::from(draws) / bound as f64;
         for (i, &c) in counts.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 (f64::from(c) - expect).abs() < 6.0 * expect.sqrt() + 10.0,
-                "bucket {} count {} far from {}",
-                i, c, expect
+                "bucket {i} count {c} far from {expect}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn generators_are_deterministic_and_distinct(seed in any::<u64>()) {
+#[test]
+fn generators_are_deterministic_and_distinct() {
+    forall(64, "generators_are_deterministic_and_distinct", |rng| {
+        let seed = rng.next_u64();
         let mut a1 = SplitMix64::new(seed);
         let mut a2 = SplitMix64::new(seed);
         let mut b = Xoshiro256StarStar::new(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a1.next_u64(), a2.next_u64());
+            assert_eq!(a1.next_u64(), a2.next_u64());
         }
         // The two generator families must not mirror each other.
         let mut a3 = SplitMix64::new(seed);
         let same = (0..64).filter(|_| a3.next_u64() == b.next_u64()).count();
-        prop_assert!(same < 4);
-    }
+        assert!(same < 4);
+    });
 }
