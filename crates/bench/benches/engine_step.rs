@@ -1,0 +1,109 @@
+//! Micro-bench: the cost of a single `Machine::step()` at N = 256.
+//!
+//! Isolates the cycle engine's hot path — one full machine cycle over
+//! the fanned-out shards, banks, and network copies — from whole-run
+//! effects (program completion, drain tails). `machine_step` steps a
+//! machine whose ticket traffic is in full flight, so the pooled buffers
+//! (`NetworkEvents` lanes, PNI retry scratch, shard effect queues,
+//! delivery staging) are warm and the path is allocation-free.
+//! `network_cycle` prices the seed's allocating `OmegaNetwork::cycle`
+//! against the pooled `cycle_into` it was replaced with, under identical
+//! hot-spot load.
+
+use std::hint::black_box;
+use ultra_bench::microbench::Group;
+use ultra_net::config::NetConfig;
+use ultra_net::message::{Message, MsgKind, PhiOp};
+use ultra_net::omega::{NetworkEvents, OmegaNetwork};
+use ultra_sim::{MemAddr, MmId, PeId};
+use ultracomputer::machine::{Machine, MachineBuilder};
+use ultracomputer::program::{body, Expr, Op, Program};
+
+const N: usize = 256;
+const STEPS_PER_SAMPLE: usize = 200;
+
+fn ticket_program() -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(1_000_000),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: Some(0),
+                    },
+                    Op::Store {
+                        addr: Expr::add(Expr::mul(Expr::PeIndex, 64), Expr::Reg(1)),
+                        value: Expr::Reg(0),
+                    },
+                ]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+/// A machine mid-flight: warmed past the cold start so queues, pools and
+/// scratch buffers hold their steady-state capacity.
+fn warmed_machine() -> Machine {
+    let mut m = MachineBuilder::new(N).build_spmd(&ticket_program());
+    for _ in 0..500 {
+        m.step();
+    }
+    m
+}
+
+fn bench_machine_step() {
+    let mut group = Group::new("engine_step_n256");
+    group.sample_size(10);
+    let mut m = warmed_machine();
+    group.bench("steady_state", || {
+        for _ in 0..STEPS_PER_SAMPLE {
+            m.step();
+        }
+        black_box(m.now());
+    });
+    group.finish();
+}
+
+/// Drives one network copy under hot-spot fetch-and-add load with the
+/// given per-cycle advance function.
+fn drive_network(mut advance: impl FnMut(&mut OmegaNetwork, u64)) {
+    let mut net = OmegaNetwork::new(NetConfig::small(N));
+    let hot = MemAddr::new(MmId(0), 0);
+    for now in 0..STEPS_PER_SAMPLE as u64 {
+        for pe in 0..N {
+            let id = net.next_msg_id();
+            let msg = Message::request(id, MsgKind::FetchPhi(PhiOp::Add), hot, 1, PeId(pe), now);
+            let _ = net.try_inject_request(msg, now);
+        }
+        advance(&mut net, now);
+    }
+}
+
+fn bench_network_cycle() {
+    let mut group = Group::new("network_cycle_n256");
+    group.sample_size(10);
+    group.bench("allocating_seed_path", || {
+        drive_network(|net, now| {
+            black_box(net.cycle(now));
+        });
+    });
+    let mut events = NetworkEvents::default();
+    group.bench("pooled", || {
+        drive_network(|net, now| {
+            net.cycle_into(now, &mut events);
+            black_box(events.replies_at_pe.len());
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    bench_machine_step();
+    bench_network_cycle();
+}

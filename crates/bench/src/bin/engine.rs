@@ -1,0 +1,283 @@
+//! Cycle-engine throughput harness.
+//!
+//! Measures simulated-cycles/sec and PE·cycles/sec for the sequential and
+//! parallel engines at N ∈ {64, 256, 1024} on the hot-counter ticket
+//! workload, and writes the rows to `BENCH_engine.json` at the repo root.
+//!
+//! Flags (combine freely):
+//!
+//! * `--quick` — CI-sized iteration counts (~10× shorter runs).
+//! * `--check` — instead of (over)writing the baseline: assert the
+//!   parallel engine is bit-identical to the sequential one on the E8 and
+//!   E14 harness configurations, assert every measured N produced the
+//!   same cycle count under both engines, and fail if sequential
+//!   cycles/sec regressed more than 20% against the committed
+//!   `BENCH_engine.json`. Exits non-zero on any violation.
+//!
+//! The committed baseline records the machine it was measured on; the
+//! regression gate is only meaningful across runs on comparable hardware.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Instant;
+
+use ultra_faults::FaultPlan;
+use ultracomputer::machine::{MachineBuilder, RunOutcome};
+use ultracomputer::program::{body, Expr, Op, Program};
+use ultracomputer::MachineReport;
+
+/// Every PE draws `iters` tickets from one combinable hot word and writes
+/// each ticket into a private slot — serialization-heavy, so the network,
+/// banks, and PE shards all stay busy.
+fn workload(iters: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(iters),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: Some(0),
+                    },
+                    Op::Store {
+                        addr: Expr::add(Expr::mul(Expr::PeIndex, 64), Expr::Reg(1)),
+                        value: Expr::Reg(0),
+                    },
+                ]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+struct Row {
+    n: usize,
+    engine: &'static str,
+    threads: usize,
+    iters: i64,
+    cycles: u64,
+    wall_secs: f64,
+    cycles_per_sec: f64,
+}
+
+impl Row {
+    fn pe_cycles_per_sec(&self) -> f64 {
+        self.cycles_per_sec * self.n as f64
+    }
+}
+
+/// Best-of-`reps` measurement (minimum wall time): simulated cycles are
+/// deterministic across repetitions — asserted — so the fastest rep is
+/// the least-noisy estimate of the engine's cost.
+fn measure(
+    n: usize,
+    iters: i64,
+    engine: &'static str,
+    threads: usize,
+    reps: u32,
+) -> (Row, RunOutcome) {
+    let program = workload(iters);
+    let mut best: Option<(f64, RunOutcome)> = None;
+    for _ in 0..reps {
+        let mut m = MachineBuilder::new(n).threads(threads).build_spmd(&program);
+        let t0 = Instant::now();
+        let out = m.run();
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        assert!(out.completed, "engine bench workload must complete (n={n})");
+        if let Some((_, prev)) = &best {
+            assert_eq!(prev.cycles, out.cycles, "nondeterministic run at n={n}");
+        }
+        if best.as_ref().map_or(true, |(w, _)| wall < *w) {
+            best = Some((wall, out));
+        }
+    }
+    let (wall, out) = best.expect("reps >= 1");
+    let row = Row {
+        n,
+        engine,
+        threads,
+        iters,
+        cycles: out.cycles,
+        wall_secs: wall,
+        cycles_per_sec: out.cycles as f64 / wall,
+    };
+    (row, out)
+}
+
+fn parallel_threads() -> usize {
+    thread::available_parallelism().map_or(2, |p| p.get().clamp(2, 4))
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"engine\",");
+    let _ = writeln!(
+        s,
+        "  \"host_threads\": {},",
+        thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"engine\": \"{}\", \"threads\": {}, \"iters\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"pe_cycles_per_sec\": {:.1}}}{comma}",
+            r.n, r.engine, r.threads, r.iters, r.cycles, r.wall_secs, r.cycles_per_sec,
+            r.pe_cycles_per_sec()
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pulls `"key": <number>` out of one baseline row line. The baseline is
+/// always written by [`render_json`] (one row object per line), so a
+/// line-based scan is a full parser for it.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// Fails (returns an error string) if any sequential row regressed more
+/// than 20% in cycles/sec against the committed baseline row with the
+/// same N. Missing baseline rows are skipped — a new N is not a
+/// regression.
+fn regression_gate(rows: &[Row]) -> Result<(), String> {
+    let path = baseline_path();
+    let Ok(baseline) = std::fs::read_to_string(&path) else {
+        println!(
+            "no committed baseline at {} — skipping gate",
+            path.display()
+        );
+        return Ok(());
+    };
+    for row in rows.iter().filter(|r| r.engine == "sequential") {
+        let committed = baseline.lines().find_map(|line| {
+            (line.contains("\"engine\": \"sequential\"")
+                && field_f64(line, "n") == Some(row.n as f64))
+            .then(|| field_f64(line, "cycles_per_sec"))
+            .flatten()
+        });
+        let Some(committed) = committed else { continue };
+        let floor = 0.8 * committed;
+        println!(
+            "gate n={}: {:.0} cycles/s vs committed {:.0} (floor {:.0})",
+            row.n, row.cycles_per_sec, committed, floor
+        );
+        if row.cycles_per_sec < floor {
+            return Err(format!(
+                "sequential n={} regressed >20%: {:.0} cycles/s vs committed {:.0}",
+                row.n, row.cycles_per_sec, committed
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Bit-identity spot checks on the E8 (64 PEs, d = 1) and E14 (16 PEs,
+/// d = 2, copy 0 dead) harness configurations: sequential, parallel, and
+/// fast-forward-off runs must digest identically.
+fn parity_check() -> Result<(), String> {
+    type MakeBuilder = Box<dyn Fn() -> MachineBuilder>;
+    let threads = parallel_threads();
+    let cases: [(&str, MakeBuilder, i64); 2] = [
+        ("E8 n=64 d=1", Box::new(|| MachineBuilder::new(64)), 8),
+        (
+            "E14 n=16 d=2 dead-copy",
+            Box::new(|| {
+                MachineBuilder::new(16)
+                    .network(2)
+                    .faults(FaultPlan::none().dead_copy(0))
+            }),
+            20,
+        ),
+    ];
+    for (label, make, iters) in &cases {
+        let program = workload(*iters);
+        let digest = |b: MachineBuilder| {
+            let mut m = b.build_spmd(&program);
+            m.run();
+            MachineReport::from_machine(&m).parity_string()
+        };
+        let seq = digest(make().threads(1));
+        let par = digest(make().threads(threads));
+        let stepped = digest(make().threads(1).fast_forward(false));
+        if seq != par {
+            return Err(format!(
+                "{label}: parallel({threads}) diverged from sequential"
+            ));
+        }
+        if seq != stepped {
+            return Err(format!("{label}: fast-forward changed the simulation"));
+        }
+        println!("parity {label}: sequential == parallel({threads}) == no-fast-forward");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let sizes: &[(usize, i64)] = if quick {
+        &[(64, 50), (256, 25), (1024, 8)]
+    } else {
+        &[(64, 200), (256, 100), (1024, 40)]
+    };
+    let threads = parallel_threads();
+    let reps = if quick { 2 } else { 3 };
+
+    let mut rows = Vec::new();
+    for &(n, iters) in sizes {
+        let (seq, seq_out) = measure(n, iters, "sequential", 1, reps);
+        let (par, par_out) = measure(n, iters, "parallel", threads, reps);
+        assert_eq!(
+            seq_out.cycles, par_out.cycles,
+            "engines disagreed on simulated time at n={n}"
+        );
+        for r in [&seq, &par] {
+            println!(
+                "n={:<5} {:<10} threads={} cycles={:<7} wall={:.3}s  {:>10.0} cycles/s  {:>12.0} PE·cycles/s",
+                r.n, r.engine, r.threads, r.cycles, r.wall_secs, r.cycles_per_sec,
+                r.pe_cycles_per_sec()
+            );
+        }
+        rows.push(seq);
+        rows.push(par);
+    }
+
+    if check {
+        let mut failed = false;
+        if let Err(e) = parity_check() {
+            eprintln!("PARITY FAILURE: {e}");
+            failed = true;
+        }
+        if let Err(e) = regression_gate(&rows) {
+            eprintln!("REGRESSION: {e}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("engine check passed: parity holds, no >20% cycles/sec regression");
+    } else {
+        let path = baseline_path();
+        std::fs::write(&path, render_json(&rows)).expect("write BENCH_engine.json");
+        println!("wrote {}", path.display());
+    }
+}

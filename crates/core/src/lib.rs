@@ -51,6 +51,7 @@
 //! combining network), `ultra_mem` (memory modules), `ultra_pe` (caches,
 //! PNIs, traffic), `ultra_sim` (clock/RNG/stats).
 
+pub mod engine;
 pub mod interp;
 pub mod machine;
 pub mod paracomputer;
@@ -58,6 +59,7 @@ pub mod program;
 pub mod report;
 pub mod trace;
 
+pub use engine::EngineMode;
 pub use machine::{BackendKind, FaultSummary, Machine, MachineBuilder, MachineConfig, RunOutcome};
 pub use paracomputer::{MemOp, Paracomputer};
 pub use program::{Expr, Op, Program};

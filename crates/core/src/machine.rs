@@ -29,6 +29,7 @@
 //! arrives, and a request issued this cycle starts moving next cycle.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 use ultra_faults::{Fault, FaultClock, FaultPlan, RetryPolicy};
 use ultra_mem::{AddressHasher, MemBank, TranslationMode};
@@ -39,8 +40,9 @@ use ultra_net::stats::NetStats;
 use ultra_pe::pni::{Pni, PniError};
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
-use ultra_sim::{Cycle, MemAddr, MmId, PeId, Value};
+use ultra_sim::{par_for_each_mut, Cycle, MemAddr, MmId, PeId, Value};
 
+use crate::engine::EngineMode;
 use crate::interp::{Fetched, IssueSpec, PeInterp};
 use crate::paracomputer::Paracomputer;
 use crate::program::{Program, Reg};
@@ -95,6 +97,15 @@ pub struct MachineConfig {
     /// leaves the machine bit-identical to a build without the fault
     /// subsystem.
     pub faults: FaultPlan,
+    /// Worker-thread budget per cycle-engine fan-out point (network
+    /// copies, memory banks, PE shards). `1` selects the sequential
+    /// engine; ignored (treated as `1`) when the `parallel` crate
+    /// feature is disabled. Every value produces bit-identical runs.
+    pub threads: usize,
+    /// Skip provably idle stretches of cycles (all traffic drained,
+    /// every context parked) by jumping straight to the next scheduled
+    /// event. Bit-identical to per-cycle stepping; on by default.
+    pub fast_forward: bool,
 }
 
 /// Builder for [`Machine`] (see the crate examples).
@@ -123,8 +134,34 @@ impl MachineBuilder {
                 barrier_parties: None,
                 contexts_per_pe: 1,
                 faults: FaultPlan::none(),
+                threads: 1,
+                fast_forward: true,
             },
         }
+    }
+
+    /// Selects the cycle engine's thread budget: with `threads > 1` (and
+    /// the `parallel` crate feature on) each cycle fans its independent
+    /// units — network copies, memory banks, PE shards — out over up to
+    /// that many OS threads. Deferred-effect merging keeps every thread
+    /// count bit-identical to the sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one engine thread");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Enables or disables the idle-cycle fast-forward (on by default).
+    /// Purely a speed knob: runs are bit-identical either way.
+    #[must_use]
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.cfg.fast_forward = on;
+        self
     }
 
     /// Runs the machine under `plan`: static faults are applied before
@@ -321,22 +358,60 @@ pub struct RunOutcome {
     pub cycles: Cycle,
 }
 
+/// One physical PE's slice of the machine: its interpreter contexts,
+/// datapath occupancy, network interface and outbound queue. This is the
+/// unit the parallel engine fans out — within a cycle no shard reads
+/// another shard, and writes to the machine-wide sinks (request
+/// metadata, trace, halt count) are deferred into [`ShardFx`] and merged
+/// in shard index order, which is exactly the order the sequential loop
+/// produces them in. Both engines therefore generate byte-identical
+/// event streams.
+struct PeShard {
+    /// First virtual PE (context) index of this shard.
+    base: usize,
+    /// The shard's `k` interpreter contexts.
+    interps: Vec<PeInterp>,
+    states: Vec<CtxState>,
+    stats: Vec<PeStats>,
+    /// Datapath occupancy.
+    busy_until: Cycle,
+    /// Round-robin context cursor (HEP-style).
+    cursor: usize,
+    /// Network interface.
+    pni: Pni,
+    /// Outgoing messages awaiting network acceptance.
+    outgoing: VecDeque<Message>,
+    /// Deferred machine-wide effects of this shard's latest datapath
+    /// cycle. Drained (capacity retained — no steady-state allocation)
+    /// by the merge that follows each PE phase.
+    fx: ShardFx,
+}
+
+/// Machine-wide side effects a shard's datapath cycle would have applied
+/// in place under the sequential engine.
+#[derive(Default)]
+struct ShardFx {
+    meta: Vec<(MsgId, ReqMeta)>,
+    trace: Vec<TraceEvent>,
+    halted: usize,
+}
+
+/// Read-only per-cycle parameters handed to every shard.
+#[derive(Clone, Copy)]
+struct CycleCtx {
+    now: Cycle,
+    /// Cycles per PE instruction.
+    cpi: Cycle,
+    barrier_generation: u64,
+    trace_enabled: bool,
+}
+
 /// The assembled machine.
 pub struct Machine {
     cfg: MachineConfig,
     hasher: AddressHasher,
-    /// One interpreter per virtual PE (physical PE × context).
-    interps: Vec<PeInterp>,
-    states: Vec<CtxState>,
-    stats: Vec<PeStats>,
-    /// Per-physical-PE datapath occupancy.
-    busy_until: Vec<Cycle>,
-    /// Per-physical-PE round-robin context cursor (HEP-style).
-    cursor: Vec<usize>,
-    /// Per-physical-PE network interface.
-    pnis: Vec<Pni>,
-    /// Outgoing messages awaiting network acceptance, per physical PE.
-    outgoing: Vec<VecDeque<Message>>,
+    /// One shard per physical PE.
+    shards: Vec<PeShard>,
     meta: HashMap<MsgId, ReqMeta>,
     backend: BackendImpl,
     barrier_generation: u64,
@@ -355,6 +430,13 @@ pub struct Machine {
     /// Physical PEs fail-stopped because no live copy routes them to
     /// any module.
     dead_pes: Vec<PeId>,
+    /// Wall-clock duration of the most recent [`Machine::run`].
+    run_elapsed: Option<Duration>,
+    /// Cycles skipped by the idle fast-forward across all runs.
+    fast_forwarded: Cycle,
+    /// Pooled completion buffer for [`Machine::backend_cycle`] — replies
+    /// are staged here each cycle, so the hot path never allocates.
+    deliveries: Vec<Reply>,
 }
 
 impl Machine {
@@ -379,17 +461,28 @@ impl Machine {
         let retry = plan.retry_policy().or_else(|| {
             (!plan.is_healthy()).then(|| RetryPolicy::for_depth(Self::net_depth(&cfg.net)))
         });
-        let interps: Vec<PeInterp> = programs
-            .iter()
-            .enumerate()
-            .map(|(vid, p)| PeInterp::new(PeId(vid), vpes, p))
+        let shards: Vec<PeShard> = (0..n)
+            .map(|phys| {
+                let base = phys * k;
+                let mut pni = Pni::new(PeId(phys), hasher.clone());
+                if let Some(policy) = retry {
+                    pni.enable_retry(policy);
+                }
+                PeShard {
+                    base,
+                    interps: (base..base + k)
+                        .map(|vid| PeInterp::new(PeId(vid), vpes, &programs[vid]))
+                        .collect(),
+                    states: vec![CtxState::Ready; k],
+                    stats: (0..k).map(|_| PeStats::new()).collect(),
+                    busy_until: 0,
+                    cursor: 0,
+                    pni,
+                    outgoing: VecDeque::new(),
+                    fx: ShardFx::default(),
+                }
+            })
             .collect();
-        let mut pnis: Vec<Pni> = (0..n).map(|i| Pni::new(PeId(i), hasher.clone())).collect();
-        if let Some(policy) = retry {
-            for pni in &mut pnis {
-                pni.enable_retry(policy);
-            }
-        }
         let backend = match cfg.backend {
             BackendKind::Ideal { latency } => BackendImpl::Ideal {
                 para: Paracomputer::new(cfg.seed),
@@ -428,13 +521,7 @@ impl Machine {
         };
         let mut machine = Self {
             hasher,
-            interps,
-            states: vec![CtxState::Ready; vpes],
-            stats: (0..vpes).map(|_| PeStats::new()).collect(),
-            busy_until: vec![0; n],
-            cursor: vec![0; n],
-            pnis,
-            outgoing: (0..n).map(|_| VecDeque::new()).collect(),
+            shards,
             meta: HashMap::new(),
             backend,
             barrier_generation: 0,
@@ -447,6 +534,9 @@ impl Machine {
             duplicate_replies: 0,
             unroutable: 0,
             dead_pes: Vec::new(),
+            run_elapsed: None,
+            fast_forwarded: 0,
+            deliveries: Vec::new(),
             cfg,
         };
         machine.absorb_unreachable();
@@ -502,8 +592,46 @@ impl Machine {
 
     /// Per-context statistics (indexed by virtual PE).
     #[must_use]
-    pub fn pe_stats(&self) -> &[PeStats] {
-        &self.stats
+    pub fn pe_stats(&self) -> Vec<PeStats> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.stats.iter().cloned())
+            .collect()
+    }
+
+    /// The cycle engine this machine runs: [`EngineMode::Parallel`] when
+    /// built with more than one thread (and the `parallel` feature is
+    /// on), [`EngineMode::Sequential`] otherwise.
+    #[must_use]
+    pub fn engine_mode(&self) -> EngineMode {
+        let t = self.effective_threads();
+        if t > 1 {
+            EngineMode::Parallel { threads: t }
+        } else {
+            EngineMode::Sequential
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if cfg!(feature = "parallel") {
+            self.cfg.threads.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Wall-clock duration of the most recent [`Machine::run`] call
+    /// (`None` before the first run).
+    #[must_use]
+    pub fn last_run_elapsed(&self) -> Option<Duration> {
+        self.run_elapsed
+    }
+
+    /// Cycles skipped by the idle fast-forward, summed over all runs
+    /// (zero when [`MachineBuilder::fast_forward`] is off).
+    #[must_use]
+    pub fn fast_forwarded_cycles(&self) -> Cycle {
+        self.fast_forwarded
     }
 
     /// All contexts' statistics merged.
@@ -520,9 +648,17 @@ impl Machine {
     /// Panics if the range exceeds the virtual PE count.
     #[must_use]
     pub fn merged_pe_stats_range(&self, range: std::ops::Range<usize>) -> PeStats {
+        assert!(
+            range.end <= self.virtual_pes(),
+            "range exceeds the virtual PE count"
+        );
         let mut total = PeStats::new();
-        for s in &self.stats[range] {
-            total.merge(s);
+        for shard in &self.shards {
+            for (i, s) in shard.stats.iter().enumerate() {
+                if range.contains(&(shard.base + i)) {
+                    total.merge(s);
+                }
+            }
         }
         total
     }
@@ -571,7 +707,11 @@ impl Machine {
             duplicate_replies: self.duplicate_replies,
             unroutable: self.unroutable,
             deconfigured_pes: self.dead_pes.len() as u64,
-            retries: self.pnis.iter().map(|p| p.stats().retries.get()).sum(),
+            retries: self
+                .shards
+                .iter()
+                .map(|s| s.pni.stats().retries.get())
+                .sum(),
             ..FaultSummary::default()
         };
         if let BackendImpl::Network { nets, banks, .. } = &self.backend {
@@ -633,33 +773,39 @@ impl Machine {
 
     /// Runs until completion or the cycle budget.
     pub fn run(&mut self) -> RunOutcome {
+        let started = Instant::now();
+        let outcome = self.run_inner();
+        self.run_elapsed = Some(started.elapsed());
+        outcome
+    }
+
+    fn run_inner(&mut self) -> RunOutcome {
         while self.now < self.cfg.max_cycles {
             self.step();
             if self.is_quiescent() {
-                let cycles = self.now;
-                for s in &mut self.stats {
-                    s.total_cycles = cycles;
-                }
-                return RunOutcome {
-                    completed: true,
-                    cycles,
-                };
+                return self.finish(true);
+            }
+            if self.cfg.fast_forward {
+                self.fast_forward_idle();
             }
         }
+        self.finish(false)
+    }
+
+    fn finish(&mut self, completed: bool) -> RunOutcome {
         let cycles = self.now;
-        for s in &mut self.stats {
-            s.total_cycles = cycles;
+        for shard in &mut self.shards {
+            for s in &mut shard.stats {
+                s.total_cycles = cycles;
+            }
         }
-        RunOutcome {
-            completed: false,
-            cycles,
-        }
+        RunOutcome { completed, cycles }
     }
 
     fn is_quiescent(&self) -> bool {
         self.halted_count == self.virtual_pes()
             && self.meta.is_empty()
-            && self.outgoing.iter().all(VecDeque::is_empty)
+            && self.shards.iter().all(|s| s.outgoing.is_empty())
     }
 
     /// Advances the machine one cycle.
@@ -673,10 +819,120 @@ impl Machine {
         self.backend_cycle(now);
         self.queue_due_retries(now);
         self.release_barrier_if_complete();
-        for phys in 0..self.pes() {
-            self.pe_cycle(phys, now);
-        }
+        self.pe_phase(now);
         self.now += 1;
+    }
+
+    /// The datapath cycle of every physical PE, fanned out over the
+    /// engine's threads (shards never touch each other within a cycle),
+    /// followed by the deferred-effect merge in shard index order — the
+    /// order the sequential loop applies them in, so every thread count
+    /// yields identical metadata, trace and halt streams.
+    fn pe_phase(&mut self, now: Cycle) {
+        let cx = CycleCtx {
+            now,
+            cpi: self.cfg.time.cycles_per_instruction,
+            barrier_generation: self.barrier_generation,
+            trace_enabled: self.trace.enabled,
+        };
+        let threads = self.effective_threads();
+        par_for_each_mut(&mut self.shards, threads, |_, shard| {
+            shard.pe_cycle(cx);
+        });
+        for shard in &mut self.shards {
+            for (id, meta) in shard.fx.meta.drain(..) {
+                self.meta.insert(id, meta);
+            }
+            for event in shard.fx.trace.drain(..) {
+                self.trace.record(event);
+            }
+            self.halted_count += shard.fx.halted;
+            shard.fx.halted = 0;
+        }
+    }
+
+    /// Skips a stretch of cycles during which the machine provably does
+    /// nothing but tick: all traffic drained, every context parked on a
+    /// wait only a *scheduled* future event can resolve. Jumps straight
+    /// to the earliest such event — a fault firing, a PNI retry
+    /// deadline, an ideal-backend completion, or a datapath release —
+    /// bulk-charging idle statistics exactly as per-cycle stepping
+    /// would. Runs are bit-identical with this on or off.
+    fn fast_forward_idle(&mut self) {
+        let now = self.now;
+        if self.shards.iter().any(|s| !s.outgoing.is_empty()) {
+            return;
+        }
+        let mut next: Option<Cycle> = None;
+        match &self.backend {
+            BackendImpl::Ideal { pending, .. } => {
+                if let Some((&due, _)) = pending.iter().next() {
+                    next = min_event(next, due);
+                }
+            }
+            BackendImpl::Network { nets, banks, .. } => {
+                if !nets.is_drained() || banks.iter().any(|b| !b.is_idle()) {
+                    return;
+                }
+            }
+        }
+        for shard in &self.shards {
+            if shard.busy_until > now {
+                // Mid-instruction: the datapath frees at `busy_until`,
+                // which may unpark a ready context — an event.
+                next = min_event(next, shard.busy_until);
+                continue;
+            }
+            // Idle datapath: every context must be unable to run until a
+            // reply arrives (impossible: traffic is drained) or a future
+            // event fires. `Ready` could execute now; `WaitIssue`
+            // re-attempts each cycle and bumps PNI conflict counters, so
+            // neither may be skipped over.
+            for (c, state) in shard.states.iter().enumerate() {
+                let parked = match state {
+                    CtxState::Halted | CtxState::WaitBarrier => true,
+                    CtxState::WaitReg(r) => shard.interps[c].is_locked(*r),
+                    CtxState::WaitFence => shard.pni.outstanding() > 0,
+                    CtxState::Ready | CtxState::WaitIssue(..) => return,
+                };
+                if !parked {
+                    return;
+                }
+            }
+            if let Some(deadline) = shard.pni.next_retry_deadline() {
+                next = min_event(next, deadline);
+            }
+        }
+        if let Some(due) = self.fault_clock.next_due() {
+            next = min_event(next, due);
+        }
+        // No event at all means deadlock: burn straight to the budget,
+        // preserving the timeout outcome per-cycle stepping reaches.
+        let target = next.unwrap_or(self.cfg.max_cycles).min(self.cfg.max_cycles);
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        for shard in &mut self.shards {
+            if shard.busy_until > now {
+                continue; // busy datapath: stepping charges no idle time
+            }
+            let k = shard.states.len();
+            let owner = shard.cursor % k;
+            let charged = if shard.states[owner] != CtxState::Halted {
+                Some(owner)
+            } else {
+                (0..k).find(|&c| shard.states[c] != CtxState::Halted)
+            };
+            if let Some(c) = charged {
+                shard.stats[c].idle_cycles.add(skipped);
+                if shard.states[c] == CtxState::WaitBarrier {
+                    shard.stats[c].barrier_wait_cycles.add(skipped);
+                }
+            }
+        }
+        self.fast_forwarded += skipped;
+        self.now = target;
     }
 
     /// Applies one fired fault to the live machine. Faults target the
@@ -800,17 +1056,17 @@ impl Machine {
             return;
         }
         self.dead_pes.push(PeId(pe));
-        let k = self.cfg.contexts_per_pe;
-        for ctx in pe * k..(pe + 1) * k {
-            if self.states[ctx] != CtxState::Halted {
-                self.states[ctx] = CtxState::Halted;
+        let shard = &mut self.shards[pe];
+        for state in &mut shard.states {
+            if *state != CtxState::Halted {
+                *state = CtxState::Halted;
                 self.halted_count += 1;
             }
         }
-        for msg in self.outgoing[pe].drain(..) {
+        for msg in shard.outgoing.drain(..) {
             self.meta.remove(&msg.id);
         }
-        for id in self.pnis[pe].abandon_all() {
+        for id in shard.pni.abandon_all() {
             self.meta.remove(&id);
         }
     }
@@ -827,32 +1083,29 @@ impl Machine {
         if let BackendImpl::Network { banks, .. } = &mut self.backend {
             banks[mm.0].kill();
         }
-        for pni in &mut self.pnis {
-            pni.set_hasher(self.hasher.clone());
+        for shard in &mut self.shards {
+            shard.pni.set_hasher(self.hasher.clone());
         }
     }
 
     /// Re-issues timed-out requests (retry protocol; no-op when disabled).
     fn queue_due_retries(&mut self, now: Cycle) {
-        for phys in 0..self.pes() {
-            let retries = self.pnis[phys].due_retries(now);
-            for msg in retries {
-                self.outgoing[phys].push_back(msg);
-            }
+        for shard in &mut self.shards {
+            shard.pni.due_retries_into(now, &mut shard.outgoing);
         }
     }
 
     /// Tries to push queued outbound messages into the backend.
     fn flush_outgoing(&mut self, now: Cycle) {
-        for pe in 0..self.pes() {
-            while let Some(msg) = self.outgoing[pe].front() {
+        for pe in 0..self.shards.len() {
+            while let Some(msg) = self.shards[pe].outgoing.front() {
                 match &mut self.backend {
                     BackendImpl::Ideal {
                         latency, pending, ..
                     } => {
                         let due = now + *latency;
                         pending.entry(due).or_default().push(msg.clone());
-                        self.outgoing[pe].pop_front();
+                        self.shards[pe].outgoing.pop_front();
                     }
                     BackendImpl::Network { nets, copy_of, .. } => {
                         // A request every copy refuses (dead copy, or a
@@ -862,7 +1115,7 @@ impl Machine {
                         // whatever translation the degraded hash uses by
                         // then.
                         if (0..nets.copies()).all(|c| nets.copy(c).fault_refuses(msg)) {
-                            self.outgoing[pe].pop_front();
+                            self.shards[pe].outgoing.pop_front();
                             self.unroutable += 1;
                             continue;
                         }
@@ -871,7 +1124,7 @@ impl Machine {
                         match nets.try_inject_request(m, now) {
                             Ok(copy) => {
                                 copy_of.insert(key, copy);
-                                self.outgoing[pe].pop_front();
+                                self.shards[pe].outgoing.pop_front();
                             }
                             Err(_) => break, // backpressure; retry next cycle
                         }
@@ -883,8 +1136,11 @@ impl Machine {
 
     /// Advances the memory system and delivers completions.
     fn backend_cycle(&mut self, now: Cycle) {
-        // Collected first to avoid borrowing `self` across the delivery.
-        let mut deliveries: Vec<Reply> = Vec::new();
+        let threads = self.effective_threads();
+        // Staged first to avoid borrowing `self` across the delivery; the
+        // buffer is pooled on the machine so steady state never allocates.
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        debug_assert!(deliveries.is_empty());
         match &mut self.backend {
             BackendImpl::Ideal { para, pending, .. } => {
                 if let Some(batch) = pending.remove(&now) {
@@ -920,10 +1176,15 @@ impl Machine {
                 banks,
                 copy_of,
             } => {
-                // Memory banks serve and emit replies into their network
-                // copy (stalling if the reverse link is busy).
+                // Banks are mutually independent and never read the
+                // network, so serving them fans out over the engine's
+                // threads; their outboxes then drain into the network in
+                // bank index order — exactly the injection sequence the
+                // sequential interleaved loop produces.
+                par_for_each_mut(banks, threads, |_, bank| bank.cycle(now));
                 for bank in banks.iter_mut() {
-                    bank.cycle(now);
+                    // Replies re-enter through the copy that carried the
+                    // request (stalling if the reverse link is busy).
                     while let Some(reply) = bank.peek_reply() {
                         let Some(&copy) = copy_of.get(&(reply.id, reply.attempt)) else {
                             // An answer to an attempt whose twin already
@@ -941,26 +1202,33 @@ impl Machine {
                         }
                     }
                 }
-                // The fabric moves; arrivals at MMs enter bank queues;
-                // arrivals at PEs are delivered below.
-                for (_copy, events) in nets.cycle(now) {
-                    for msg in events.requests_at_mm {
+                // The fabric moves — the d copies share nothing within a
+                // cycle, so they advance in parallel into their pooled
+                // event buffers; arrivals then drain in fixed copy order.
+                // Arrivals at MMs enter bank queues; arrivals at PEs are
+                // delivered below.
+                nets.cycle_inplace(now, threads);
+                let d = nets.copies();
+                for copy in 0..d {
+                    let events = nets.events_mut(copy);
+                    for msg in events.requests_at_mm.drain(..) {
                         banks[msg.addr.mm.0].push_request(msg);
                     }
-                    for reply in events.replies_at_pe {
+                    for reply in events.replies_at_pe.drain(..) {
                         copy_of.remove(&(reply.id, reply.attempt));
                         deliveries.push(reply);
                     }
-                    for dropped in events.dropped {
+                    for dropped in events.dropped.drain(..) {
                         // DropOnConflict: the PE must re-offer the request.
-                        self.outgoing[dropped.src.0].push_back(dropped);
+                        self.shards[dropped.src.0].outgoing.push_back(dropped);
                     }
                 }
             }
         }
-        for reply in deliveries {
+        for reply in deliveries.drain(..) {
             self.deliver_reply(&reply, now);
         }
+        self.deliveries = deliveries;
     }
 
     fn deliver_reply(&mut self, reply: &Reply, now: Cycle) {
@@ -974,9 +1242,11 @@ impl Machine {
         };
         let ctx = meta.ctx;
         let phys = ctx / self.cfg.contexts_per_pe;
-        let matched = self.pnis[phys].complete(reply);
+        let shard = &mut self.shards[phys];
+        let c = ctx - shard.base;
+        let matched = shard.pni.complete(reply);
         debug_assert!(matched, "PNI lost track of an outstanding request");
-        self.stats[ctx]
+        shard.stats[c]
             .cm_access
             .record(now.saturating_sub(reply.request_issued_at));
         self.trace.record(TraceEvent::Reply {
@@ -987,7 +1257,7 @@ impl Machine {
         match meta.purpose {
             Purpose::Data => {
                 if let Some(dst) = meta.dst {
-                    self.interps[ctx].write_and_unlock(dst, reply.value);
+                    shard.interps[c].write_and_unlock(dst, reply.value);
                 }
             }
             Purpose::Barrier => {
@@ -1005,75 +1275,91 @@ impl Machine {
                 generation: self.barrier_generation,
             });
             self.barrier_generation += 1;
-            for state in &mut self.states {
-                if *state == CtxState::WaitBarrier {
-                    *state = CtxState::Ready;
+            for shard in &mut self.shards {
+                for state in &mut shard.states {
+                    if *state == CtxState::WaitBarrier {
+                        *state = CtxState::Ready;
+                    }
                 }
             }
         }
     }
+}
 
-    /// Issues `spec` for context `ctx` through its physical PNI and queues
-    /// the message for injection.
-    fn attempt_issue(&mut self, ctx: usize, spec: &IssueSpec, purpose: Purpose) -> bool {
-        let phys = ctx / self.cfg.contexts_per_pe;
-        if !self.outgoing[phys].is_empty() {
+/// The earliest of an optional event cycle and a new candidate.
+fn min_event(current: Option<Cycle>, candidate: Cycle) -> Option<Cycle> {
+    Some(current.map_or(candidate, |c| c.min(candidate)))
+}
+
+impl PeShard {
+    /// Issues `spec` for local context `c` through the shard's PNI and
+    /// queues the message for injection. Metadata and trace writes are
+    /// deferred into [`ShardFx`].
+    fn attempt_issue(
+        &mut self,
+        c: usize,
+        spec: &IssueSpec,
+        purpose: Purpose,
+        cx: CycleCtx,
+    ) -> bool {
+        if !self.outgoing.is_empty() {
             return false; // the PNI's outbound buffer is occupied
         }
-        let now = self.now;
-        match self.pnis[phys].issue(spec.kind, spec.vaddr, spec.value, now) {
+        match self.pni.issue(spec.kind, spec.vaddr, spec.value, cx.now) {
             Ok(msg) => {
-                self.meta.insert(
+                let ctx = self.base + c;
+                self.fx.meta.push((
                     msg.id,
                     ReqMeta {
                         ctx,
                         dst: spec.dst,
                         purpose,
                     },
-                );
+                ));
                 if let Some(dst) = spec.dst {
-                    self.interps[ctx].lock(dst);
+                    self.interps[c].lock(dst);
                 }
-                self.trace.record(TraceEvent::Issue {
-                    cycle: now,
-                    pe: PeId(ctx),
-                    kind: spec.kind,
-                    vaddr: spec.vaddr,
-                });
-                let s = &mut self.stats[ctx];
+                if cx.trace_enabled {
+                    self.fx.trace.push(TraceEvent::Issue {
+                        cycle: cx.now,
+                        pe: PeId(ctx),
+                        kind: spec.kind,
+                        vaddr: spec.vaddr,
+                    });
+                }
+                let s = &mut self.stats[c];
                 s.shared_refs.incr();
                 if spec.kind.reply_carries_data() {
                     s.cm_loads.incr();
                 }
-                self.outgoing[phys].push_back(msg);
+                self.outgoing.push_back(msg);
                 true
             }
             Err(PniError::LocationBusy) => false,
         }
     }
 
-    /// Whether context `ctx` could execute an instruction right now if
-    /// given the datapath (resolving any completed waits).
-    fn resolve_waits(&mut self, ctx: usize) -> bool {
-        match self.states[ctx].clone() {
+    /// Whether local context `c` could execute an instruction right now
+    /// if given the datapath (resolving any completed waits).
+    fn resolve_waits(&mut self, c: usize) -> bool {
+        match self.states[c].clone() {
             CtxState::Halted | CtxState::WaitBarrier => false,
             CtxState::WaitReg(r) => {
-                if self.interps[ctx].is_locked(r) {
+                if self.interps[c].is_locked(r) {
                     false
                 } else {
-                    self.states[ctx] = CtxState::Ready;
+                    self.states[c] = CtxState::Ready;
                     true
                 }
             }
             CtxState::WaitFence => {
-                let phys = ctx / self.cfg.contexts_per_pe;
                 // With multiprogramming the fence waits for *this
                 // context's* requests; the shared PNI tracks per-PE, so a
                 // conservative fence waits for the whole PNI to drain.
-                if self.pnis[phys].outstanding() > 0 {
+                if self.pni.outstanding() > 0 {
                     false
                 } else {
-                    self.states[ctx] = CtxState::Ready;
+                    self.states[c] = CtxState::Ready;
                     true
                 }
             }
@@ -1081,37 +1367,35 @@ impl Machine {
         }
     }
 
-    /// One datapath cycle of physical PE `phys`: round-robin over its
-    /// contexts, executing the first one that can make progress (zero-cost
-    /// context switching, §3.5 / HEP).
-    fn pe_cycle(&mut self, phys: usize, now: Cycle) {
-        if self.busy_until[phys] > now {
+    /// One datapath cycle: round-robin over the shard's contexts,
+    /// executing the first one that can make progress (zero-cost context
+    /// switching, §3.5 / HEP).
+    fn pe_cycle(&mut self, cx: CycleCtx) {
+        if self.busy_until > cx.now {
             return; // mid-instruction
         }
-        let k = self.cfg.contexts_per_pe;
-        let cpi = self.cfg.time.cycles_per_instruction;
-        let base = phys * k;
+        let k = self.states.len();
         for offset in 0..k {
-            let c = base + (self.cursor[phys] + offset) % k;
+            let c = (self.cursor + offset) % k;
             if !self.resolve_waits(c) {
                 continue;
             }
-            let advanced = self.ctx_execute(c, now, cpi);
+            let advanced = self.ctx_execute(c, cx);
             if advanced {
                 // HEP-style: next instruction goes to the next context.
-                self.cursor[phys] = (self.cursor[phys] + offset + 1) % k;
+                self.cursor = (self.cursor + offset + 1) % k;
                 return;
             }
         }
         // No context could use the datapath: a genuinely idle cycle,
         // charged to the context whose turn it was (if it is still alive).
-        let owner = base + self.cursor[phys] % k;
+        let owner = self.cursor % k;
         if self.states[owner] != CtxState::Halted {
             self.stats[owner].idle_cycles.incr();
             if self.states[owner] == CtxState::WaitBarrier {
                 self.stats[owner].barrier_wait_cycles.incr();
             }
-        } else if let Some(alive) = (base..base + k).find(|&c| self.states[c] != CtxState::Halted) {
+        } else if let Some(alive) = (0..k).find(|&c| self.states[c] != CtxState::Halted) {
             self.stats[alive].idle_cycles.incr();
             if self.states[alive] == CtxState::WaitBarrier {
                 self.stats[alive].barrier_wait_cycles.incr();
@@ -1119,32 +1403,35 @@ impl Machine {
         }
     }
 
-    /// Attempts to execute one instruction of context `ctx`. Returns
+    /// Attempts to execute one instruction of local context `c`. Returns
     /// whether the datapath was consumed.
-    fn ctx_execute(&mut self, ctx: usize, now: Cycle, cpi: Cycle) -> bool {
-        let phys = ctx / self.cfg.contexts_per_pe;
-        if let CtxState::WaitIssue(spec, purpose) = self.states[ctx].clone() {
-            if self.attempt_issue(ctx, &spec, purpose) {
-                self.states[ctx] = if purpose == Purpose::Barrier {
+    fn ctx_execute(&mut self, c: usize, cx: CycleCtx) -> bool {
+        let now = cx.now;
+        let cpi = cx.cpi;
+        if let CtxState::WaitIssue(spec, purpose) = self.states[c].clone() {
+            if self.attempt_issue(c, &spec, purpose, cx) {
+                self.states[c] = if purpose == Purpose::Barrier {
                     CtxState::WaitBarrier
                 } else {
                     CtxState::Ready
                 };
-                self.stats[ctx].instructions.incr();
-                self.busy_until[phys] = now + cpi;
+                self.stats[c].instructions.incr();
+                self.busy_until = now + cpi;
                 return true;
             }
             return false;
         }
 
-        match self.interps[ctx].next_op() {
+        match self.interps[c].next_op() {
             Fetched::Halted => {
-                self.states[ctx] = CtxState::Halted;
-                self.halted_count += 1;
-                self.trace.record(TraceEvent::Halt {
-                    cycle: now,
-                    pe: PeId(ctx),
-                });
+                self.states[c] = CtxState::Halted;
+                self.fx.halted += 1;
+                if cx.trace_enabled {
+                    self.fx.trace.push(TraceEvent::Halt {
+                        cycle: now,
+                        pe: PeId(self.base + c),
+                    });
+                }
                 // Halting consumes no datapath time; let another context
                 // run this cycle.
                 false
@@ -1153,46 +1440,46 @@ impl Machine {
                 instructions,
                 private_refs,
             } => {
-                let s = &mut self.stats[ctx];
+                let s = &mut self.stats[c];
                 s.instructions.add(u64::from(instructions));
                 s.private_refs.add(u64::from(private_refs));
-                self.busy_until[phys] = now + Cycle::from(instructions) * cpi;
+                self.busy_until = now + Cycle::from(instructions) * cpi;
                 true
             }
             Fetched::BlockedOnReg(r) => {
-                self.states[ctx] = CtxState::WaitReg(r);
+                self.states[c] = CtxState::WaitReg(r);
                 false
             }
             Fetched::Fence => {
-                self.states[ctx] = CtxState::WaitFence;
-                self.stats[ctx].instructions.incr();
-                self.busy_until[phys] = now + cpi;
+                self.states[c] = CtxState::WaitFence;
+                self.stats[c].instructions.incr();
+                self.busy_until = now + cpi;
                 true
             }
             Fetched::Issue(spec) => {
-                if self.attempt_issue(ctx, &spec, Purpose::Data) {
-                    self.stats[ctx].instructions.incr();
-                    self.busy_until[phys] = now + cpi;
+                if self.attempt_issue(c, &spec, Purpose::Data, cx) {
+                    self.stats[c].instructions.incr();
+                    self.busy_until = now + cpi;
                     true
                 } else {
-                    self.states[ctx] = CtxState::WaitIssue(spec, Purpose::Data);
+                    self.states[c] = CtxState::WaitIssue(spec, Purpose::Data);
                     false
                 }
             }
             Fetched::Barrier => {
                 let spec = IssueSpec {
                     kind: MsgKind::fetch_add(),
-                    vaddr: BARRIER_VADDR_BASE + self.barrier_generation as usize,
+                    vaddr: BARRIER_VADDR_BASE + cx.barrier_generation as usize,
                     value: 1,
                     dst: None,
                 };
-                if self.attempt_issue(ctx, &spec, Purpose::Barrier) {
-                    self.states[ctx] = CtxState::WaitBarrier;
-                    self.stats[ctx].instructions.incr();
-                    self.busy_until[phys] = now + cpi;
+                if self.attempt_issue(c, &spec, Purpose::Barrier, cx) {
+                    self.states[c] = CtxState::WaitBarrier;
+                    self.stats[c].instructions.incr();
+                    self.busy_until = now + cpi;
                     true
                 } else {
-                    self.states[ctx] = CtxState::WaitIssue(spec, Purpose::Barrier);
+                    self.states[c] = CtxState::WaitIssue(spec, Purpose::Barrier);
                     false
                 }
             }
@@ -1678,6 +1965,119 @@ mod tests {
         for vid in 0..8 {
             assert_eq!(m.read_shared(100 + vid), 8, "context {vid}");
         }
+    }
+
+    // ---- cycle engine: parallel parity & idle fast-forward ----
+
+    fn digest(m: &Machine) -> String {
+        crate::report::MachineReport::from_machine(m).parity_string()
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        // Same config at 1, 2 and 4 threads, with every fan-out point
+        // exercised: d = 2 network copies, 8 banks, 8 PE shards with two
+        // contexts each, plus tracing so the deferred-event merge order
+        // is checked too.
+        let run = |threads: usize| {
+            let mut m = MachineBuilder::new(8)
+                .network(2)
+                .multiprogramming(2)
+                .threads(threads)
+                .build_spmd(&counter_program(6));
+            m.enable_trace(4096);
+            assert!(m.run().completed);
+            let events: Vec<TraceEvent> = m.trace().events().copied().collect();
+            (digest(&m), events, m.read_shared(0))
+        };
+        let (seq, seq_events, seq_mem) = run(1);
+        for threads in [2, 4] {
+            let (par, par_events, par_mem) = run(threads);
+            assert_eq!(seq, par, "parity digest diverged at {threads} threads");
+            assert_eq!(
+                seq_events, par_events,
+                "trace diverged at {threads} threads"
+            );
+            assert_eq!(seq_mem, par_mem);
+        }
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_ideal_backend() {
+        // A huge round-trip latency leaves long provably idle gaps while
+        // every context sits in WaitReg on a locked destination; the
+        // fast-forward must jump them without disturbing any statistic.
+        let p = Program::new(
+            body(vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(3),
+                    body: body(vec![
+                        Op::Load {
+                            addr: Expr::add(Expr::mul(Expr::PeIndex, 64), Expr::Reg(1)),
+                            dst: 0,
+                        },
+                        // Immediate use: the context parks until the reply.
+                        Op::Set {
+                            reg: 2,
+                            value: Expr::add(Expr::Reg(0), Expr::Reg(2)),
+                        },
+                    ]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let run = |ff: bool| {
+            let mut m = MachineBuilder::new(4)
+                .ideal(500)
+                .fast_forward(ff)
+                .build_spmd(&p);
+            assert!(m.run().completed);
+            (digest(&m), m.fast_forwarded_cycles())
+        };
+        let (slow, skipped_off) = run(false);
+        let (fast, skipped_on) = run(true);
+        assert_eq!(slow, fast, "fast-forward changed the simulation");
+        assert_eq!(skipped_off, 0);
+        assert!(
+            skipped_on > 1_000,
+            "500-cycle latencies must leave big skippable gaps, got {skipped_on}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_under_lossy_retries() {
+        // Dropped requests leave the machine fully drained until the PNI
+        // retry deadline — exactly the gap the fast-forward targets; the
+        // jump must land on the deadline cycle, not skip it.
+        let run = |ff: bool| {
+            let mut m = MachineBuilder::new(8)
+                .faults(FaultPlan::none().seed(11).link_loss(0.15))
+                .fast_forward(ff)
+                .max_cycles(2_000_000)
+                .build_spmd(&counter_program(6));
+            assert!(m.run().completed);
+            assert_eq!(m.read_shared(0), 48);
+            digest(&m)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fast_forward_deadlock_still_burns_to_the_budget() {
+        let p = Program::new(body(vec![Op::Barrier, Op::Halt]), vec![]);
+        let mut programs = vec![Program::empty(); 4];
+        programs[0] = p;
+        let mut m = MachineBuilder::new(4).max_cycles(5_000).build(programs);
+        let out = m.run();
+        assert!(!out.completed);
+        assert_eq!(out.cycles, 5_000);
+        assert!(
+            m.fast_forwarded_cycles() > 4_000,
+            "the deadlocked tail should be skipped in one jump"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! the PE — so programs prefetch by hoisting loads above independent work,
 //! exactly as the paper says the CDC compiler did.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ultra_net::message::PhiOp;
 use ultra_sim::{PeId, Value};
@@ -263,13 +263,14 @@ impl Cond {
     }
 }
 
-/// A block of statements, cheaply shareable between frames.
-pub type Body = Rc<[Op]>;
+/// A block of statements, cheaply shareable between frames (atomically
+/// refcounted so interpreter contexts can cross engine threads).
+pub type Body = Arc<[Op]>;
 
 /// Builds a [`Body`] from statements.
 #[must_use]
 pub fn body(ops: Vec<Op>) -> Body {
-    Rc::from(ops)
+    Arc::from(ops)
 }
 
 /// One program statement.

@@ -495,6 +495,14 @@ impl FaultClock {
     pub fn remaining(&self) -> usize {
         self.pending.len() - self.cursor
     }
+
+    /// The cycle at which the next scheduled fault fires, if any. The idle
+    /// fast-forward uses this to bound how far it may jump without skipping
+    /// a fault.
+    #[must_use]
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.pending[self.cursor..].iter().map(|s| s.at).min()
+    }
 }
 
 #[cfg(test)]

@@ -439,7 +439,7 @@ mod tests {
         bank.enable_dedup();
         // A combined amalgam: survivor id 1 folding ids 1 and 2.
         let mut amalgam = req(1, MsgKind::FetchPhi(PhiOp::Add), 0, 8);
-        amalgam.folded = vec![MsgId(1), MsgId(2)];
+        amalgam.folded = vec![MsgId(1), MsgId(2)].into();
         bank.push_request(amalgam);
         bank.cycle(0);
         assert_eq!(bank.pop_reply().unwrap().value, 0);

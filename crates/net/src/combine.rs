@@ -137,7 +137,7 @@ pub fn try_combine(queued: &mut Message, incoming: &Message) -> Option<WaitEntry
     }
     // The forwarded request now answers for every constituent of both.
     let mut folded = queued.folded.clone();
-    folded.extend_from_slice(&incoming.folded);
+    folded.extend_from(&incoming.folded);
     use MsgKind::{FetchPhi, Load, Store};
 
     // Each arm decides: (a) what the forwarded request looks like (mutation
@@ -450,7 +450,7 @@ mod tests {
     fn shared_constituents_never_combine() {
         let mut q = req(1, MsgKind::fetch_add(), 5, 0);
         let mut i = req(2, MsgKind::fetch_add(), 9, 1);
-        i.folded = vec![MsgId(2), MsgId(1)];
+        i.folded = vec![MsgId(2), MsgId(1)].into();
         assert!(try_combine(&mut q, &i).is_none());
     }
 

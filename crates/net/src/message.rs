@@ -13,14 +13,22 @@
 //! data (a load request, a store acknowledgement) is **one** packet; a
 //! message with a data word is **three** packets.
 
-use ultra_sim::{Cycle, MemAddr, PeId, Value};
+use ultra_sim::{Cycle, InlineVec, MemAddr, PeId, Value};
+
+/// The folded-id list of a [`Message`].
+///
+/// Uncombined messages hold exactly one id; combining merges the lists, so
+/// the length only exceeds the inline capacity in deep combining trees.
+/// Inline storage keeps `Message` construction — the cycle engine's hot
+/// path — free of per-message heap allocation.
+pub type FoldedIds = InlineVec<MsgId, 4>;
 
 /// Unique identifier of an outstanding memory request.
 ///
 /// Combining keeps the *surviving* request's id on the wire; wait-buffer
 /// entries are keyed by the survivor id, and each absorbed request's own id
 /// is regenerated on the reply spawned during decombining.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
 
 /// The associative operators accepted by fetch-and-phi (§2.4).
@@ -152,7 +160,7 @@ pub struct Message {
     /// own id plus each absorbed message's folded list). The MM's dedup
     /// cache records all of them, so a retry of any constituent of an
     /// already-applied combined request is recognized as a duplicate.
-    pub folded: Vec<MsgId>,
+    pub folded: FoldedIds,
 }
 
 impl Message {
@@ -176,7 +184,7 @@ impl Message {
             issued_at,
             amalgam: addr.mm.0,
             attempt: 0,
-            folded: vec![id],
+            folded: FoldedIds::one(id),
         }
     }
 
@@ -188,7 +196,8 @@ impl Message {
         self.attempt = attempt;
         self.issued_at = now;
         self.amalgam = self.addr.mm.0;
-        self.folded = vec![self.id];
+        self.folded.clear();
+        self.folded.push(self.id);
         self
     }
 

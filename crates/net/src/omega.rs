@@ -54,6 +54,14 @@ impl NetworkEvents {
     pub fn is_empty(&self) -> bool {
         self.requests_at_mm.is_empty() && self.replies_at_pe.is_empty() && self.dropped.is_empty()
     }
+
+    /// Empties all three lists, keeping their capacity — the reusable
+    /// buffer contract of [`OmegaNetwork::cycle_into`].
+    pub fn clear(&mut self) {
+        self.requests_at_mm.clear();
+        self.replies_at_pe.clear();
+        self.dropped.clear();
+    }
 }
 
 /// One `N`-PE combining Omega network.
@@ -219,6 +227,10 @@ impl OmegaNetwork {
     /// Returns the message back if the PE's input link is still streaming a
     /// previous message or the entry switch has no room (backpressure); the
     /// caller should retry next cycle.
+    // Returning the refused message by value is the point of the API — the
+    // caller keeps ownership without a clone — and `Message` is deliberately
+    // a flat, id-inline struct the hot path memcpys rather than boxes.
+    #[allow(clippy::result_large_err)]
     pub fn try_inject_request(&mut self, msg: Message, now: Cycle) -> Result<(), Message> {
         if self.fault_refuses(&msg) {
             self.stats.fault_refusals.incr();
@@ -279,11 +291,23 @@ impl OmegaNetwork {
 
     /// Advances the whole fabric by one switch cycle and returns whatever
     /// emerged.
+    ///
+    /// Allocates a fresh [`NetworkEvents`] per call; the cycle engine's hot
+    /// path uses [`OmegaNetwork::cycle_into`] with a reusable buffer
+    /// instead.
     pub fn cycle(&mut self, now: Cycle) -> NetworkEvents {
-        let mut events = NetworkEvents {
-            dropped: std::mem::take(&mut self.pending_drops),
-            ..NetworkEvents::default()
-        };
+        let mut events = NetworkEvents::default();
+        self.cycle_into(now, &mut events);
+        events
+    }
+
+    /// Advances the whole fabric by one switch cycle, writing whatever
+    /// emerged into the caller-supplied `events` buffer (cleared first).
+    /// Behaviourally identical to [`OmegaNetwork::cycle`] but free of
+    /// per-cycle allocation once the buffer's capacity has warmed up.
+    pub fn cycle_into(&mut self, now: Cycle, events: &mut NetworkEvents) {
+        events.clear();
+        events.dropped.append(&mut self.pending_drops);
         self.sweep_forward(now);
         self.sweep_reverse(now);
         // Drain tails that completed arrival at the fabric edge.
@@ -298,7 +322,20 @@ impl OmegaNetwork {
             stats.reverse_transit.record(now - r.mm_injected_at);
             events.replies_at_pe.push(r);
         });
-        events
+    }
+
+    /// Whether no traffic is in flight anywhere in the fabric: every switch
+    /// queue, both egress link sets, and the pending-drop list are empty.
+    /// Wait-buffer entries are deliberately ignored — a live entry implies
+    /// traffic that *is* visible elsewhere (at a bank or in a queue), while
+    /// a poisoned entry (stuck-at fault) persists forever and must not keep
+    /// the machine from fast-forwarding idle cycles.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.fwd_egress.is_empty()
+            && self.rev_egress.is_empty()
+            && self.pending_drops.is_empty()
+            && self.stages.iter().flatten().all(Switch::is_idle)
     }
 
     /// Forward sweep, MM side first so freed space propagates upstream
@@ -433,6 +470,17 @@ fn extract_ready<T>(pending: &mut Vec<(Cycle, T)>, now: Cycle, mut sink: impl Fn
     }
 }
 
+/// One network copy plus its reusable per-cycle event buffer.
+///
+/// Keeping the buffer beside the copy lets [`ReplicatedOmega::cycle_inplace`]
+/// fan the copies out across threads over a single slice — each lane is an
+/// independent unit of per-cycle work with its own output.
+#[derive(Debug, Clone)]
+struct CopyLane {
+    net: OmegaNetwork,
+    events: NetworkEvents,
+}
+
 /// `d` identical network copies (§4.1) behind one injection interface.
 ///
 /// Requests from each PE are spread round-robin over the copies; the copy
@@ -440,7 +488,7 @@ fn extract_ready<T>(pending: &mut Vec<(Cycle, T)>, now: Cycle, mut sink: impl Fn
 /// copy.
 #[derive(Debug, Clone)]
 pub struct ReplicatedOmega {
-    copies: Vec<OmegaNetwork>,
+    lanes: Vec<CopyLane>,
     cursor: Vec<usize>,
     failovers: u64,
 }
@@ -454,15 +502,21 @@ impl ReplicatedOmega {
     #[must_use]
     pub fn new(cfg: NetConfig, d: usize) -> Self {
         assert!(d >= 1, "need at least one network copy");
-        let mut copies: Vec<OmegaNetwork> = (0..d).map(|_| OmegaNetwork::new(cfg)).collect();
-        for (i, copy) in copies.iter_mut().enumerate() {
-            // Disjoint id spaces so wait-buffer keys can never collide
-            // across copies.
-            copy.set_msg_id_base(1 + ((i as u64) << 48));
-        }
+        let lanes: Vec<CopyLane> = (0..d)
+            .map(|i| {
+                let mut net = OmegaNetwork::new(cfg);
+                // Disjoint id spaces so wait-buffer keys can never collide
+                // across copies.
+                net.set_msg_id_base(1 + ((i as u64) << 48));
+                CopyLane {
+                    net,
+                    events: NetworkEvents::default(),
+                }
+            })
+            .collect();
         Self {
             cursor: vec![0; cfg.pes],
-            copies,
+            lanes,
             failovers: 0,
         }
     }
@@ -477,7 +531,7 @@ impl ReplicatedOmega {
     /// Number of copies `d`.
     #[must_use]
     pub fn copies(&self) -> usize {
-        self.copies.len()
+        self.lanes.len()
     }
 
     /// Immutable access to copy `i`.
@@ -487,7 +541,7 @@ impl ReplicatedOmega {
     /// Panics if `i >= d`.
     #[must_use]
     pub fn copy(&self, i: usize) -> &OmegaNetwork {
-        &self.copies[i]
+        &self.lanes[i].net
     }
 
     /// Mutable access to copy `i`.
@@ -496,7 +550,7 @@ impl ReplicatedOmega {
     ///
     /// Panics if `i >= d`.
     pub fn copy_mut(&mut self, i: usize) -> &mut OmegaNetwork {
-        &mut self.copies[i]
+        &mut self.lanes[i].net
     }
 
     /// Injects a request into the next copy in this PE's round-robin order,
@@ -506,18 +560,22 @@ impl ReplicatedOmega {
     /// # Errors
     ///
     /// Returns the message back if every copy refused it this cycle.
+    // See `OmegaNetwork::try_inject_request`: refusal hands the flat message
+    // back by value on purpose; boxing it would put an allocation on the
+    // zero-allocation path.
+    #[allow(clippy::result_large_err)]
     pub fn try_inject_request(&mut self, msg: Message, now: Cycle) -> Result<usize, Message> {
         let pe = msg.src.0;
-        let d = self.copies.len();
+        let d = self.lanes.len();
         let start = self.cursor[pe];
         let mut msg = msg;
         let mut fault_refused = false;
         for offset in 0..d {
             let i = (start + offset) % d;
-            if self.copies[i].fault_refuses(&msg) {
+            if self.lanes[i].net.fault_refuses(&msg) {
                 fault_refused = true;
             }
-            match self.copies[i].try_inject_request(msg, now) {
+            match self.lanes[i].net.try_inject_request(msg, now) {
                 Ok(()) => {
                     if fault_refused {
                         self.failovers += 1;
@@ -541,32 +599,64 @@ impl ReplicatedOmega {
     ///
     /// Panics if `copy >= d`.
     pub fn try_inject_reply(&mut self, copy: usize, reply: Reply, now: Cycle) -> Result<(), Reply> {
-        self.copies[copy].try_inject_reply(reply, now)
+        self.lanes[copy].net.try_inject_reply(reply, now)
     }
 
     /// Advances every copy one cycle; events are tagged with the copy that
     /// produced them.
+    ///
+    /// Allocates the returned vector per call; the cycle engine uses
+    /// [`ReplicatedOmega::cycle_inplace`] + [`ReplicatedOmega::events_mut`]
+    /// with the lanes' pooled buffers instead.
     pub fn cycle(&mut self, now: Cycle) -> Vec<(usize, NetworkEvents)> {
-        self.copies
+        self.lanes
             .iter_mut()
             .enumerate()
-            .map(|(i, c)| (i, c.cycle(now)))
+            .map(|(i, l)| (i, l.net.cycle(now)))
             .collect()
+    }
+
+    /// Advances every copy one cycle into its lane's pooled event buffer,
+    /// fanning the independent copies out over up to `threads` threads.
+    /// Results land in fixed lane order regardless of `threads`, so the
+    /// parallel and sequential engines observe identical event streams;
+    /// read them back with [`ReplicatedOmega::events_mut`].
+    pub fn cycle_inplace(&mut self, now: Cycle, threads: usize) {
+        ultra_sim::par_for_each_mut(&mut self.lanes, threads, |_, lane| {
+            lane.net.cycle_into(now, &mut lane.events);
+        });
+    }
+
+    /// The pooled event buffer copy `i` filled during the last
+    /// [`ReplicatedOmega::cycle_inplace`]; the caller drains it in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= d`.
+    pub fn events_mut(&mut self, i: usize) -> &mut NetworkEvents {
+        &mut self.lanes[i].events
+    }
+
+    /// Whether every copy's fabric is drained (see
+    /// [`OmegaNetwork::is_drained`]).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.lanes.iter().all(|l| l.net.is_drained())
     }
 
     /// Largest forward-queue packet occupancy across all copies.
     #[must_use]
     pub fn request_queue_high_water(&self) -> usize {
-        self.copies
+        self.lanes
             .iter()
-            .map(OmegaNetwork::request_queue_high_water)
+            .map(|l| l.net.request_queue_high_water())
             .max()
             .unwrap_or(0)
     }
 
     /// Sum of a statistic across copies, selected by `f`.
     pub fn total_stat(&self, f: impl Fn(&NetStats) -> u64) -> u64 {
-        self.copies.iter().map(|c| f(c.stats())).sum()
+        self.lanes.iter().map(|l| f(l.net.stats())).sum()
     }
 }
 

@@ -117,6 +117,17 @@ impl Switch {
         self.wait.len()
     }
 
+    /// Whether no packet is queued on any output port in either direction.
+    ///
+    /// Wait-buffer entries are deliberately ignored: an entry only exists
+    /// while its combined request is in flight towards memory (so some queue
+    /// somewhere is non-empty), except for poisoned ghost entries which
+    /// persist forever and must not keep the fabric "busy".
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.to_mm.iter().all(OutQueue::is_empty) && self.to_pe.iter().all(OutQueue::is_empty)
+    }
+
     /// Fault hook: one wait-buffer slot sticks. A ghost entry keyed by an
     /// id no real message can carry is inserted and never deallocated, so
     /// the slot is permanently lost to combining (the §3.3 capacity

@@ -86,6 +86,9 @@ pub struct Pni {
     /// Everything needed to re-issue each outstanding request (empty when
     /// the retry protocol is disabled).
     pending: HashMap<MsgId, PendingRequest>,
+    /// Reused between [`Pni::due_retries_into`] calls so the per-cycle
+    /// timeout sweep allocates nothing in the common empty case.
+    due_scratch: Vec<MsgId>,
 }
 
 /// Book-keeping for one outstanding request under the retry protocol.
@@ -132,6 +135,7 @@ impl Pni {
             stats: PniStats::default(),
             retry: None,
             pending: HashMap::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -163,26 +167,50 @@ impl Pni {
     /// backed-off deadline. Empty unless the retry protocol is enabled.
     /// Deterministic: timed-out requests are returned in id order.
     pub fn due_retries(&mut self, now: Cycle) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.due_retries_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Pni::due_retries`]: appends the re-issued
+    /// requests to `out` instead of returning a fresh vector. The common case
+    /// (nothing timed out) touches no heap at all.
+    pub fn due_retries_into(&mut self, now: Cycle, out: &mut impl Extend<Message>) {
         let Some(policy) = self.retry else {
-            return Vec::new();
+            return;
         };
-        let mut due: Vec<MsgId> = self
-            .pending
-            .iter()
-            .filter(|(_, s)| s.deadline <= now)
-            .map(|(&id, _)| id)
-            .collect();
-        due.sort_unstable();
-        due.iter()
-            .map(|id| {
-                let state = self.pending.get_mut(id).expect("collected above");
-                state.attempt += 1;
-                state.deadline = policy.deadline(now, state.attempt);
-                self.stats.retries.incr();
-                Message::request(*id, state.kind, state.addr, state.value, self.pe, now)
-                    .as_retry(state.attempt, now)
-            })
-            .collect()
+        if self.pending.is_empty() {
+            return;
+        }
+        self.due_scratch.clear();
+        self.due_scratch.extend(
+            self.pending
+                .iter()
+                .filter(|(_, s)| s.deadline <= now)
+                .map(|(&id, _)| id),
+        );
+        self.due_scratch.sort_unstable();
+        for i in 0..self.due_scratch.len() {
+            let id = self.due_scratch[i];
+            let state = self.pending.get_mut(&id).expect("collected above");
+            state.attempt += 1;
+            state.deadline = policy.deadline(now, state.attempt);
+            self.stats.retries.incr();
+            out.extend(core::iter::once(
+                Message::request(id, state.kind, state.addr, state.value, self.pe, now)
+                    .as_retry(state.attempt, now),
+            ));
+        }
+    }
+
+    /// The earliest deadline among outstanding requests under the retry
+    /// protocol — the next cycle at which [`Pni::due_retries`] could
+    /// produce anything. `None` when nothing is outstanding (or the retry
+    /// protocol is disabled). The idle fast-forward uses this to bound its
+    /// jump.
+    #[must_use]
+    pub fn next_retry_deadline(&self) -> Option<Cycle> {
+        self.pending.values().map(|s| s.deadline).min()
     }
 
     /// Forgets every outstanding request and returns their ids — the

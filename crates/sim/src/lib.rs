@@ -32,10 +32,14 @@
 
 pub mod clock;
 pub mod ids;
+pub mod inline_vec;
+pub mod par;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Clock, Cycle};
 pub use ids::{digits, MemAddr, MmId, PeId, Value};
+pub use inline_vec::InlineVec;
+pub use par::par_for_each_mut;
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use stats::{Counter, Histogram, RunningStats};

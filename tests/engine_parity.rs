@@ -1,0 +1,213 @@
+//! Property tests for the cycle engines (`ultracomputer::engine`).
+//!
+//! The contract: the parallel engine (any thread count) and the idle
+//! fast-forward are pure *speed* knobs — a run is **bit-identical** to
+//! the sequential, per-cycle reference regardless of either. Identity is
+//! checked through [`MachineReport::parity_string`] (cycles, merged PE
+//! statistics, network statistics, fault summary), the full event trace,
+//! and final shared memory, across random configurations, fault plans
+//! and workloads, plus the named E8/E14 harness configurations.
+
+use ultra_faults::{Fault, FaultPlan};
+use ultra_net::config::NetConfig;
+use ultra_sim::rng::{Rng, SplitMix64};
+use ultra_sim::{MmId, Value};
+use ultracomputer::program::{body, Expr, Op, Program};
+use ultracomputer::trace::TraceEvent;
+use ultracomputer::{MachineBuilder, MachineReport};
+
+/// Deterministic "forall": seeded cases, failures reported with the case
+/// number so they replay exactly.
+fn forall(cases: u64, label: &str, mut f: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(0x00E4_614E ^ (case.wrapping_mul(0x9e37_79b9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property `{label}` failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// Every PE claims `iters` tickets from one hot word and marks each
+/// ticket's slot (the serialization-principle workload).
+fn ticket_program(iters: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(iters),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: Some(0),
+                    },
+                    Op::Store {
+                        addr: Expr::add(Expr::Const(1000), Expr::Reg(0)),
+                        value: Expr::Const(1),
+                    },
+                ]),
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+/// Latency-bound load/use loop with a barrier — exercises register
+/// locking, fences of idle time for the fast-forward, and barriers.
+fn load_barrier_program(iters: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(iters),
+                body: body(vec![
+                    Op::Load {
+                        addr: Expr::add(Expr::mul(Expr::PeIndex, 128), Expr::Reg(1)),
+                        dst: 0,
+                    },
+                    Op::Set {
+                        reg: 2,
+                        value: Expr::add(Expr::Reg(0), Expr::Reg(2)),
+                    },
+                ]),
+            },
+            Op::Barrier,
+            Op::FetchAdd {
+                addr: Expr::Const(7),
+                delta: Expr::Const(1),
+                dst: None,
+            },
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+struct RunResult {
+    parity: String,
+    trace: Vec<TraceEvent>,
+    hot_word: Value,
+}
+
+fn run(builder: MachineBuilder, program: &Program, trace: bool) -> RunResult {
+    let mut m = builder.build_spmd(program);
+    if trace {
+        m.enable_trace(1 << 14);
+    }
+    m.run();
+    RunResult {
+        parity: MachineReport::from_machine(&m).parity_string(),
+        trace: m.trace().events().copied().collect(),
+        hot_word: m.read_shared(0),
+    }
+}
+
+fn assert_engines_agree(make: impl Fn() -> MachineBuilder, program: &Program, label: &str) {
+    let seq = run(make().threads(1), program, true);
+    for threads in [2usize, 4] {
+        let par = run(make().threads(threads), program, true);
+        assert_eq!(
+            seq.parity, par.parity,
+            "{label}: parity digest diverged at {threads} threads"
+        );
+        assert_eq!(
+            seq.trace, par.trace,
+            "{label}: trace diverged at {threads} threads"
+        );
+        assert_eq!(seq.hot_word, par.hot_word, "{label}: memory diverged");
+    }
+    // Fast-forward off must match too (it defaults to on above).
+    let stepped = run(make().threads(1).fast_forward(false), program, true);
+    assert_eq!(
+        seq.parity, stepped.parity,
+        "{label}: fast-forward changed the simulation"
+    );
+    assert_eq!(
+        seq.trace, stepped.trace,
+        "{label}: fast-forward trace drift"
+    );
+}
+
+#[test]
+fn engines_agree_on_random_configs_and_workloads() {
+    forall(12, "engine parity across random machines", |rng| {
+        let n = [4usize, 8, 16][rng.range_u64(0..3) as usize];
+        let copies = 1 + rng.range_u64(0..2) as usize;
+        let contexts = 1 + rng.range_u64(0..2) as usize;
+        let iters = 2 + rng.range_u64(0..5) as i64;
+        let seed = rng.next_u64();
+        let program = if rng.range_u64(0..2) == 0 {
+            ticket_program(iters)
+        } else {
+            load_barrier_program(iters)
+        };
+        let make = || {
+            MachineBuilder::new(n)
+                .network(copies)
+                .multiprogramming(contexts)
+                .seed(seed)
+        };
+        assert_engines_agree(make, &program, "random config");
+    });
+}
+
+#[test]
+fn engines_agree_on_random_fault_plans() {
+    forall(8, "engine parity under faults", |rng| {
+        let seed = rng.next_u64();
+        let iters = 2 + rng.range_u64(0..4) as i64;
+        let which = rng.range_u64(0..3);
+        let make = move || {
+            let plan = match which {
+                0 => FaultPlan::none().seed(seed).link_loss(0.08),
+                1 => FaultPlan::none().dead_copy(0),
+                _ => FaultPlan::none()
+                    .dead_mm(MmId((seed % 8) as usize))
+                    .schedule(40, Fault::KillCopy { copy: 1 }),
+            };
+            MachineBuilder::new(8)
+                .network(2)
+                .faults(plan)
+                .max_cycles(2_000_000)
+        };
+        assert_engines_agree(make, &ticket_program(iters), "faulty config");
+    });
+}
+
+#[test]
+fn engines_agree_on_ideal_backend() {
+    forall(6, "engine parity on the paracomputer", |rng| {
+        let latency = 2 + rng.range_u64(0..60);
+        let n = [4usize, 8][rng.range_u64(0..2) as usize];
+        let make = move || MachineBuilder::new(n).ideal(latency);
+        assert_engines_agree(make, &load_barrier_program(4), "ideal backend");
+    });
+}
+
+/// The E8 bandwidth-harness geometry run closed-loop: n = 64, one copy,
+/// queued combining switches, hot-word tickets.
+#[test]
+fn engines_agree_on_e8_configuration() {
+    let make = || MachineBuilder::new(64).net(NetConfig::small(64)).network(1);
+    assert_engines_agree(make, &ticket_program(4), "E8 configuration");
+}
+
+/// The E14c degradation configuration: 16 PEs, d = 2 with copy 0
+/// fail-stopped at boot — `FaultSummary` (failovers, refusals) must be
+/// byte-identical between engines, not just final memory.
+#[test]
+fn engines_agree_on_e14_configuration() {
+    let healthy = || MachineBuilder::new(16).network(2);
+    assert_engines_agree(healthy, &ticket_program(20), "E14 healthy");
+    let degraded = || {
+        MachineBuilder::new(16)
+            .network(2)
+            .faults(FaultPlan::none().dead_copy(0))
+    };
+    assert_engines_agree(degraded, &ticket_program(20), "E14 dead copy");
+}
