@@ -8,11 +8,15 @@
 //! delivery staging) are warm and the path is allocation-free.
 //! `network_cycle` prices the seed's allocating `OmegaNetwork::cycle`
 //! against the pooled `cycle_into` it was replaced with, under identical
-//! hot-spot load.
+//! hot-spot load. `sweep_occupancy` compares the sparse active-set walk
+//! against the dense full-topology scan at 1%, 10% and 90% switch
+//! occupancy — the data behind the sparse sweep's dense-fallback
+//! threshold (sparse wins big at low occupancy, converges with dense as
+//! occupancy saturates, so the fallback engages only near-saturation).
 
 use std::hint::black_box;
 use ultra_bench::microbench::Group;
-use ultra_net::config::NetConfig;
+use ultra_net::config::{NetConfig, SweepMode};
 use ultra_net::message::{Message, MsgKind, PhiOp};
 use ultra_net::omega::{NetworkEvents, OmegaNetwork};
 use ultra_sim::{MemAddr, MmId, PeId};
@@ -88,6 +92,9 @@ fn drive_network(mut advance: impl FnMut(&mut OmegaNetwork, u64)) {
 fn bench_network_cycle() {
     let mut group = Group::new("network_cycle_n256");
     group.sample_size(10);
+    // Kept on the deprecated API on purpose: this row *is* the price of
+    // the seed's allocating path.
+    #[allow(deprecated)]
     group.bench("allocating_seed_path", || {
         drive_network(|net, now| {
             black_box(net.cycle(now));
@@ -103,7 +110,50 @@ fn bench_network_cycle() {
     group.finish();
 }
 
+/// Drives one network copy with `active` PEs sending uniform (pe → mm =
+/// pe) traffic, so the fraction of switches carrying messages tracks the
+/// fraction of active PEs.
+fn drive_network_occupancy(net: &mut OmegaNetwork, active: usize) {
+    let mut events = NetworkEvents::default();
+    for now in 0..STEPS_PER_SAMPLE as u64 {
+        for pe in 0..active {
+            let id = net.next_msg_id();
+            let msg = Message::request(
+                id,
+                MsgKind::FetchPhi(PhiOp::Add),
+                MemAddr::new(MmId(pe), 0),
+                1,
+                PeId(pe),
+                now,
+            );
+            let _ = net.try_inject_request(msg, now);
+        }
+        net.cycle_into(now, &mut events);
+        black_box(events.requests_at_mm.len());
+    }
+}
+
+/// Sparse vs dense sweeps at 1%, 10% and 90% occupancy — the measured
+/// basis for the dense-fallback threshold baked into the network.
+fn bench_sweep_occupancy() {
+    let mut group = Group::new("sweep_occupancy_n256");
+    group.sample_size(10);
+    for (label, pct) in [("1pct", 1usize), ("10pct", 10), ("90pct", 90)] {
+        let active = (N * pct / 100).max(1);
+        for (mode_label, mode) in [("sparse", SweepMode::Sparse), ("dense", SweepMode::Dense)] {
+            let name = format!("{label}_{mode_label}");
+            group.bench(&name, || {
+                let mut net = OmegaNetwork::new(NetConfig::small(N));
+                net.set_sweep_mode(mode);
+                drive_network_occupancy(&mut net, active);
+            });
+        }
+    }
+    group.finish();
+}
+
 fn main() {
     bench_machine_step();
     bench_network_cycle();
+    bench_sweep_occupancy();
 }

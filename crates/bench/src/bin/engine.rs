@@ -1,8 +1,15 @@
 //! Cycle-engine throughput harness.
 //!
 //! Measures simulated-cycles/sec and PE·cycles/sec for the sequential and
-//! parallel engines at N ∈ {64, 256, 1024} on the hot-counter ticket
-//! workload, and writes the rows to `BENCH_engine.json` at the repo root.
+//! parallel engines at N ∈ {64, 256, 1024, 4096} on two workloads, and
+//! writes the rows to `BENCH_engine.json` at the repo root:
+//!
+//! * `ticket` — every PE hammers one combinable hot word (traffic scales
+//!   with N; measures the whole engine under load).
+//! * `idle` — 16 ticket PEs inside the full fabric, every other PE halts
+//!   immediately (traffic is constant while topology grows; isolates the
+//!   sparse active-set sweep's *scale with traffic, not switches* claim).
+//!   Sequential-only: the point is per-cycle sweep cost, not fan-out.
 //!
 //! Flags (combine freely):
 //!
@@ -10,9 +17,13 @@
 //! * `--check` — instead of (over)writing the baseline: assert the
 //!   parallel engine is bit-identical to the sequential one on the E8 and
 //!   E14 harness configurations, assert every measured N produced the
-//!   same cycle count under both engines, and fail if sequential
-//!   cycles/sec regressed more than 20% against the committed
-//!   `BENCH_engine.json`. Exits non-zero on any violation.
+//!   same cycle count under both engines, fail if any row regressed more
+//!   than 20% in cycles/sec against the committed `BENCH_engine.json`
+//!   (matched by N + engine + workload), and — on hosts with ≥ 2 cores —
+//!   fail if the parallel engine is materially slower than sequential at
+//!   N ≥ 1024. Exits non-zero on any violation.
+//! * `--out <path>` — also write the freshly measured rows to `<path>`
+//!   (CI uploads this as an artifact so regressions can be diffed).
 //!
 //! The committed baseline records the machine it was measured on; the
 //! regression gate is only meaningful across runs on comparable hardware.
@@ -27,10 +38,18 @@ use ultracomputer::machine::{MachineBuilder, RunOutcome};
 use ultracomputer::program::{body, Expr, Op, Program};
 use ultracomputer::MachineReport;
 
+/// PEs that stay busy in the `idle` workload (matches the paper's §4.2
+/// setting of a few active PEs inside a big fabric).
+const IDLE_ACTIVE_PES: usize = 16;
+
+/// On multi-core hosts, how much slower than sequential the parallel
+/// engine may measure at N ≥ 1024 before the gate fails (noise margin).
+const PARALLEL_TOLERANCE: f64 = 0.9;
+
 /// Every PE draws `iters` tickets from one combinable hot word and writes
 /// each ticket into a private slot — serialization-heavy, so the network,
 /// banks, and PE shards all stay busy.
-fn workload(iters: i64) -> Program {
+fn ticket_program(iters: i64) -> Program {
     Program::new(
         body(vec![
             Op::For {
@@ -55,9 +74,29 @@ fn workload(iters: i64) -> Program {
     )
 }
 
+/// The `idle` workload: the first [`IDLE_ACTIVE_PES`] run the ticket
+/// loop, the rest halt on cycle one. Per-cycle engine cost is then
+/// dominated by how the network sweep scales with *topology* rather than
+/// traffic — the dense scan pays for every switch of every stage, the
+/// sparse walk only for the handful carrying tickets.
+fn idle_programs(n: usize, iters: i64) -> Vec<Program> {
+    let active = ticket_program(iters);
+    let parked = Program::new(body(vec![Op::Halt]), vec![]);
+    (0..n)
+        .map(|pe| {
+            if pe < IDLE_ACTIVE_PES.min(n) {
+                active.clone()
+            } else {
+                parked.clone()
+            }
+        })
+        .collect()
+}
+
 struct Row {
     n: usize,
     engine: &'static str,
+    workload: &'static str,
     threads: usize,
     iters: i64,
     cycles: u64,
@@ -77,18 +116,33 @@ impl Row {
 fn measure(
     n: usize,
     iters: i64,
+    workload: &'static str,
     engine: &'static str,
     threads: usize,
     reps: u32,
 ) -> (Row, RunOutcome) {
-    let program = workload(iters);
+    let build = || {
+        let b = MachineBuilder::new(n).threads(threads);
+        match workload {
+            "ticket" => b.build_spmd(&ticket_program(iters)),
+            "idle" => {
+                // Only the active PEs partake in barriers (none here) and
+                // the stats range; the parked ones just halt.
+                b.build(idle_programs(n, iters))
+            }
+            other => unreachable!("unknown workload {other}"),
+        }
+    };
     let mut best: Option<(f64, RunOutcome)> = None;
     for _ in 0..reps {
-        let mut m = MachineBuilder::new(n).threads(threads).build_spmd(&program);
+        let mut m = build();
         let t0 = Instant::now();
         let out = m.run();
         let wall = t0.elapsed().as_secs_f64().max(1e-9);
-        assert!(out.completed, "engine bench workload must complete (n={n})");
+        assert!(
+            out.completed,
+            "engine bench workload must complete (n={n} workload={workload})"
+        );
         if let Some((_, prev)) = &best {
             assert_eq!(prev.cycles, out.cycles, "nondeterministic run at n={n}");
         }
@@ -100,6 +154,7 @@ fn measure(
     let row = Row {
         n,
         engine,
+        workload,
         threads,
         iters,
         cycles: out.cycles,
@@ -109,27 +164,27 @@ fn measure(
     (row, out)
 }
 
+fn host_threads() -> usize {
+    thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 fn parallel_threads() -> usize {
-    thread::available_parallelism().map_or(2, |p| p.get().clamp(2, 4))
+    host_threads().clamp(2, 4)
 }
 
 fn render_json(rows: &[Row]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"engine\",");
-    let _ = writeln!(
-        s,
-        "  \"host_threads\": {},",
-        thread::available_parallelism().map_or(1, |p| p.get())
-    );
+    let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"n\": {}, \"engine\": \"{}\", \"threads\": {}, \"iters\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"pe_cycles_per_sec\": {:.1}}}{comma}",
-            r.n, r.engine, r.threads, r.iters, r.cycles, r.wall_secs, r.cycles_per_sec,
-            r.pe_cycles_per_sec()
+            "    {{\"n\": {}, \"engine\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"iters\": {}, \"cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"pe_cycles_per_sec\": {:.1}}}{comma}",
+            r.n, r.engine, r.workload, r.threads, r.iters, r.cycles, r.wall_secs,
+            r.cycles_per_sec, r.pe_cycles_per_sec()
         );
     }
     s.push_str("  ]\n}\n");
@@ -153,38 +208,87 @@ fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
 }
 
-/// Fails (returns an error string) if any sequential row regressed more
-/// than 20% in cycles/sec against the committed baseline row with the
-/// same N. Missing baseline rows are skipped — a new N is not a
-/// regression.
-fn regression_gate(rows: &[Row]) -> Result<(), String> {
-    let path = baseline_path();
-    let Ok(baseline) = std::fs::read_to_string(&path) else {
-        println!(
-            "no committed baseline at {} — skipping gate",
-            path.display()
-        );
-        return Ok(());
-    };
-    for row in rows.iter().filter(|r| r.engine == "sequential") {
-        let committed = baseline.lines().find_map(|line| {
-            (line.contains("\"engine\": \"sequential\"")
-                && field_f64(line, "n") == Some(row.n as f64))
+/// Finds the committed cycles/sec for `(n, engine, workload)`. Baselines
+/// written before the workload field existed implicitly measured the
+/// ticket workload, so a row without one matches `"ticket"` only.
+fn committed_rate(baseline: &str, n: usize, engine: &str, workload: &str) -> Option<f64> {
+    baseline.lines().find_map(|line| {
+        let engine_tag = format!("\"engine\": \"{engine}\"");
+        if !line.contains(&engine_tag) || field_f64(line, "n") != Some(n as f64) {
+            return None;
+        }
+        let row_workload = if line.contains("\"workload\": ") {
+            ["ticket", "idle"]
+                .into_iter()
+                .find(|w| line.contains(&format!("\"workload\": \"{w}\"")))?
+        } else {
+            "ticket"
+        };
+        (row_workload == workload)
             .then(|| field_f64(line, "cycles_per_sec"))
             .flatten()
-        });
-        let Some(committed) = committed else { continue };
-        let floor = 0.8 * committed;
-        println!(
-            "gate n={}: {:.0} cycles/s vs committed {:.0} (floor {:.0})",
-            row.n, row.cycles_per_sec, committed, floor
-        );
-        if row.cycles_per_sec < floor {
-            return Err(format!(
-                "sequential n={} regressed >20%: {:.0} cycles/s vs committed {:.0}",
-                row.n, row.cycles_per_sec, committed
-            ));
+    })
+}
+
+/// Fails if any measured row regressed more than 20% in cycles/sec
+/// against the committed baseline row with the same (N, engine,
+/// workload). Missing baseline rows are skipped — a new N or workload is
+/// not a regression. On hosts with ≥ 2 cores, additionally fails if the
+/// parallel engine measured materially slower than sequential at
+/// N ≥ 1024 on the ticket workload (the persistent pool's reason to
+/// exist); single-core hosts skip that comparison — there is nothing to
+/// fan out over.
+fn regression_gate(rows: &[Row]) -> Result<(), String> {
+    let path = baseline_path();
+    match std::fs::read_to_string(&path) {
+        Ok(baseline) => {
+            for row in rows {
+                let Some(committed) = committed_rate(&baseline, row.n, row.engine, row.workload)
+                else {
+                    continue;
+                };
+                let floor = 0.8 * committed;
+                println!(
+                    "gate n={} {} {}: {:.0} cycles/s vs committed {:.0} (floor {:.0})",
+                    row.n, row.engine, row.workload, row.cycles_per_sec, committed, floor
+                );
+                if row.cycles_per_sec < floor {
+                    return Err(format!(
+                        "{} n={} ({}) regressed >20%: {:.0} cycles/s vs committed {:.0}",
+                        row.engine, row.n, row.workload, row.cycles_per_sec, committed
+                    ));
+                }
+            }
         }
+        Err(_) => println!(
+            "no committed baseline at {} — skipping gate",
+            path.display()
+        ),
+    }
+    if host_threads() >= 2 {
+        for seq in rows
+            .iter()
+            .filter(|r| r.engine == "sequential" && r.workload == "ticket" && r.n >= 1024)
+        {
+            let Some(par) = rows
+                .iter()
+                .find(|r| r.engine == "parallel" && r.workload == "ticket" && r.n == seq.n)
+            else {
+                continue;
+            };
+            println!(
+                "gate n={} parallel({}) {:.0} cycles/s vs sequential {:.0}",
+                seq.n, par.threads, par.cycles_per_sec, seq.cycles_per_sec
+            );
+            if par.cycles_per_sec < PARALLEL_TOLERANCE * seq.cycles_per_sec {
+                return Err(format!(
+                    "parallel({}) slower than sequential at n={}: {:.0} vs {:.0} cycles/s",
+                    par.threads, seq.n, par.cycles_per_sec, seq.cycles_per_sec
+                ));
+            }
+        }
+    } else {
+        println!("single-core host — skipping parallel-vs-sequential gate");
     }
     Ok(())
 }
@@ -208,7 +312,7 @@ fn parity_check() -> Result<(), String> {
         ),
     ];
     for (label, make, iters) in &cases {
-        let program = workload(*iters);
+        let program = ticket_program(*iters);
         let digest = |b: MachineBuilder| {
             let mut m = b.build_spmd(&program);
             m.run();
@@ -234,33 +338,55 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
-    let sizes: &[(usize, i64)] = if quick {
-        &[(64, 50), (256, 25), (1024, 8)]
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--out needs a path")));
+    let ticket_sizes: &[(usize, i64)] = if quick {
+        &[(64, 50), (256, 25), (1024, 8), (4096, 2)]
     } else {
-        &[(64, 200), (256, 100), (1024, 40)]
+        &[(64, 200), (256, 100), (1024, 40), (4096, 10)]
+    };
+    let idle_sizes: &[(usize, i64)] = if quick {
+        &[(1024, 50), (4096, 12)]
+    } else {
+        &[(1024, 200), (4096, 50)]
     };
     let threads = parallel_threads();
     let reps = if quick { 2 } else { 3 };
 
+    let print_row = |r: &Row| {
+        println!(
+            "n={:<5} {:<8} {:<10} threads={} cycles={:<8} wall={:.3}s  {:>10.0} cycles/s  {:>12.0} PE·cycles/s",
+            r.n, r.workload, r.engine, r.threads, r.cycles, r.wall_secs, r.cycles_per_sec,
+            r.pe_cycles_per_sec()
+        );
+    };
     let mut rows = Vec::new();
-    for &(n, iters) in sizes {
-        let (seq, seq_out) = measure(n, iters, "sequential", 1, reps);
-        let (par, par_out) = measure(n, iters, "parallel", threads, reps);
+    for &(n, iters) in ticket_sizes {
+        let (seq, seq_out) = measure(n, iters, "ticket", "sequential", 1, reps);
+        let (par, par_out) = measure(n, iters, "ticket", "parallel", threads, reps);
         assert_eq!(
             seq_out.cycles, par_out.cycles,
             "engines disagreed on simulated time at n={n}"
         );
-        for r in [&seq, &par] {
-            println!(
-                "n={:<5} {:<10} threads={} cycles={:<7} wall={:.3}s  {:>10.0} cycles/s  {:>12.0} PE·cycles/s",
-                r.n, r.engine, r.threads, r.cycles, r.wall_secs, r.cycles_per_sec,
-                r.pe_cycles_per_sec()
-            );
-        }
+        print_row(&seq);
+        print_row(&par);
         rows.push(seq);
         rows.push(par);
     }
+    // Idle-heavy rows are sequential-only: they isolate per-cycle sweep
+    // cost, which fan-out would only blur.
+    for &(n, iters) in idle_sizes {
+        let (seq, _) = measure(n, iters, "idle", "sequential", 1, reps);
+        print_row(&seq);
+        rows.push(seq);
+    }
 
+    if let Some(path) = &out_path {
+        std::fs::write(path, render_json(&rows)).expect("write --out file");
+        println!("wrote {}", path.display());
+    }
     if check {
         let mut failed = false;
         if let Err(e) = parity_check() {

@@ -18,7 +18,7 @@ use ultra_net::config::NetConfig;
 use ultra_net::message::{Message, MsgId};
 use ultra_net::omega::ReplicatedOmega;
 use ultra_pe::traffic::TrafficPattern;
-use ultra_sim::{Cycle, Histogram, MmId, PeId};
+use ultra_sim::{Cycle, Histogram, MmId, PeId, WorkerPool};
 
 /// Configuration of one open-loop run.
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +144,7 @@ pub fn run_open_loop_faulty(
         failovers: 0,
         unroutable: 0,
     };
+    let pool = WorkerPool::new(1);
     let horizon = cfg.warmup + cfg.measure;
     // Drain window: let in-flight traffic finish (no new injections).
     let drain = horizon + 4 * (cfg.warmup + 100);
@@ -187,11 +188,13 @@ pub fn run_open_loop_faulty(
             }
         }
         // 3. The fabric moves.
-        for (_copy, events) in nets.cycle(now) {
-            for msg in events.requests_at_mm {
+        nets.cycle_inplace(now, &pool);
+        for copy in 0..nets.copies() {
+            let events = nets.events_mut(copy);
+            for msg in events.requests_at_mm.drain(..) {
                 banks[msg.addr.mm.0].push_request(msg);
             }
-            for reply in events.replies_at_pe {
+            for reply in events.replies_at_pe.drain(..) {
                 copy_of.remove(&reply.id);
                 if reply.request_issued_at >= cfg.warmup && reply.request_issued_at < horizon {
                     report.completed += 1;
@@ -200,7 +203,8 @@ pub fn run_open_loop_faulty(
                         .record(now.saturating_sub(reply.request_issued_at));
                 }
             }
-            for dropped in events.dropped {
+            let dropped = std::mem::take(&mut events.dropped);
+            for dropped in dropped {
                 // Retry from the PE (its buffer is free: the drop came from
                 // a message already injected).
                 let pe = dropped.src.0;

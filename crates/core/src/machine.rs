@@ -33,14 +33,14 @@ use std::time::{Duration, Instant};
 
 use ultra_faults::{Fault, FaultClock, FaultPlan, RetryPolicy};
 use ultra_mem::{AddressHasher, MemBank, TranslationMode};
-use ultra_net::config::NetConfig;
+use ultra_net::config::{NetConfig, SweepMode};
 use ultra_net::message::{Message, MsgId, MsgKind, Reply};
 use ultra_net::omega::ReplicatedOmega;
 use ultra_net::stats::NetStats;
 use ultra_pe::pni::{Pni, PniError};
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
-use ultra_sim::{par_for_each_mut, Cycle, MemAddr, MmId, PeId, Value};
+use ultra_sim::{Cycle, MemAddr, MmId, PeId, Value, WorkerPool};
 
 use crate::engine::EngineMode;
 use crate::interp::{Fetched, IssueSpec, PeInterp};
@@ -102,6 +102,17 @@ pub struct MachineConfig {
     /// engine; ignored (treated as `1`) when the `parallel` crate
     /// feature is disabled. Every value produces bit-identical runs.
     pub threads: usize,
+    /// When `true` (the default) the thread budget is chosen
+    /// automatically from the machine size and the host's core count
+    /// instead of taken from [`MachineConfig::threads`]: small machines
+    /// stay sequential (fan-out overhead beats the win below ~256 PEs),
+    /// large ones use up to four cores. [`MachineBuilder::threads`]
+    /// clears this flag.
+    pub auto_threads: bool,
+    /// How the network iterates its switches each cycle (sparse
+    /// active-set walk by default). Purely a speed knob: every mode is
+    /// bit-identical.
+    pub sweep: SweepMode,
     /// Skip provably idle stretches of cycles (all traffic drained,
     /// every context parked) by jumping straight to the next scheduled
     /// event. Bit-identical to per-cycle stepping; on by default.
@@ -135,6 +146,8 @@ impl MachineBuilder {
                 contexts_per_pe: 1,
                 faults: FaultPlan::none(),
                 threads: 1,
+                auto_threads: true,
+                sweep: SweepMode::default(),
                 fast_forward: true,
             },
         }
@@ -153,6 +166,27 @@ impl MachineBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one engine thread");
         self.cfg.threads = threads;
+        self.cfg.auto_threads = false;
+        self
+    }
+
+    /// Restores the default automatic thread selection: sequential below
+    /// 256 PEs, otherwise up to four threads capped by the host's
+    /// available parallelism. Every choice is bit-identical; this only
+    /// picks the fastest engine for the machine size.
+    #[must_use]
+    pub fn threads_auto(mut self) -> Self {
+        self.cfg.auto_threads = true;
+        self
+    }
+
+    /// Selects how the network sweeps its switches each cycle (sparse
+    /// active-set walk by default; [`SweepMode::Dense`] restores the
+    /// full-topology scan). Purely a speed knob — runs are bit-identical
+    /// in either mode.
+    #[must_use]
+    pub fn sweep(mut self, mode: SweepMode) -> Self {
+        self.cfg.sweep = mode;
         self
     }
 
@@ -437,6 +471,10 @@ pub struct Machine {
     /// Pooled completion buffer for [`Machine::backend_cycle`] — replies
     /// are staged here each cycle, so the hot path never allocates.
     deliveries: Vec<Reply>,
+    /// Persistent worker threads for the per-cycle fan-outs (PE shards,
+    /// memory banks, network copies). A 1-thread pool runs everything
+    /// inline on the caller — the sequential engine.
+    pool: WorkerPool,
 }
 
 impl Machine {
@@ -491,6 +529,7 @@ impl Machine {
             },
             BackendKind::Network { copies } => {
                 let mut nets = ReplicatedOmega::new(cfg.net, copies);
+                nets.set_sweep_mode(cfg.sweep);
                 for c in 0..copies {
                     let mask = plan.mask_for_copy(c);
                     if !mask.is_healthy() {
@@ -537,6 +576,7 @@ impl Machine {
             run_elapsed: None,
             fast_forwarded: 0,
             deliveries: Vec::new(),
+            pool: WorkerPool::new(Self::resolve_threads(&cfg)),
             cfg,
         };
         machine.absorb_unreachable();
@@ -613,11 +653,40 @@ impl Machine {
     }
 
     fn effective_threads(&self) -> usize {
-        if cfg!(feature = "parallel") {
-            self.cfg.threads.max(1)
-        } else {
-            1
+        self.pool.threads()
+    }
+
+    /// Machines smaller than this stay sequential under automatic thread
+    /// selection: below it, per-cycle fan-out overhead exceeds the work
+    /// being parallelised (see `BENCH_engine.json`).
+    pub const AUTO_THREADS_MIN_PES: usize = 256;
+
+    /// Upper bound on automatically chosen threads. The cycle engine's
+    /// fan-out points saturate quickly; more threads add merge and wake
+    /// cost without more speedup.
+    pub const MAX_AUTO_THREADS: usize = 4;
+
+    /// The thread budget a machine built from `cfg` will use.
+    fn resolve_threads(cfg: &MachineConfig) -> usize {
+        if !cfg!(feature = "parallel") {
+            return 1;
         }
+        if !cfg.auto_threads {
+            return cfg.threads.max(1);
+        }
+        if cfg.net.pes < Self::AUTO_THREADS_MIN_PES {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(Self::MAX_AUTO_THREADS)
+    }
+
+    /// Whether the engine's thread count was chosen automatically (the
+    /// default) rather than pinned via [`MachineBuilder::threads`].
+    #[must_use]
+    pub fn auto_threads(&self) -> bool {
+        self.cfg.auto_threads
     }
 
     /// Wall-clock duration of the most recent [`Machine::run`] call
@@ -835,8 +904,7 @@ impl Machine {
             barrier_generation: self.barrier_generation,
             trace_enabled: self.trace.enabled,
         };
-        let threads = self.effective_threads();
-        par_for_each_mut(&mut self.shards, threads, |_, shard| {
+        self.pool.run(&mut self.shards, |_, shard| {
             shard.pe_cycle(cx);
         });
         for shard in &mut self.shards {
@@ -1136,7 +1204,7 @@ impl Machine {
 
     /// Advances the memory system and delivers completions.
     fn backend_cycle(&mut self, now: Cycle) {
-        let threads = self.effective_threads();
+        let pool = &self.pool;
         // Staged first to avoid borrowing `self` across the delivery; the
         // buffer is pooled on the machine so steady state never allocates.
         let mut deliveries = std::mem::take(&mut self.deliveries);
@@ -1181,7 +1249,7 @@ impl Machine {
                 // threads; their outboxes then drain into the network in
                 // bank index order — exactly the injection sequence the
                 // sequential interleaved loop produces.
-                par_for_each_mut(banks, threads, |_, bank| bank.cycle(now));
+                pool.run(banks, |_, bank| bank.cycle(now));
                 for bank in banks.iter_mut() {
                     // Replies re-enter through the copy that carried the
                     // request (stalling if the reverse link is busy).
@@ -1207,7 +1275,7 @@ impl Machine {
                 // event buffers; arrivals then drain in fixed copy order.
                 // Arrivals at MMs enter bank queues; arrivals at PEs are
                 // delivered below.
-                nets.cycle_inplace(now, threads);
+                nets.cycle_inplace(now, pool);
                 let d = nets.copies();
                 for copy in 0..d {
                     let events = nets.events_mut(copy);
@@ -2000,6 +2068,52 @@ mod tests {
             );
             assert_eq!(seq_mem, par_mem);
         }
+    }
+
+    #[test]
+    fn auto_threads_heuristic_sizes_the_engine() {
+        // Small machines stay sequential regardless of the host.
+        let small = MachineBuilder::new(8).build_spmd(&counter_program(1));
+        assert!(small.auto_threads());
+        assert_eq!(small.engine_mode(), EngineMode::Sequential);
+        // An explicit thread count pins the engine and clears the flag.
+        let pinned = MachineBuilder::new(8)
+            .threads(3)
+            .build_spmd(&counter_program(1));
+        assert!(!pinned.auto_threads());
+        if cfg!(feature = "parallel") {
+            assert_eq!(pinned.engine_mode(), EngineMode::Parallel { threads: 3 });
+        }
+        // At or above the size threshold, auto picks from the host's
+        // available parallelism, capped.
+        let big = MachineBuilder::new(Machine::AUTO_THREADS_MIN_PES)
+            .build_spmd(&Program::new(body(vec![Op::Halt]), vec![]));
+        let chosen = big.engine_mode().threads();
+        assert!((1..=Machine::MAX_AUTO_THREADS).contains(&chosen));
+        if cfg!(feature = "parallel") {
+            let host = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(Machine::MAX_AUTO_THREADS);
+            assert_eq!(chosen, host);
+        }
+    }
+
+    #[test]
+    fn dense_sweep_is_bit_identical_to_sparse() {
+        let run = |mode: ultra_net::config::SweepMode| {
+            let mut m = MachineBuilder::new(8)
+                .network(2)
+                .multiprogramming(2)
+                .sweep(mode)
+                .build_spmd(&counter_program(6));
+            m.enable_trace(4096);
+            assert!(m.run().completed);
+            let events: Vec<TraceEvent> = m.trace().events().copied().collect();
+            (digest(&m), events, m.read_shared(0))
+        };
+        let sparse = run(ultra_net::config::SweepMode::Sparse);
+        let dense = run(ultra_net::config::SweepMode::Dense);
+        assert_eq!(sparse, dense, "sweep mode changed the simulation");
     }
 
     #[test]

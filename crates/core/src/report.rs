@@ -33,6 +33,9 @@ pub struct MachineReport {
     pub elapsed: Option<Duration>,
     /// The cycle engine that produced the run.
     pub engine: EngineMode,
+    /// Whether the engine's thread count was chosen by the automatic
+    /// size-based heuristic rather than pinned by the caller.
+    pub engine_auto: bool,
     /// Cycles the engine skipped via idle fast-forward (still included
     /// in [`MachineReport::cycles`]).
     pub fast_forwarded: Cycle,
@@ -62,6 +65,7 @@ impl MachineReport {
             faults: m.fault_summary(),
             elapsed: m.last_run_elapsed(),
             engine: m.engine_mode(),
+            engine_auto: m.auto_threads(),
             fast_forwarded: m.fast_forwarded_cycles(),
         }
     }
@@ -201,8 +205,9 @@ impl fmt::Display for MachineReport {
         if let Some(elapsed) = self.elapsed {
             write!(
                 f,
-                "\n  engine: {} | {:.3} s wall",
+                "\n  engine: {}{} | {:.3} s wall",
                 self.engine,
+                if self.engine_auto { " (auto)" } else { "" },
                 elapsed.as_secs_f64()
             )?;
             if let Some(cps) = self.cycles_per_sec() {
@@ -250,6 +255,10 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("avg CM access"));
         assert!(text.contains("engine: "), "footer names the engine");
+        assert!(
+            text.contains("(auto)"),
+            "default builds report the automatic engine choice"
+        );
         assert!(text.contains("cycles/s"), "footer reports throughput");
         assert!(r.elapsed.is_some());
         assert!(r.cycles_per_sec().unwrap_or(0.0) > 0.0);

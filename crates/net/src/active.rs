@@ -1,0 +1,203 @@
+//! Sparse active-set worklists for the cycle sweeps.
+//!
+//! An idle-heavy fabric is mostly empty: at 4096 PEs the small-`k`
+//! configurations build tens of thousands of switches, yet a typical cycle
+//! moves messages through a few dozen of them. [`ActiveSet`] tracks, per
+//! stage and per direction, exactly which switches currently hold traffic,
+//! so a sweep can visit *members* instead of *switches built* — the
+//! per-cycle cost then follows occupancy, not topology.
+//!
+//! The representation is the classic sparse set plus a bitset:
+//!
+//! * `bits` — one bit per switch, used for O(1) membership tests and for
+//!   **deterministic ascending-order iteration** (word scan +
+//!   `trailing_zeros`). Ascending order matters: the dense reference sweep
+//!   visits switches in ascending index order, and a switch holding no
+//!   traffic is a no-op visit, so iterating exactly the non-empty switches
+//!   in the same order reproduces the dense engine's operation sequence
+//!   bit for bit.
+//! * `members`/`pos` — the dense `Vec<u32>` worklist with its position
+//!   index, giving O(1) insert/remove and O(members) `clear`, independent
+//!   of the universe size.
+
+/// A set of switch indices over a fixed universe `0..universe`.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    /// Membership bitset, one bit per index.
+    bits: Vec<u64>,
+    /// Dense member list (unsorted).
+    members: Vec<u32>,
+    /// `pos[i]` = position of `i` in `members` (undefined unless member).
+    pos: Vec<u32>,
+}
+
+impl ActiveSet {
+    /// Creates an empty set over `0..universe`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        Self {
+            bits: vec![0; universe.div_ceil(64)],
+            members: Vec::new(),
+            pos: vec![0; universe],
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `i` is a member.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; no-op if already present.
+    pub fn insert(&mut self, i: usize) {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.bits[word] & bit == 0 {
+            self.bits[word] |= bit;
+            self.pos[i] = self.members.len() as u32;
+            self.members.push(i as u32);
+        }
+    }
+
+    /// Removes `i`; no-op if absent.
+    pub fn remove(&mut self, i: usize) {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.bits[word] & bit != 0 {
+            self.bits[word] &= !bit;
+            let p = self.pos[i] as usize;
+            let last = self.members.pop().expect("member list non-empty");
+            if p < self.members.len() {
+                self.members[p] = last;
+                self.pos[last as usize] = p as u32;
+            }
+        }
+    }
+
+    /// Removes every member in O(members).
+    pub fn clear(&mut self) {
+        for &m in &self.members {
+            self.bits[m as usize / 64] = 0;
+        }
+        self.members.clear();
+    }
+
+    /// The members in unspecified order (the dense worklist itself).
+    #[must_use]
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of 64-bit words backing the bitset.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The `w`-th bitset word — the sweep iterates these so that members
+    /// come out in ascending index order while tolerating removal of the
+    /// index currently being processed (the caller snapshots each word
+    /// before consuming its bits).
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        self.bits[w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation for differential testing.
+    fn model_contains(model: &[bool], set: &ActiveSet) {
+        let expect: Vec<usize> = (0..model.len()).filter(|&i| model[i]).collect();
+        let mut got: Vec<usize> = set.members().iter().map(|&m| m as usize).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect, "member list diverged from model");
+        assert_eq!(set.len(), expect.len());
+        for (i, &m) in model.iter().enumerate() {
+            assert_eq!(set.contains(i), m, "contains({i})");
+        }
+        // Bitset word iteration yields the same members ascending.
+        let mut scanned = Vec::new();
+        for w in 0..set.words() {
+            let mut word = set.word(w);
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                scanned.push(w * 64 + b);
+            }
+        }
+        assert_eq!(scanned, expect, "bitset scan order");
+    }
+
+    #[test]
+    fn random_ops_match_reference_model() {
+        let universe = 197; // crosses word boundaries, not a multiple of 64
+        let mut set = ActiveSet::new(universe);
+        let mut model = vec![false; universe];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..4000 {
+            let i = (next() as usize) % universe;
+            match next() % 3 {
+                0 => {
+                    set.insert(i);
+                    model[i] = true;
+                }
+                1 => {
+                    set.remove(i);
+                    model[i] = false;
+                }
+                _ => {
+                    set.clear();
+                    model.iter_mut().for_each(|m| *m = false);
+                }
+            }
+        }
+        model_contains(&model, &set);
+    }
+
+    #[test]
+    fn insert_remove_are_idempotent() {
+        let mut set = ActiveSet::new(70);
+        set.insert(65);
+        set.insert(65);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(65));
+        set.remove(65);
+        set.remove(65);
+        assert!(set.is_empty());
+        assert!(!set.contains(65));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut set = ActiveSet::new(130);
+        for i in [0, 63, 64, 127, 129] {
+            set.insert(i);
+        }
+        set.clear();
+        assert!(set.is_empty());
+        for i in 0..130 {
+            assert!(!set.contains(i));
+        }
+        set.insert(129);
+        assert_eq!(set.members(), &[129]);
+    }
+}

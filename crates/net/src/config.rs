@@ -16,6 +16,23 @@ pub enum SwitchPolicy {
     DropOnConflict,
 }
 
+/// How [`crate::omega::OmegaNetwork`] iterates switches each cycle.
+///
+/// Purely a speed knob: both modes visit the same non-empty switches in
+/// the same order, so every run is bit-identical regardless of mode (the
+/// `engine_parity` suite asserts this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SweepMode {
+    /// Visit only switches holding traffic, via the per-stage active
+    /// sets, falling back to a dense scan for stages whose occupancy
+    /// exceeds the fallback threshold. The default.
+    #[default]
+    Sparse,
+    /// Always scan every switch of every stage — the seed behaviour,
+    /// kept as the parity reference and for threshold benchmarking.
+    Dense,
+}
+
 /// Static parameters of one Omega network.
 ///
 /// # Example

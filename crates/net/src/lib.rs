@@ -24,6 +24,8 @@
 //! * [`omega`] — the assembled network (plus [`omega::ReplicatedOmega`] for
 //!   the `d`-copy configurations of §4.1) with per-cycle advancement,
 //!   backpressure, and egress events.
+//! * [`active`] — per-stage sparse worklists so a cycle's cost follows
+//!   the messages in flight, not the switches built.
 //! * [`config`] / [`stats`] — configuration and instrumentation.
 //!
 //! # Example: one fetch-and-add through an 8-PE network
@@ -45,9 +47,10 @@
 //! );
 //! assert!(net.try_inject_request(msg, 0).is_ok());
 //! let mut arrived = None;
+//! let mut events = ultra_net::omega::NetworkEvents::default();
 //! for now in 0..32 {
-//!     let events = net.cycle(now);
-//!     if let Some(m) = events.requests_at_mm.into_iter().next() {
+//!     net.cycle_into(now, &mut events);
+//!     if let Some(m) = events.requests_at_mm.drain(..).next() {
 //!         arrived = Some(m);
 //!         break;
 //!     }
@@ -56,6 +59,7 @@
 //! assert_eq!(m.addr.mm, MmId(5));
 //! ```
 
+pub mod active;
 pub mod combine;
 pub mod config;
 pub mod message;
@@ -65,8 +69,9 @@ pub mod route;
 pub mod stats;
 pub mod switch;
 
-pub use config::{NetConfig, SwitchPolicy};
+pub use active::ActiveSet;
+pub use config::{NetConfig, SweepMode, SwitchPolicy};
 pub use message::{Message, MsgId, MsgKind, PhiOp, Reply, ReplyKind};
 pub use omega::{NetworkEvents, OmegaNetwork, ReplicatedOmega};
-pub use route::Topology;
+pub use route::{RouteTables, Topology};
 pub use stats::NetStats;

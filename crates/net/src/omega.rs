@@ -25,15 +25,25 @@
 //! requests spread round-robin per PE and replies returned through the copy
 //! that carried the request.
 
-use crate::config::NetConfig;
+use crate::active::ActiveSet;
 #[cfg(test)]
 use crate::config::SwitchPolicy;
+use crate::config::{NetConfig, SweepMode};
 use crate::message::{Message, MsgId, Reply};
-use crate::route::{ForwardHop, ReverseHop, Topology};
+use crate::route::{ForwardHop, ReverseHop, RouteTables, Topology};
 use crate::stats::NetStats;
 use crate::switch::{AcceptOutcome, Switch};
 use ultra_faults::FaultMask;
-use ultra_sim::Cycle;
+use ultra_sim::{Cycle, WorkerPool};
+
+/// Occupancy (in percent of a stage's switches) above which
+/// [`SweepMode::Sparse`] scans that stage densely instead of walking the
+/// active-set bitset. Chosen from the `engine_step` occupancy microbench
+/// (`sweep_occupancy_n256`): the bitset walk measures ~16× faster at 1%
+/// occupancy, ~3× at 10%, and still ~1.3× at 90%, so the dense fallback
+/// is purely a worst-case guard near saturation and the threshold sits
+/// high.
+const DENSE_FALLBACK_PERCENT: usize = 75;
 
 /// Everything that emerged from the network during one cycle.
 #[derive(Debug, Clone, Default)]
@@ -64,13 +74,27 @@ impl NetworkEvents {
     }
 }
 
+/// Which half of the fabric a sweep advances.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
 /// One `N`-PE combining Omega network.
 #[derive(Debug, Clone)]
 pub struct OmegaNetwork {
     cfg: NetConfig,
-    topo: Topology,
+    routes: RouteTables,
     /// `stages[s][i]` = switch `i` of stage `s` (stage 0 on the PE side).
     stages: Vec<Vec<Switch>>,
+    /// `active_fwd[s]` = indices of stage-`s` switches whose ToMM queues
+    /// hold traffic; maintained exactly on every enqueue/dequeue so the
+    /// sparse sweep visits only them.
+    active_fwd: Vec<ActiveSet>,
+    /// `active_rev[s]` = stage-`s` switches whose ToPE queues hold traffic.
+    active_rev: Vec<ActiveSet>,
+    sweep: SweepMode,
     pe_link_free: Vec<Cycle>,
     mm_link_free: Vec<Cycle>,
     /// Requests in flight on the last-stage→MNI links: `(tail_arrival, msg)`.
@@ -104,11 +128,19 @@ impl OmegaNetwork {
                     .collect()
             })
             .collect();
+        let active = || {
+            (0..topo.stages())
+                .map(|_| ActiveSet::new(topo.switches_per_stage()))
+                .collect()
+        };
         Self {
             stats: NetStats::new(topo.stages()),
             cfg,
-            topo,
+            routes: RouteTables::new(topo),
             stages,
+            active_fwd: active(),
+            active_rev: active(),
+            sweep: SweepMode::default(),
             pe_link_free: vec![0; cfg.pes],
             mm_link_free: vec![0; cfg.pes],
             fwd_egress: Vec::new(),
@@ -161,13 +193,13 @@ impl OmegaNetwork {
         if !self.mask.any_port_dead() {
             return false;
         }
-        let (mut sw, _) = self.topo.pe_entry(msg.src);
-        for s in 0..self.topo.stages() {
-            let out_port = self.topo.forward_out_port(msg.addr.mm, s);
+        let (mut sw, _) = self.routes.pe_entry(msg.src);
+        for s in 0..self.routes.stages() {
+            let out_port = self.routes.forward_out_port(msg.addr.mm, s);
             if self.mask.port_dead(s, sw, out_port) {
                 return true;
             }
-            match self.topo.forward_next(s, sw, out_port) {
+            match self.routes.forward_next(s, sw, out_port) {
                 ForwardHop::ToSwitch(next_sw, _) => sw = next_sw,
                 ForwardHop::ToMm(_) => break,
             }
@@ -184,7 +216,20 @@ impl OmegaNetwork {
     /// The static wiring.
     #[must_use]
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        self.routes.topo()
+    }
+
+    /// Selects how the per-cycle sweeps iterate switches (sparse active
+    /// sets by default). Purely a speed knob — runs are bit-identical in
+    /// either mode.
+    pub fn set_sweep_mode(&mut self, mode: SweepMode) {
+        self.sweep = mode;
+    }
+
+    /// The sweep mode in effect.
+    #[must_use]
+    pub fn sweep_mode(&self) -> SweepMode {
+        self.sweep
     }
 
     /// Accumulated statistics.
@@ -241,8 +286,8 @@ impl OmegaNetwork {
             self.stats.inject_stalls.incr();
             return Err(msg);
         }
-        let (sw, in_port) = self.topo.pe_entry(pe);
-        if !self.stages[0][sw].can_accept_request(&msg, &self.topo) {
+        let (sw, in_port) = self.routes.pe_entry(pe);
+        if !self.stages[0][sw].can_accept_request(&msg, &self.routes) {
             self.stats.inject_stalls.incr();
             return Err(msg);
         }
@@ -258,10 +303,13 @@ impl OmegaNetwork {
             return Ok(());
         }
         self.stats.injected_requests.incr();
-        match self.stages[0][sw].accept_request(msg, in_port, now, &self.topo, &mut self.stats) {
+        match self.stages[0][sw].accept_request(msg, in_port, now, &self.routes, &mut self.stats) {
             AcceptOutcome::Dropped(m) => self.pending_drops.push(m),
             AcceptOutcome::Queued | AcceptOutcome::Combined => {}
         }
+        // Every outcome leaves the entry switch holding forward traffic —
+        // a drop only happens when the target queue is already non-empty.
+        self.active_fwd[0].insert(sw);
         Ok(())
     }
 
@@ -276,25 +324,26 @@ impl OmegaNetwork {
         if now < self.mm_link_free[mm.0] {
             return Err(reply);
         }
-        let last = self.topo.stages() - 1;
-        let (sw, in_port) = self.topo.reverse_entry(mm);
-        if !self.stages[last][sw].can_accept_reply(&reply, &self.topo) {
+        let last = self.routes.stages() - 1;
+        let (sw, in_port) = self.routes.reverse_entry(mm);
+        if !self.stages[last][sw].can_accept_reply(&reply, &self.routes) {
             return Err(reply);
         }
         reply.mm_injected_at = now;
         let len = reply.packets(self.cfg.data_packets, self.cfg.ctl_packets);
         self.mm_link_free[mm.0] = now + Cycle::from(len);
         self.stats.injected_replies.incr();
-        self.stages[last][sw].accept_reply(reply, in_port, now, &self.topo, &mut self.stats);
+        self.stages[last][sw].accept_reply(reply, in_port, now, &self.routes, &mut self.stats);
+        self.active_rev[last].insert(sw);
         Ok(())
     }
 
     /// Advances the whole fabric by one switch cycle and returns whatever
     /// emerged.
     ///
-    /// Allocates a fresh [`NetworkEvents`] per call; the cycle engine's hot
-    /// path uses [`OmegaNetwork::cycle_into`] with a reusable buffer
-    /// instead.
+    /// Allocates a fresh [`NetworkEvents`] per call; use
+    /// [`OmegaNetwork::cycle_into`] with a reusable buffer instead.
+    #[deprecated(note = "allocates per call; use cycle_into with a reusable NetworkEvents buffer")]
     pub fn cycle(&mut self, now: Cycle) -> NetworkEvents {
         let mut events = NetworkEvents::default();
         self.cycle_into(now, &mut events);
@@ -332,27 +381,138 @@ impl OmegaNetwork {
     /// the machine from fast-forwarding idle cycles.
     #[must_use]
     pub fn is_drained(&self) -> bool {
+        debug_assert!(self.active_sets_exact().is_ok(), "active-set invariant");
         self.fwd_egress.is_empty()
             && self.rev_egress.is_empty()
             && self.pending_drops.is_empty()
-            && self.stages.iter().flatten().all(Switch::is_idle)
+            && self.active_fwd.iter().all(ActiveSet::is_empty)
+            && self.active_rev.iter().all(ActiveSet::is_empty)
+    }
+
+    /// The stage-`stage` switches currently holding forward traffic, in
+    /// ascending index order — the sparse sweep's exact visit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    #[must_use]
+    pub fn active_forward_switches(&self, stage: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.active_fwd[stage]
+            .members()
+            .iter()
+            .map(|&m| m as usize)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The stage-`stage` switches currently holding reverse traffic, in
+    /// ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    #[must_use]
+    pub fn active_reverse_switches(&self, stage: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.active_rev[stage]
+            .members()
+            .iter()
+            .map(|&m| m as usize)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Checks the occupancy-bookkeeping invariant: each direction's active
+    /// set contains exactly the switches whose queues hold traffic in that
+    /// direction. Returns the first discrepancy as an error string.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first switch whose membership disagrees with its
+    /// queue occupancy.
+    pub fn active_sets_exact(&self) -> Result<(), String> {
+        for (s, row) in self.stages.iter().enumerate() {
+            for (i, sw) in row.iter().enumerate() {
+                let fwd = sw.has_forward_traffic();
+                if self.active_fwd[s].contains(i) != fwd {
+                    return Err(format!(
+                        "stage {s} switch {i}: forward traffic {fwd} but membership {}",
+                        self.active_fwd[s].contains(i)
+                    ));
+                }
+                let rev = sw.has_reverse_traffic();
+                if self.active_rev[s].contains(i) != rev {
+                    return Err(format!(
+                        "stage {s} switch {i}: reverse traffic {rev} but membership {}",
+                        self.active_rev[s].contains(i)
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Forward sweep, MM side first so freed space propagates upstream
     /// within the cycle.
     fn sweep_forward(&mut self, now: Cycle) {
-        let last = self.topo.stages() - 1;
+        let last = self.routes.stages() - 1;
         for s in (0..=last).rev() {
-            for sw_idx in 0..self.topo.switches_per_stage() {
+            self.sweep_stage(now, s, Direction::Forward);
+        }
+    }
+
+    /// Visits the stage-`s` switches that hold traffic in `dir`, ascending.
+    ///
+    /// Sparse mode walks the active-set bitset; dense mode (forced, or the
+    /// occupancy fallback) scans every switch. Both orders are ascending
+    /// and a traffic-less switch is a no-op visit, so the two modes
+    /// execute the identical operation sequence.
+    ///
+    /// Walking the bitset while transmissions mutate the set is sound
+    /// because processing stage `s` can only (a) remove the switch just
+    /// processed — whose bits were already consumed from the local word
+    /// snapshot — and (b) insert into the *adjacent* stage (`s+1` forward,
+    /// `s-1` reverse), never into stage `s` itself.
+    fn sweep_stage(&mut self, now: Cycle, s: usize, dir: Direction) {
+        let active = match dir {
+            Direction::Forward => &self.active_fwd[s],
+            Direction::Reverse => &self.active_rev[s],
+        };
+        let universe = self.routes.switches_per_stage();
+        if self.sweep == SweepMode::Dense || active.len() * 100 >= universe * DENSE_FALLBACK_PERCENT
+        {
+            for sw_idx in 0..universe {
                 for port in 0..self.cfg.k {
-                    self.try_transmit_forward(now, s, sw_idx, port);
+                    match dir {
+                        Direction::Forward => self.try_transmit_forward(now, s, sw_idx, port),
+                        Direction::Reverse => self.try_transmit_reverse(now, s, sw_idx, port),
+                    }
+                }
+            }
+            return;
+        }
+        let words = active.words();
+        for w in 0..words {
+            let mut bits = match dir {
+                Direction::Forward => self.active_fwd[s].word(w),
+                Direction::Reverse => self.active_rev[s].word(w),
+            };
+            while bits != 0 {
+                let sw_idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for port in 0..self.cfg.k {
+                    match dir {
+                        Direction::Forward => self.try_transmit_forward(now, s, sw_idx, port),
+                        Direction::Reverse => self.try_transmit_reverse(now, s, sw_idx, port),
+                    }
                 }
             }
         }
     }
 
     fn try_transmit_forward(&mut self, now: Cycle, s: usize, sw_idx: usize, port: usize) {
-        let last = self.topo.stages() - 1;
+        let last = self.routes.stages() - 1;
         // Peek the head to decide whether the hop can happen.
         let Some(head) = self.stages[s][sw_idx].to_mm_queue(port).front() else {
             return;
@@ -364,7 +524,7 @@ impl OmegaNetwork {
             return;
         }
         let len = head.packets;
-        match self.topo.forward_next(s, sw_idx, port) {
+        match self.routes.forward_next(s, sw_idx, port) {
             ForwardHop::ToMm(mm) => {
                 debug_assert_eq!(s, last);
                 let slot = self.stages[s][sw_idx]
@@ -376,13 +536,16 @@ impl OmegaNetwork {
                     "amalgam has become the origin PE number (§3.1.1)"
                 );
                 self.fwd_egress.push((now + Cycle::from(len), slot.item));
+                if !self.stages[s][sw_idx].has_forward_traffic() {
+                    self.active_fwd[s].remove(sw_idx);
+                }
             }
             ForwardHop::ToSwitch(next_sw, next_port) => {
                 let (left, right) = self.stages.split_at_mut(s + 1);
                 let cur = &mut left[s];
                 let next = &mut right[0];
                 let msg_ref = &cur[sw_idx].to_mm_queue(port).front().expect("peeked").item;
-                if !next[next_sw].can_accept_request(msg_ref, &self.topo) {
+                if !next[next_sw].can_accept_request(msg_ref, &self.routes) {
                     return; // backpressure: try again next cycle
                 }
                 let slot = cur[sw_idx].to_mm_queue_mut(port).pop_for_transmit(now);
@@ -390,11 +553,18 @@ impl OmegaNetwork {
                     slot.item,
                     next_port,
                     now + 1,
-                    &self.topo,
+                    &self.routes,
                     &mut self.stats,
                 ) {
                     AcceptOutcome::Dropped(m) => self.pending_drops.push(m),
                     AcceptOutcome::Queued | AcceptOutcome::Combined => {}
+                }
+                // A drop only happens when the target queue already holds
+                // traffic, so the downstream switch is active after every
+                // outcome; the upstream one retires once emptied.
+                self.active_fwd[s + 1].insert(next_sw);
+                if !cur[sw_idx].has_forward_traffic() {
+                    self.active_fwd[s].remove(sw_idx);
                 }
             }
         }
@@ -402,12 +572,8 @@ impl OmegaNetwork {
 
     /// Reverse sweep, PE side first.
     fn sweep_reverse(&mut self, now: Cycle) {
-        for s in 0..self.topo.stages() {
-            for sw_idx in 0..self.topo.switches_per_stage() {
-                for port in 0..self.cfg.k {
-                    self.try_transmit_reverse(now, s, sw_idx, port);
-                }
-            }
+        for s in 0..self.routes.stages() {
+            self.sweep_stage(now, s, Direction::Reverse);
         }
     }
 
@@ -422,7 +588,7 @@ impl OmegaNetwork {
             return;
         }
         let len = head.packets;
-        match self.topo.reverse_next(s, sw_idx, port) {
+        match self.routes.reverse_next(s, sw_idx, port) {
             ReverseHop::ToPe(pe) => {
                 debug_assert_eq!(s, 0);
                 let slot = self.stages[s][sw_idx]
@@ -434,13 +600,16 @@ impl OmegaNetwork {
                     "reverse amalgam has become the MM number (§3.1.1)"
                 );
                 self.rev_egress.push((now + Cycle::from(len), slot.item));
+                if !self.stages[s][sw_idx].has_reverse_traffic() {
+                    self.active_rev[s].remove(sw_idx);
+                }
             }
             ReverseHop::ToSwitch(prev_sw, prev_port) => {
                 let (left, right) = self.stages.split_at_mut(s);
                 let prev = &mut left[s - 1];
                 let cur = &mut right[0];
                 let reply_ref = &cur[sw_idx].to_pe_queue(port).front().expect("peeked").item;
-                if !prev[prev_sw].can_accept_reply(reply_ref, &self.topo) {
+                if !prev[prev_sw].can_accept_reply(reply_ref, &self.routes) {
                     return;
                 }
                 let slot = cur[sw_idx].to_pe_queue_mut(port).pop_for_transmit(now);
@@ -448,9 +617,15 @@ impl OmegaNetwork {
                     slot.item,
                     prev_port,
                     now + 1,
-                    &self.topo,
+                    &self.routes,
                     &mut self.stats,
                 );
+                // Decombined twins also land in `prev_sw`, so the accept
+                // always leaves it holding reverse traffic.
+                self.active_rev[s - 1].insert(prev_sw);
+                if !cur[sw_idx].has_reverse_traffic() {
+                    self.active_rev[s].remove(sw_idx);
+                }
             }
         }
     }
@@ -602,27 +777,39 @@ impl ReplicatedOmega {
         self.lanes[copy].net.try_inject_reply(reply, now)
     }
 
+    /// Installs `mode` on every copy (see [`OmegaNetwork::set_sweep_mode`]).
+    pub fn set_sweep_mode(&mut self, mode: SweepMode) {
+        for lane in &mut self.lanes {
+            lane.net.set_sweep_mode(mode);
+        }
+    }
+
     /// Advances every copy one cycle; events are tagged with the copy that
     /// produced them.
     ///
-    /// Allocates the returned vector per call; the cycle engine uses
+    /// Allocates fresh buffers per call; use
     /// [`ReplicatedOmega::cycle_inplace`] + [`ReplicatedOmega::events_mut`]
     /// with the lanes' pooled buffers instead.
+    #[deprecated(note = "allocates per call; use cycle_inplace + events_mut")]
     pub fn cycle(&mut self, now: Cycle) -> Vec<(usize, NetworkEvents)> {
         self.lanes
             .iter_mut()
             .enumerate()
-            .map(|(i, l)| (i, l.net.cycle(now)))
+            .map(|(i, l)| {
+                let mut events = NetworkEvents::default();
+                l.net.cycle_into(now, &mut events);
+                (i, events)
+            })
             .collect()
     }
 
     /// Advances every copy one cycle into its lane's pooled event buffer,
-    /// fanning the independent copies out over up to `threads` threads.
-    /// Results land in fixed lane order regardless of `threads`, so the
-    /// parallel and sequential engines observe identical event streams;
-    /// read them back with [`ReplicatedOmega::events_mut`].
-    pub fn cycle_inplace(&mut self, now: Cycle, threads: usize) {
-        ultra_sim::par_for_each_mut(&mut self.lanes, threads, |_, lane| {
+    /// fanning the independent copies out over `pool`'s worker threads.
+    /// Results land in fixed lane order regardless of the pool width, so
+    /// the parallel and sequential engines observe identical event
+    /// streams; read them back with [`ReplicatedOmega::events_mut`].
+    pub fn cycle_inplace(&mut self, now: Cycle, pool: &WorkerPool) {
+        pool.run(&mut self.lanes, |_, lane| {
             lane.net.cycle_into(now, &mut lane.events);
         });
     }
@@ -666,6 +853,22 @@ mod tests {
     use crate::message::{MsgKind, ReplyKind};
     use ultra_sim::{MemAddr, MmId, PeId, Value};
 
+    /// Non-deprecated stand-in for the old allocating `cycle` in tests.
+    fn cyc(net: &mut OmegaNetwork, now: Cycle) -> NetworkEvents {
+        let mut events = NetworkEvents::default();
+        net.cycle_into(now, &mut events);
+        events
+    }
+
+    /// Advances every copy of `rep` and returns the tagged events.
+    fn rep_cyc(rep: &mut ReplicatedOmega, now: Cycle) -> Vec<(usize, NetworkEvents)> {
+        let pool = WorkerPool::new(1);
+        rep.cycle_inplace(now, &pool);
+        (0..rep.copies())
+            .map(|i| (i, rep.events_mut(i).clone()))
+            .collect()
+    }
+
     fn load(net: &mut OmegaNetwork, pe: usize, mm: usize, offset: usize) -> MsgId {
         let id = net.next_msg_id();
         let msg = Message::request(
@@ -697,7 +900,7 @@ mod tests {
     /// Runs cycles until a request pops out at the MM side.
     fn run_until_mm(net: &mut OmegaNetwork, start: Cycle, limit: Cycle) -> (Cycle, Vec<Message>) {
         for now in start..start + limit {
-            let ev = net.cycle(now);
+            let ev = cyc(net, now);
             if !ev.requests_at_mm.is_empty() {
                 return (now, ev.requests_at_mm);
             }
@@ -738,7 +941,7 @@ mod tests {
         let reply = Reply::to_request(req, 777);
         net.try_inject_reply(reply, t + 2).expect("inject reply");
         for now in t + 2..t + 40 {
-            let ev = net.cycle(now);
+            let ev = cyc(&mut net, now);
             if let Some(r) = ev.replies_at_pe.first() {
                 assert_eq!(r.id, id);
                 assert_eq!(r.dst, PeId(5));
@@ -765,7 +968,7 @@ mod tests {
         let mut mm_arrivals = Vec::new();
         let mut t_arrive = 0;
         for now in 0..100 {
-            let ev = net.cycle(now);
+            let ev = cyc(&mut net, now);
             mm_arrivals.extend(ev.requests_at_mm);
             if !mm_arrivals.is_empty() {
                 t_arrive = now;
@@ -788,7 +991,7 @@ mod tests {
         let mut got = Vec::new();
         while got.len() < n && now < t_arrive + 200 {
             now += 1;
-            let ev = net.cycle(now);
+            let ev = cyc(&mut net, now);
             got.extend(ev.replies_at_pe);
         }
         assert_eq!(got.len(), n, "every PE gets a decombined reply");
@@ -813,7 +1016,7 @@ mod tests {
         }
         let mut arrived = 0;
         for now in 0..500 {
-            arrived += net.cycle(now).requests_at_mm.len();
+            arrived += cyc(&mut net, now).requests_at_mm.len();
             if arrived == n {
                 return;
             }
@@ -867,7 +1070,7 @@ mod tests {
             );
             let _ = net.try_inject_request(msg, 0);
         }
-        let ev = net.cycle(0);
+        let ev = cyc(&mut net, 0);
         assert_eq!(ev.dropped.len(), 1, "the conflicting request is killed");
         assert_eq!(net.stats().drops.get(), 1);
     }
@@ -893,7 +1096,7 @@ mod tests {
         // Both copies advance; both deliver.
         let mut total = 0;
         for now in 0..30 {
-            for (_i, ev) in rep.cycle(now) {
+            for (_i, ev) in rep_cyc(&mut rep, now) {
                 total += ev.requests_at_mm.len();
             }
         }
@@ -926,7 +1129,7 @@ mod tests {
         assert_eq!(rep.copy(0).stats().injected_requests.get(), 0);
         let mut total = 0;
         for now in 0..40 {
-            for (_i, ev) in rep.cycle(now) {
+            for (_i, ev) in rep_cyc(&mut rep, now) {
                 total += ev.requests_at_mm.len();
             }
         }
@@ -987,7 +1190,7 @@ mod tests {
                 );
                 net.try_inject_request(msg, i * 10).unwrap();
                 for now in i * 10..i * 10 + 10 {
-                    delivered += net.cycle(now).requests_at_mm.len();
+                    delivered += cyc(&mut net, now).requests_at_mm.len();
                 }
             }
             (delivered, net.stats().fault_dropped.get())
@@ -1039,7 +1242,7 @@ mod tests {
                 }
                 injected += 1;
             }
-            arrived += net.cycle(now).requests_at_mm.len();
+            arrived += cyc(&mut net, now).requests_at_mm.len();
             now += 1;
         }
         assert_eq!(arrived, total, "backpressure must not lose messages");

@@ -257,6 +257,161 @@ impl Topology {
     }
 }
 
+/// A [`Topology`] with every hot-path routing decision precomputed.
+///
+/// The per-cycle sweeps resolve output ports, shuffle wirings and digit
+/// weights for every message hop; computed on the fly those are divisions,
+/// modulos and `pow` calls. This wrapper tabulates them once at
+/// construction — `O(N · D)` small integers — so the hot path is pure
+/// table lookups, and derives the decombining amalgam in closed form
+/// instead of walking the return path stage by stage.
+///
+/// Derefs to [`Topology`], so the rarely-used geometry queries
+/// (`render`, …) remain available; the methods defined here shadow their
+/// `Topology` equivalents with table-backed versions that return
+/// identical values (asserted exhaustively in the route tests).
+#[derive(Debug, Clone)]
+pub struct RouteTables {
+    topo: Topology,
+    /// `fwd_port[mm * D + s]` = output port a request for `mm` takes at
+    /// stage `s` (digit `m_{D-s}`).
+    fwd_port: Vec<u8>,
+    /// `rev_port[pe * D + s]` = ToPE output port a reply for `pe` takes at
+    /// stage `s`.
+    rev_port: Vec<u8>,
+    /// `shuffle[line]` = perfect `k`-shuffle of `line`.
+    shuffle: Vec<u32>,
+    /// `unshuffle[line]` = inverse shuffle of `line`.
+    unshuffle: Vec<u32>,
+    /// `weight[s]` = `k^(D-s-1)`, the base-`k` digit weight consumed at
+    /// stage `s`.
+    weight: Vec<usize>,
+}
+
+impl RouteTables {
+    /// Tabulates `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch arity exceeds 256 (ports are stored as bytes).
+    #[must_use]
+    pub fn new(topo: Topology) -> Self {
+        assert!(topo.k() <= 256, "port table stores ports as u8");
+        let n = topo.n();
+        let d = topo.stages();
+        let mut fwd_port = Vec::with_capacity(n * d);
+        let mut rev_port = Vec::with_capacity(n * d);
+        for line in 0..n {
+            for s in 0..d {
+                fwd_port.push(topo.forward_out_port(MmId(line), s) as u8);
+                rev_port.push(topo.reverse_out_port(PeId(line), s) as u8);
+            }
+        }
+        Self {
+            fwd_port,
+            rev_port,
+            shuffle: (0..n).map(|l| topo.shuffle(l) as u32).collect(),
+            unshuffle: (0..n).map(|l| topo.unshuffle(l) as u32).collect(),
+            weight: (0..d).map(|s| topo.k().pow((d - s - 1) as u32)).collect(),
+            topo,
+        }
+    }
+
+    /// The wrapped wiring.
+    #[must_use]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Table-backed [`Topology::shuffle`].
+    #[must_use]
+    pub fn shuffle(&self, line: usize) -> usize {
+        self.shuffle[line] as usize
+    }
+
+    /// Table-backed [`Topology::unshuffle`].
+    #[must_use]
+    pub fn unshuffle(&self, line: usize) -> usize {
+        self.unshuffle[line] as usize
+    }
+
+    /// Table-backed [`Topology::pe_entry`].
+    #[must_use]
+    pub fn pe_entry(&self, pe: PeId) -> (usize, usize) {
+        let line = self.shuffle[pe.0] as usize;
+        (line / self.topo.k, line % self.topo.k)
+    }
+
+    /// Table-backed [`Topology::forward_out_port`].
+    #[must_use]
+    pub fn forward_out_port(&self, mm: MmId, stage: usize) -> usize {
+        self.fwd_port[mm.0 * self.weight.len() + stage] as usize
+    }
+
+    /// Table-backed [`Topology::forward_next`].
+    #[must_use]
+    pub fn forward_next(&self, stage: usize, switch: usize, out_port: usize) -> ForwardHop {
+        let line = switch * self.topo.k + out_port;
+        if stage + 1 == self.weight.len() {
+            ForwardHop::ToMm(MmId(line))
+        } else {
+            let next = self.shuffle[line] as usize;
+            ForwardHop::ToSwitch(next / self.topo.k, next % self.topo.k)
+        }
+    }
+
+    /// Table-backed [`Topology::reverse_entry`].
+    #[must_use]
+    pub fn reverse_entry(&self, mm: MmId) -> (usize, usize) {
+        (mm.0 / self.topo.k, mm.0 % self.topo.k)
+    }
+
+    /// Table-backed [`Topology::reverse_out_port`].
+    #[must_use]
+    pub fn reverse_out_port(&self, pe: PeId, stage: usize) -> usize {
+        self.rev_port[pe.0 * self.weight.len() + stage] as usize
+    }
+
+    /// Table-backed [`Topology::reverse_next`].
+    #[must_use]
+    pub fn reverse_next(&self, stage: usize, switch: usize, out_port: usize) -> ReverseHop {
+        let line = self.unshuffle[switch * self.topo.k + out_port] as usize;
+        if stage == 0 {
+            ReverseHop::ToPe(PeId(line))
+        } else {
+            ReverseHop::ToSwitch(line / self.topo.k, line % self.topo.k)
+        }
+    }
+
+    /// Table-backed [`Topology::step_amalgam`]: the digit weight comes
+    /// from the stage table instead of a `pow` call.
+    #[must_use]
+    pub fn step_amalgam(&self, amalgam: usize, stage: usize, in_port: usize) -> (usize, usize) {
+        let weight = self.weight[stage];
+        let out_port = (amalgam / weight) % self.topo.k;
+        let updated = amalgam - out_port * weight + in_port * weight;
+        (out_port, updated)
+    }
+
+    /// Closed-form [`Topology::reverse_amalgam_at`]: the stages closer to
+    /// the MMs have replaced the low `D - stage - 1` digits of the PE
+    /// number with the MM's digits, so the amalgam is
+    /// `pe - pe % w + mm % w` with `w = k^(D-stage-1)` — no walk needed.
+    #[must_use]
+    pub fn reverse_amalgam_at(&self, pe: PeId, mm: MmId, stage: usize) -> usize {
+        let w = self.weight[stage];
+        pe.0 - pe.0 % w + mm.0 % w
+    }
+}
+
+impl std::ops::Deref for RouteTables {
+    type Target = Topology;
+
+    fn deref(&self) -> &Topology {
+        &self.topo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +573,80 @@ mod tests {
     #[should_panic(expected = "not a power")]
     fn rejects_non_power_sizes() {
         let _ = Topology::new(12, 2);
+    }
+
+    #[test]
+    fn route_tables_agree_with_topology_everywhere() {
+        for (n, k) in [
+            (8usize, 2usize),
+            (64, 2),
+            (64, 4),
+            (64, 8),
+            (16, 16),
+            (4, 4),
+        ] {
+            let topo = Topology::new(n, k);
+            let tables = RouteTables::new(topo);
+            assert_eq!(tables.stages(), topo.stages(), "deref passthrough");
+            for line in 0..n {
+                assert_eq!(tables.shuffle(line), topo.shuffle(line));
+                assert_eq!(tables.unshuffle(line), topo.unshuffle(line));
+                assert_eq!(tables.pe_entry(PeId(line)), topo.pe_entry(PeId(line)));
+                assert_eq!(
+                    tables.reverse_entry(MmId(line)),
+                    topo.reverse_entry(MmId(line))
+                );
+                for s in 0..topo.stages() {
+                    assert_eq!(
+                        tables.forward_out_port(MmId(line), s),
+                        topo.forward_out_port(MmId(line), s)
+                    );
+                    assert_eq!(
+                        tables.reverse_out_port(PeId(line), s),
+                        topo.reverse_out_port(PeId(line), s)
+                    );
+                }
+            }
+            for s in 0..topo.stages() {
+                for sw in 0..topo.switches_per_stage() {
+                    for port in 0..k {
+                        assert_eq!(
+                            tables.forward_next(s, sw, port),
+                            topo.forward_next(s, sw, port)
+                        );
+                        assert_eq!(
+                            tables.reverse_next(s, sw, port),
+                            topo.reverse_next(s, sw, port)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_tables_amalgam_matches_walked_form() {
+        for (n, k) in [(16usize, 2usize), (64, 4), (64, 8)] {
+            let topo = Topology::new(n, k);
+            let tables = RouteTables::new(topo);
+            for pe in 0..n {
+                for mm in 0..n {
+                    for s in 0..topo.stages() {
+                        assert_eq!(
+                            tables.reverse_amalgam_at(PeId(pe), MmId(mm), s),
+                            topo.reverse_amalgam_at(PeId(pe), MmId(mm), s),
+                            "closed form diverged at pe={pe} mm={mm} stage={s}"
+                        );
+                        for in_port in 0..k {
+                            assert_eq!(
+                                tables.step_amalgam(mm, s, in_port),
+                                topo.step_amalgam(mm, s, in_port)
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::combine::{kinds_combinable, try_combine, WaitEntry};
 use crate::config::{NetConfig, SwitchPolicy};
 use crate::message::{Message, MsgId, Reply};
 use crate::queue::OutQueue;
-use crate::route::Topology;
+use crate::route::RouteTables;
 use crate::stats::NetStats;
 use ultra_sim::Cycle;
 
@@ -117,6 +117,21 @@ impl Switch {
         self.wait.len()
     }
 
+    /// Whether any ToMM (forward) output queue holds a message — the
+    /// occupancy predicate behind the forward active sets: a switch is in
+    /// its stage's forward worklist exactly while this is true.
+    #[must_use]
+    pub fn has_forward_traffic(&self) -> bool {
+        self.to_mm.iter().any(|q| !q.is_empty())
+    }
+
+    /// Whether any ToPE (reverse) output queue holds a reply — the
+    /// occupancy predicate behind the reverse active sets.
+    #[must_use]
+    pub fn has_reverse_traffic(&self) -> bool {
+        self.to_pe.iter().any(|q| !q.is_empty())
+    }
+
     /// Whether no packet is queued on any output port in either direction.
     ///
     /// Wait-buffer entries are deliberately ignored: an entry only exists
@@ -179,7 +194,7 @@ impl Switch {
     /// PNI calls this before transmitting). Combinable requests are always
     /// acceptable: they consume no queue space.
     #[must_use]
-    pub fn can_accept_request(&self, msg: &Message, topo: &Topology) -> bool {
+    pub fn can_accept_request(&self, msg: &Message, topo: &RouteTables) -> bool {
         let port = topo.forward_out_port(msg.addr.mm, self.stage);
         match self.policy {
             // Drops are decided (and reported) inside `accept_request`.
@@ -209,7 +224,7 @@ impl Switch {
         mut msg: Message,
         in_port: usize,
         head_arrival: Cycle,
-        topo: &Topology,
+        topo: &RouteTables,
         stats: &mut NetStats,
     ) -> AcceptOutcome {
         let (out_port, updated) = topo.step_amalgam(msg.amalgam, self.stage, in_port);
@@ -270,7 +285,7 @@ impl Switch {
     /// Whether the switch can take `reply` right now, *including* space for
     /// any decombined reply its arrival would spawn.
     #[must_use]
-    pub fn can_accept_reply(&self, reply: &Reply, topo: &Topology) -> bool {
+    pub fn can_accept_reply(&self, reply: &Reply, topo: &RouteTables) -> bool {
         let port = topo.reverse_out_port(reply.dst, self.stage);
         let len = self.reply_packets(reply);
         match self.wait.get(&reply.id) {
@@ -302,7 +317,7 @@ impl Switch {
         mut reply: Reply,
         in_port: usize,
         head_arrival: Cycle,
-        topo: &Topology,
+        topo: &RouteTables,
         stats: &mut NetStats,
     ) {
         let (out_port, updated) = topo.step_amalgam(reply.amalgam, self.stage, in_port);
@@ -339,14 +354,15 @@ impl Switch {
 mod tests {
     use super::*;
     use crate::message::{MsgKind, ReplyKind};
+    use crate::route::Topology;
     use ultra_sim::{MemAddr, MmId, PeId};
 
     fn cfg() -> NetConfig {
         NetConfig::small(8)
     }
 
-    fn topo() -> Topology {
-        Topology::new(8, 2)
+    fn topo() -> RouteTables {
+        RouteTables::new(Topology::new(8, 2))
     }
 
     fn req(id: u64, pe: usize, mm: usize, kind: MsgKind, value: i64) -> Message {
@@ -363,7 +379,7 @@ mod tests {
     /// Sends `msg` into the stage-0 switch it would physically enter.
     fn into_stage0(
         sw: &mut Switch,
-        topo: &Topology,
+        topo: &RouteTables,
         msg: Message,
         stats: &mut NetStats,
     ) -> AcceptOutcome {

@@ -8,6 +8,13 @@ use ultra_net::message::{Message, MsgId, MsgKind, PhiOp, Reply, ReplyKind};
 use ultra_net::omega::OmegaNetwork;
 use ultra_sim::{MemAddr, MmId, PeId, Value};
 
+/// Cycles `net` through a fresh event buffer (the non-deprecated path).
+fn cyc(net: &mut ultra_net::omega::OmegaNetwork, now: u64) -> ultra_net::omega::NetworkEvents {
+    let mut events = ultra_net::omega::NetworkEvents::default();
+    net.cycle_into(now, &mut events);
+    events
+}
+
 fn request(id: u64, pe: usize, kind: MsgKind, value: Value, addr: MemAddr) -> Message {
     Message::request(MsgId(id), kind, addr, value, PeId(pe), 0)
 }
@@ -18,7 +25,7 @@ fn collect_replies(net: &mut OmegaNetwork, mm_value: Value, want: usize) -> Vec<
     let mut served = false;
     let mut mem = mm_value;
     for now in 0..500 {
-        let events = net.cycle(now);
+        let events = cyc(net, now);
         for req in events.requests_at_mm {
             assert!(!served || got.is_empty(), "single-request harness");
             let old = mem;
@@ -84,7 +91,7 @@ fn store_faa_combine_round_trip() {
     let mut got = Vec::new();
     let mut mem = 0i64;
     for now in 0..500 {
-        let events = net.cycle(now);
+        let events = cyc(&mut net, now);
         for req in events.requests_at_mm {
             let old = mem;
             let v = match req.kind {
@@ -168,7 +175,7 @@ fn finite_reply_queues_survive_decombining_storm() {
                 outbox = Some(back);
             }
         }
-        let events = net.cycle(now);
+        let events = cyc(&mut net, now);
         for req in events.requests_at_mm {
             let old = mem;
             mem += req.value;
@@ -210,7 +217,7 @@ fn wait_buffer_exhaustion_degrades_gracefully() {
     let mut got = 0;
     let mut observed = Vec::new();
     for now in 0..2_000 {
-        let events = net.cycle(now);
+        let events = cyc(&mut net, now);
         for req in events.requests_at_mm {
             let old = mem;
             mem += req.value;

@@ -14,6 +14,10 @@
 //! * [`ids`] — strongly typed identifiers for processing elements and memory
 //!   modules, memory addresses, and base-`k` digit manipulation helpers used
 //!   by the Omega-network routing logic.
+//! * [`par`] / [`pool`] — deterministic fork–join over mutable slices: the
+//!   one-shot scoped-thread form ([`par::par_for_each_mut`]) and the
+//!   persistent worker pool ([`pool::WorkerPool`]) the cycle engine
+//!   dispatches through every cycle.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@ pub mod clock;
 pub mod ids;
 pub mod inline_vec;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
@@ -41,5 +46,6 @@ pub use clock::{Clock, Cycle};
 pub use ids::{digits, MemAddr, MmId, PeId, Value};
 pub use inline_vec::InlineVec;
 pub use par::par_for_each_mut;
+pub use pool::WorkerPool;
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use stats::{Counter, Histogram, RunningStats};

@@ -1,0 +1,388 @@
+//! A persistent worker pool for the per-cycle fan-out.
+//!
+//! [`crate::par_for_each_mut`] proved the determinism story — contiguous
+//! chunks, fixed index order, bit-identical results at any thread count —
+//! but it spawns fresh scoped threads on every call, and a cycle engine
+//! calls it up to three times *per simulated cycle*. At ~10⁵ cycles/sec
+//! the spawn/join cost dwarfs the work being fanned out, which is why the
+//! per-cycle-scope parallel engine lost to the sequential one at every
+//! machine size. [`WorkerPool`] keeps the same chunking and the same
+//! determinism guarantee, but parks `threads - 1` OS threads once at
+//! construction and hands them **epoch-stamped work descriptors** through
+//! a mutex/condvar pair: dispatching a fan-out is two lock acquisitions
+//! and a wake, not thread creation.
+//!
+//! # Safety
+//!
+//! Scoped threads cannot outlive one call, and a long-lived thread cannot
+//! hold a short-lived `&mut [T]`, so persistence forces a narrow unsafe
+//! core: the slice is passed as a type-erased `(pointer, len)` descriptor
+//! and each worker rebuilds `&mut` references to *its chunk only*. The
+//! invariants that make this sound are local to this module:
+//!
+//! * chunks are disjoint by construction (`[i * chunk, (i+1) * chunk)`),
+//!   so no element is ever referenced by two threads;
+//! * the caller blocks until every participating worker has finished its
+//!   chunk, so the borrow of `items` strictly outlives all worker access
+//!   (workers never touch the descriptor outside an epoch they joined);
+//! * `T: Send` bounds the element transfer, `F: Sync` the shared closure;
+//! * worker panics are caught, forwarded, and re-raised on the caller.
+
+// The workspace denies `unsafe_code`; this module is the one place the
+// cycle engine needs it, with the invariants documented above.
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased description of one fan-out: "apply `call` to elements
+/// `start..end` of the slice at `data`". Stamped into [`State`] under the
+/// lock; workers copy it out together with the epoch that published it.
+#[derive(Clone, Copy)]
+struct Task {
+    /// Base pointer of the `&mut [T]` being processed.
+    data: *mut (),
+    /// Element count of the slice.
+    len: usize,
+    /// Pointer to the caller's `F` closure (alive until the call returns).
+    ctx: *const (),
+    /// Monomorphized trampoline that rebuilds `&mut T` + `&F` and runs
+    /// one chunk.
+    run_chunk: unsafe fn(*mut (), *const (), usize, usize),
+    /// Elements per chunk.
+    chunk: usize,
+    /// Number of chunks (= participating threads, caller included).
+    chunks: usize,
+}
+
+// SAFETY: the pointers describe a `&mut [T]` with `T: Send` and a `F:
+// Sync` closure (enforced by `WorkerPool::run`'s bounds); disjoint chunk
+// ranges and the completion barrier make the cross-thread access sound.
+unsafe impl Send for Task {}
+
+struct State {
+    /// Incremented for every published task; workers use it to tell a new
+    /// task from a spurious wakeup or an already-finished one.
+    epoch: u64,
+    task: Option<Task>,
+    /// Worker chunks still outstanding for the current epoch.
+    remaining: usize,
+    /// Set when a worker chunk panicked this epoch.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a task is published (or shutdown begins).
+    work_ready: Condvar,
+    /// Signalled when the last outstanding worker chunk completes.
+    work_done: Condvar,
+}
+
+/// A pool of parked OS threads that repeatedly applies closures over
+/// mutable slices with [`crate::par_for_each_mut`]'s exact chunking and
+/// ordering semantics — element `i` is always visited once, with its
+/// index, with exclusive access — so swapping one for the other cannot
+/// change any result, only the wall-clock.
+///
+/// `WorkerPool::new(1)` (or a slice of length ≤ 1) runs inline on the
+/// caller with zero synchronization: the sequential engine and the
+/// parallel engine share one code path, which is what makes them
+/// bit-identical.
+pub struct WorkerPool {
+    shared: Option<Arc<Shared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool that fans work out over `threads` OS threads total:
+    /// the calling thread plus `threads - 1` parked workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or a worker thread cannot be spawned.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least the calling thread");
+        let workers = threads - 1;
+        if workers == 0 {
+            return Self {
+                shared: None,
+                handles: Vec::new(),
+            };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|wi| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ultra-pool-{wi}"))
+                    .spawn(move || worker_loop(&shared, wi))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared: Some(shared),
+            handles,
+        }
+    }
+
+    /// Total thread count this pool fans out over (workers + caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Applies `f(index, &mut item)` to every element of `items`,
+    /// splitting the slice into contiguous chunks across the pool.
+    /// Blocks until every element has been processed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the caller chunk's panic payload, or panics if a worker
+    /// chunk panicked.
+    pub fn run<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let threads = self.threads().min(n);
+        let chunk = n.div_ceil(threads.max(1));
+        let chunks = if chunk == 0 { 0 } else { n.div_ceil(chunk) };
+        if chunks <= 1 || self.shared.is_none() {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let shared = self.shared.as_ref().expect("workers exist");
+        let data: *mut () = items.as_mut_ptr().cast();
+        let ctx: *const () = (&f as *const F).cast();
+        {
+            let mut st = shared.state.lock().expect("pool mutex");
+            st.epoch += 1;
+            st.task = Some(Task {
+                data,
+                len: n,
+                ctx,
+                run_chunk: run_chunk::<T, F>,
+                chunk,
+                chunks,
+            });
+            st.remaining = chunks - 1;
+            st.panicked = false;
+            shared.work_ready.notify_all();
+        }
+        // The caller takes chunk 0 itself, through the same erased entry
+        // point the workers use, so every element access shares the
+        // provenance of the one `as_mut_ptr` above.
+        // SAFETY: chunk 0 is `[0, chunk)`, disjoint from every worker
+        // chunk; `data`/`ctx` outlive this call.
+        let caller = catch_unwind(AssertUnwindSafe(|| unsafe {
+            run_chunk::<T, F>(data, ctx, 0, chunk)
+        }));
+        let worker_panicked = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            while st.remaining > 0 {
+                st = shared.work_done.wait(st).expect("pool mutex");
+            }
+            st.task = None;
+            st.panicked
+        };
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a WorkerPool worker chunk panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let mut st = shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+            shared.work_ready.notify_all();
+            drop(st);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// Rebuilds the typed view of one chunk and processes it.
+///
+/// # Safety
+///
+/// `data` must point to a live `[T]` of at least `end` elements with no
+/// other thread touching `start..end`, and `ctx` to a live `F`.
+unsafe fn run_chunk<T, F>(data: *mut (), ctx: *const (), start: usize, end: usize)
+where
+    F: Fn(usize, &mut T),
+{
+    let base = data.cast::<T>();
+    // SAFETY: caller contract — `ctx` is the caller's `F`, alive until
+    // every chunk completes.
+    let f = unsafe { &*ctx.cast::<F>() };
+    for i in start..end {
+        // SAFETY: caller contract — element `i` is inside the slice and
+        // exclusively ours for this epoch.
+        f(i, unsafe { &mut *base.add(i) });
+    }
+}
+
+/// What each parked worker runs: wait for a new epoch, take chunk
+/// `wi + 1` if the task has one for us, report completion, repeat.
+fn worker_loop(shared: &Shared, wi: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task;
+                }
+                st = shared.work_ready.wait(st).expect("pool mutex");
+            }
+        };
+        let Some(task) = task else { continue };
+        let mine = wi + 1;
+        if mine >= task.chunks {
+            continue;
+        }
+        let start = mine * task.chunk;
+        let end = (start + task.chunk).min(task.len);
+        // SAFETY: the publishing `run` call holds `&mut [T]` across this
+        // epoch and chunk `mine` is ours alone.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (task.run_chunk)(task.data, task.ctx, start, end);
+        }));
+        let mut st = shared.state.lock().expect("pool mutex");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.work_done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_element_with_its_index() {
+        for threads in [1, 2, 3, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let mut v: Vec<usize> = vec![0; 23];
+            pool.run(&mut v, |i, x| *x = i * 10);
+            let expect: Vec<usize> = (0..23).map(|i| i * 10).collect();
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_slices_run_inline() {
+        let pool = WorkerPool::new(4);
+        let mut empty: Vec<u32> = Vec::new();
+        pool.run(&mut empty, |_, _| unreachable!());
+        let mut one = vec![5u32];
+        pool.run(&mut one, |i, x| {
+            assert_eq!(i, 0);
+            *x += 1;
+        });
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(3);
+        let mut v = vec![0u64; 17];
+        for round in 0..200u64 {
+            pool.run(&mut v, |i, x| *x += round + i as u64);
+        }
+        let sum_rounds: u64 = (0..200).sum();
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, sum_rounds + 200 * i as u64);
+        }
+    }
+
+    #[test]
+    fn matches_par_for_each_mut_exactly() {
+        // The pool replaces `par_for_each_mut` in the cycle engine; both
+        // must produce identical effects for identical inputs.
+        let work = |i: usize, x: &mut u64| {
+            let mut h = *x;
+            for _ in 0..50 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            *x = h;
+        };
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut scoped: Vec<u64> = (0..97).map(|i| i * 3 + 1).collect();
+            crate::par_for_each_mut(&mut scoped, threads, work);
+            let pool = WorkerPool::new(threads);
+            let mut pooled: Vec<u64> = (0..97).map(|i| i * 3 + 1).collect();
+            pool.run(&mut pooled, work);
+            assert_eq!(pooled, scoped, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_caps_at_items() {
+        let pool = WorkerPool::new(16);
+        let mut v = vec![1u64; 3];
+        pool.run(&mut v, |i, x| *x = i as u64);
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn borrowed_context_is_usable_from_workers() {
+        let offsets: Vec<u64> = (0..10).collect();
+        let pool = WorkerPool::new(4);
+        let mut v = vec![0u64; 10];
+        pool.run(&mut v, |i, x| *x = offsets[i] * 2);
+        assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let pool = WorkerPool::new(2);
+        let mut v = vec![0u64; 8];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&mut v, |i, _| assert!(i < 6, "boom"));
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool survives a panicked dispatch.
+        pool.run(&mut v, |i, x| *x = i as u64);
+        assert_eq!(v[7], 7);
+    }
+}

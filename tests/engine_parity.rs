@@ -9,7 +9,7 @@
 //! and workloads, plus the named E8/E14 harness configurations.
 
 use ultra_faults::{Fault, FaultPlan};
-use ultra_net::config::NetConfig;
+use ultra_net::config::{NetConfig, SweepMode};
 use ultra_sim::rng::{Rng, SplitMix64};
 use ultra_sim::{MmId, Value};
 use ultracomputer::program::{body, Expr, Op, Program};
@@ -131,6 +131,18 @@ fn assert_engines_agree(make: impl Fn() -> MachineBuilder, program: &Program, la
         seq.trace, stepped.trace,
         "{label}: fast-forward trace drift"
     );
+    // The dense full-topology sweep must match the default sparse
+    // active-set walk (runs above use the sparse default).
+    let dense = run(make().threads(1).sweep(SweepMode::Dense), program, true);
+    assert_eq!(
+        seq.parity, dense.parity,
+        "{label}: sweep mode changed the simulation"
+    );
+    assert_eq!(seq.trace, dense.trace, "{label}: sweep-mode trace drift");
+    assert_eq!(
+        seq.hot_word, dense.hot_word,
+        "{label}: sweep-mode memory drift"
+    );
 }
 
 #[test]
@@ -195,6 +207,41 @@ fn engines_agree_on_ideal_backend() {
 fn engines_agree_on_e8_configuration() {
     let make = || MachineBuilder::new(64).net(NetConfig::small(64)).network(1);
     assert_engines_agree(make, &ticket_program(4), "E8 configuration");
+}
+
+/// The persistent pool replaced per-cycle `thread::scope` fan-outs in the
+/// engine; its dispatch must be effect-identical to `par_for_each_mut`
+/// (same chunking, same exclusive per-element access, same index order of
+/// observable results) for arbitrary slice lengths and thread counts.
+#[test]
+fn pool_dispatch_matches_scoped_fanout() {
+    use ultra_sim::{par_for_each_mut, WorkerPool};
+    forall(10, "pool vs scoped fan-out", |rng| {
+        let len = rng.range_u64(0..40) as usize;
+        let threads = 1 + rng.range_u64(0..5) as usize;
+        let salt = rng.next_u64();
+        let work = move |i: usize, x: &mut u64| {
+            let mut h = (*x).wrapping_add(salt);
+            for _ in 0..20 {
+                h = h.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i as u64);
+            }
+            *x = h;
+        };
+        let mut scoped: Vec<u64> = (0..len as u64).map(|i| i * 7 + 3).collect();
+        par_for_each_mut(&mut scoped, threads, work);
+        let pool = WorkerPool::new(threads);
+        let mut pooled: Vec<u64> = (0..len as u64).map(|i| i * 7 + 3).collect();
+        // Reuse across dispatches is the pool's whole point — run twice
+        // through the same pool and compare the second pass too.
+        pool.run(&mut pooled, work);
+        assert_eq!(pooled, scoped, "len={len} threads={threads}");
+        par_for_each_mut(&mut scoped, threads, work);
+        pool.run(&mut pooled, work);
+        assert_eq!(
+            pooled, scoped,
+            "second dispatch, len={len} threads={threads}"
+        );
+    });
 }
 
 /// The E14c degradation configuration: 16 PEs, d = 2 with copy 0
