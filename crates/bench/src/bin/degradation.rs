@@ -22,8 +22,16 @@
 //! ```text
 //! cargo run --release -p ultra-bench --bin degradation
 //! ```
+//!
+//! `--metrics-out <path>` / `--trace-out <path>` add one observed run of
+//! the E14a configuration at 10% dead ports (d = 2) and write its
+//! per-window telemetry + per-switch heatmap as JSON / Chrome
+//! `trace_event` JSON. The default table output is unchanged.
 
-use ultra_bench::{run_open_loop_faulty, OpenLoopConfig};
+use std::path::PathBuf;
+
+use ultra_bench::json::{metrics_json, series_chrome_trace};
+use ultra_bench::{run_open_loop_faulty, run_open_loop_observed, OpenLoopConfig};
 use ultra_faults::{FaultPlan, NetShape};
 use ultra_net::config::{NetConfig, SwitchPolicy};
 use ultra_pe::traffic::{HotspotTraffic, UniformTraffic};
@@ -269,7 +277,45 @@ fn dead_copy_machine() {
     );
 }
 
+/// The observed-telemetry export: the E14a dead-port configuration at
+/// 10% (the most structured heatmap — fault-masked routes shift combines
+/// and queueing onto the survivor paths).
+fn export_observed(metrics_path: Option<&PathBuf>, trace_path: Option<&PathBuf>) {
+    let plan = FaultPlan::random_static(0xE14, shape(2), 0.0, 0.10);
+    let (_, obs) = run_open_loop_observed(
+        sweep_cfg(SwitchPolicy::QueuedCombining, 2),
+        &plan,
+        &mut traffic(),
+        512,
+        4096,
+    );
+    if let Some(path) = metrics_path {
+        std::fs::write(
+            path,
+            metrics_json("degradation", &obs.series, Some(&obs.heatmap)),
+        )
+        .expect("write --metrics-out file");
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, series_chrome_trace("degradation", &obs.series))
+            .expect("write --trace-out file");
+        println!("wrote {}", path.display());
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_path = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            PathBuf::from(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} needs a path")),
+            )
+        })
+    };
+    let metrics_path = flag_path("--metrics-out");
+    let trace_path = flag_path("--trace-out");
     println!("E14 — graceful degradation under deterministic fault injection\n");
     e8_baseline();
     dead_port_sweep();
@@ -284,4 +330,7 @@ fn main() {
          builds in (d copies, hashed MMs) degrades gracefully instead of\n\
          failing."
     );
+    if metrics_path.is_some() || trace_path.is_some() {
+        export_observed(metrics_path.as_ref(), trace_path.as_ref());
+    }
 }

@@ -10,13 +10,33 @@
 //! ```text
 //! cargo run --release -p ultra-bench --bin hotspot
 //! ```
+//!
+//! `--metrics-out <path>` / `--trace-out <path>` re-run the n = 64
+//! combining row with cycle-windowed telemetry and write the per-window
+//! series + per-switch heatmap as JSON / Chrome `trace_event` JSON.
 
-use ultra_bench::{run_open_loop, OpenLoopConfig};
+use std::path::PathBuf;
+
+use ultra_bench::json::{metrics_json, series_chrome_trace};
+use ultra_bench::{run_open_loop, run_open_loop_observed, OpenLoopConfig, OpenLoopObservation};
+use ultra_faults::FaultPlan;
 use ultra_net::config::{NetConfig, SwitchPolicy};
 use ultra_pe::traffic::HotspotTraffic;
 use ultra_sim::{MemAddr, MmId};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_path = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            PathBuf::from(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} needs a path")),
+            )
+        })
+    };
+    let metrics_path = flag_path("--metrics-out");
+    let trace_path = flag_path("--trace-out");
+    let mut observed: Option<OpenLoopObservation> = None;
     println!("E6 — hot-spot fetch-and-add storm: combining vs. no combining");
     println!("(uniform background p = 0.08, hot fraction 30%, k = 2, 15-packet queues)\n");
     println!(
@@ -40,7 +60,19 @@ fn main() {
             };
             let hot = MemAddr::new(MmId(0), 0);
             let mut traffic = HotspotTraffic::new(n, 0.08, 0.3, hot, 99);
-            let r = run_open_loop(cfg, &mut traffic);
+            // Observation never perturbs the run, so the exported row is
+            // the same row the table prints.
+            let want_obs = (metrics_path.is_some() || trace_path.is_some())
+                && n == 64
+                && policy == SwitchPolicy::QueuedCombining;
+            let r = if want_obs {
+                let (r, obs) =
+                    run_open_loop_observed(cfg, &FaultPlan::none(), &mut traffic, 256, 4096);
+                observed = Some(obs);
+                r
+            } else {
+                run_open_loop(cfg, &mut traffic)
+            };
             println!(
                 "{:>6} {:>12} {:>14.1} {:>14} {:>12.4} {:>8.0}% {:>12}",
                 n,
@@ -59,4 +91,19 @@ fn main() {
          latency grows roughly linearly with N; with combining it stays near the\n\
          uncontended round trip at every N."
     );
+    if let Some(obs) = &observed {
+        if let Some(path) = &metrics_path {
+            std::fs::write(
+                path,
+                metrics_json("hotspot", &obs.series, Some(&obs.heatmap)),
+            )
+            .expect("write --metrics-out file");
+            println!("wrote {}", path.display());
+        }
+        if let Some(path) = &trace_path {
+            std::fs::write(path, series_chrome_trace("hotspot", &obs.series))
+                .expect("write --trace-out file");
+            println!("wrote {}", path.display());
+        }
+    }
 }

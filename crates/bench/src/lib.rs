@@ -10,6 +10,7 @@
 //! hot-spot ablation (E6), the queue-depth study (E7) and the bandwidth
 //! scaling study (E8).
 
+pub mod json;
 pub mod microbench;
 
 use ultra_faults::FaultPlan;
@@ -17,6 +18,7 @@ use ultra_mem::{AddressHasher, MemBank, TranslationMode};
 use ultra_net::config::NetConfig;
 use ultra_net::message::{Message, MsgId};
 use ultra_net::omega::ReplicatedOmega;
+use ultra_obs::{CounterSnapshot, GaugeSnapshot, HeatmapSnapshot, TimeSeries};
 use ultra_pe::traffic::TrafficPattern;
 use ultra_sim::{Cycle, Histogram, MmId, PeId, WorkerPool};
 
@@ -108,6 +110,79 @@ pub fn run_open_loop_faulty(
     plan: &FaultPlan,
     traffic: &mut dyn TrafficPattern,
 ) -> OpenLoopReport {
+    let mut unused = TimeSeries::new();
+    run_open_loop_inner(cfg, plan, traffic, &mut unused).0
+}
+
+/// Telemetry captured alongside an observed open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopObservation {
+    /// Per-window counter deltas and gauges over the whole run
+    /// (including warmup and drain — the open loop has no reason to hide
+    /// the fill).
+    pub series: TimeSeries,
+    /// Per-switch combine/queue/wait totals at end of run.
+    pub heatmap: HeatmapSnapshot,
+}
+
+/// [`run_open_loop_faulty`] with cycle-windowed telemetry: samples the
+/// fabric's cumulative counters every `window` cycles into a ring of
+/// `capacity` windows and snapshots the per-switch heatmap at the end.
+/// Observation only reads simulator state, so the report is bit-identical
+/// to the unobserved runner's.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies (lost replies) and on zero
+/// `window`/`capacity`.
+#[must_use]
+pub fn run_open_loop_observed(
+    cfg: OpenLoopConfig,
+    plan: &FaultPlan,
+    traffic: &mut dyn TrafficPattern,
+    window: u64,
+    capacity: usize,
+) -> (OpenLoopReport, OpenLoopObservation) {
+    let mut series = TimeSeries::new();
+    series.enable(window, capacity, 0);
+    let (report, heatmap) = run_open_loop_inner(cfg, plan, traffic, &mut series);
+    (report, OpenLoopObservation { series, heatmap })
+}
+
+fn open_loop_counters(nets: &ReplicatedOmega) -> CounterSnapshot {
+    let mut c = CounterSnapshot::default();
+    for i in 0..nets.copies() {
+        let s = nets.copy(i).stats();
+        c.injected_requests += s.injected_requests.get();
+        c.delivered_requests += s.delivered_requests.get();
+        c.injected_replies += s.injected_replies.get();
+        c.delivered_replies += s.delivered_replies.get();
+        c.combines += s.combines.get();
+        c.decombines += s.decombines.get();
+        c.inject_stalls += s.inject_stalls.get();
+        c.fault_dropped += s.fault_dropped.get();
+        c.fault_refusals += s.fault_refusals.get();
+    }
+    c
+}
+
+fn open_loop_gauges(nets: &ReplicatedOmega, banks: &[MemBank]) -> GaugeSnapshot {
+    GaugeSnapshot {
+        mm_queue_depth_max: banks
+            .iter()
+            .map(|b| b.queue_depth() as u64)
+            .max()
+            .unwrap_or(0),
+        wait_occupancy: nets.total_wait_occupancy(),
+    }
+}
+
+fn run_open_loop_inner(
+    cfg: OpenLoopConfig,
+    plan: &FaultPlan,
+    traffic: &mut dyn TrafficPattern,
+    series: &mut TimeSeries,
+) -> (OpenLoopReport, HeatmapSnapshot) {
     let n = cfg.net.pes;
     let mut nets = ReplicatedOmega::new(cfg.net, cfg.copies);
     for c in 0..cfg.copies {
@@ -234,7 +309,18 @@ pub fn run_open_loop_faulty(
                 }
             }
         }
+        // 5. Window boundary: record the delta (no-op unless observed).
+        while series.due(now + 1) {
+            let cum = open_loop_counters(&nets);
+            let gauges = open_loop_gauges(&nets, &banks);
+            series.sample(cum, gauges);
+        }
     }
+    series.flush(
+        drain,
+        open_loop_counters(&nets),
+        open_loop_gauges(&nets, &banks),
+    );
 
     report.forward_transit_mean = {
         let mut h = Histogram::new();
@@ -249,7 +335,7 @@ pub fn run_open_loop_faulty(
     report.fault_refusals = nets.total_stat(|s| s.fault_refusals.get());
     report.failovers = nets.failovers();
     report.throughput = report.completed as f64 / (n as f64 * cfg.measure as f64);
-    report
+    (report, nets.heatmap())
 }
 
 /// Formats a value/percent cell for the table binaries.

@@ -52,6 +52,7 @@
 //! PNIs, traffic), `ultra_sim` (clock/RNG/stats).
 
 pub mod engine;
+pub mod export;
 pub mod interp;
 pub mod machine;
 pub mod paracomputer;
@@ -60,6 +61,7 @@ pub mod report;
 pub mod trace;
 
 pub use engine::EngineMode;
+pub use export::chrome_trace;
 pub use machine::{BackendKind, FaultSummary, Machine, MachineBuilder, MachineConfig, RunOutcome};
 pub use paracomputer::{MemOp, Paracomputer};
 pub use program::{Expr, Op, Program};
@@ -73,5 +75,6 @@ mod readme_doctests {}
 pub use ultra_faults;
 pub use ultra_mem;
 pub use ultra_net;
+pub use ultra_obs;
 pub use ultra_pe;
 pub use ultra_sim;

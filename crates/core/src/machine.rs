@@ -37,10 +37,14 @@ use ultra_net::config::{NetConfig, SweepMode};
 use ultra_net::message::{Message, MsgId, MsgKind, Reply};
 use ultra_net::omega::ReplicatedOmega;
 use ultra_net::stats::NetStats;
+use ultra_obs::{
+    CounterSnapshot, EnginePhase, GaugeSnapshot, HeatmapSnapshot, PhaseRecorder, PhaseSpan,
+    TimeSeries,
+};
 use ultra_pe::pni::{Pni, PniError};
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
-use ultra_sim::{Cycle, MemAddr, MmId, PeId, Value, WorkerPool};
+use ultra_sim::{Cycle, MemAddr, MmId, PeId, PoolDispatchStats, Value, WorkerPool};
 
 use crate::engine::EngineMode;
 use crate::interp::{Fetched, IssueSpec, PeInterp};
@@ -475,6 +479,15 @@ pub struct Machine {
     /// memory banks, network copies). A 1-thread pool runs everything
     /// inline on the caller — the sequential engine.
     pool: WorkerPool,
+    /// Cycle-windowed telemetry recorder (off by default; see
+    /// [`Machine::enable_telemetry`]). Sampling only reads simulation
+    /// state, so the recorder never perturbs a run.
+    series: TimeSeries,
+    /// Wall-clock engine-phase spans for Perfetto export (off by
+    /// default; see [`Machine::enable_phase_spans`]).
+    phases: PhaseRecorder,
+    /// Zero point for phase-span timestamps.
+    phase_epoch: Instant,
 }
 
 impl Machine {
@@ -577,6 +590,9 @@ impl Machine {
             fast_forwarded: 0,
             deliveries: Vec::new(),
             pool: WorkerPool::new(Self::resolve_threads(&cfg)),
+            series: TimeSeries::new(),
+            phases: PhaseRecorder::new(),
+            phase_epoch: Instant::now(),
             cfg,
         };
         machine.absorb_unreachable();
@@ -604,6 +620,66 @@ impl Machine {
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Enables cycle-windowed telemetry: every `window` cycles the
+    /// machine records one [`ultra_obs::Sample`] — per-window network
+    /// counter deltas plus instantaneous queue/wait gauges — into a ring
+    /// of `capacity` samples. Purely observational: the sampled series
+    /// is bit-identical across engines and fast-forward settings, and
+    /// enabling it leaves `parity_string` unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `capacity` is zero.
+    pub fn enable_telemetry(&mut self, window: u64, capacity: usize) {
+        self.series.enable(window, capacity, self.now);
+    }
+
+    /// The telemetry series (empty unless [`Machine::enable_telemetry`]
+    /// ran).
+    #[must_use]
+    pub fn telemetry(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Enables wall-clock engine-phase span recording (flush / network /
+    /// memory-bank / PE-shard timing per cycle) into a ring of
+    /// `capacity` spans, for Perfetto export. Spans carry host wall
+    /// clock and are *not* deterministic; they never feed back into the
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_phase_spans(&mut self, capacity: usize) {
+        self.phases.enable(capacity);
+        self.phase_epoch = Instant::now();
+    }
+
+    /// Recorded engine-phase spans (empty unless
+    /// [`Machine::enable_phase_spans`] ran).
+    #[must_use]
+    pub fn phase_spans(&self) -> &PhaseRecorder {
+        &self.phases
+    }
+
+    /// The worker pool's cumulative dispatch accounting.
+    #[must_use]
+    pub fn pool_dispatch_stats(&self) -> PoolDispatchStats {
+        self.pool.dispatch_stats()
+    }
+
+    /// The hot-spot heatmap of the network fabric — per-switch combine
+    /// counts, queue high-water marks and wait-buffer occupancy, merged
+    /// across the `d` copies. `None` on the ideal backend, which has no
+    /// fabric.
+    #[must_use]
+    pub fn heatmap(&self) -> Option<HeatmapSnapshot> {
+        match &self.backend {
+            BackendImpl::Ideal { .. } => None,
+            BackendImpl::Network { nets, .. } => Some(nets.heatmap()),
+        }
     }
 
     /// Number of physical PEs.
@@ -868,7 +944,64 @@ impl Machine {
                 s.total_cycles = cycles;
             }
         }
+        if self.series.is_enabled() {
+            // Close the final (possibly partial) telemetry window so the
+            // per-window sums cover the whole run.
+            let cum = self.telemetry_counters();
+            let gauges = self.telemetry_gauges();
+            self.series.flush(self.now, cum, gauges);
+        }
         RunOutcome { completed, cycles }
+    }
+
+    /// Sums the cumulative scalar network counters across the `d`
+    /// copies (all zero on the ideal backend). No allocation, no
+    /// histogram merges — this runs once per telemetry window.
+    fn telemetry_counters(&self) -> CounterSnapshot {
+        let mut c = CounterSnapshot::default();
+        if let BackendImpl::Network { nets, .. } = &self.backend {
+            for i in 0..nets.copies() {
+                let s = nets.copy(i).stats();
+                c.injected_requests += s.injected_requests.get();
+                c.delivered_requests += s.delivered_requests.get();
+                c.injected_replies += s.injected_replies.get();
+                c.delivered_replies += s.delivered_replies.get();
+                c.combines += s.combines.get();
+                c.decombines += s.decombines.get();
+                c.inject_stalls += s.inject_stalls.get();
+                c.fault_dropped += s.fault_dropped.get();
+                c.fault_refusals += s.fault_refusals.get();
+            }
+        }
+        c
+    }
+
+    /// Instantaneous gauges at a window boundary.
+    fn telemetry_gauges(&self) -> GaugeSnapshot {
+        match &self.backend {
+            BackendImpl::Ideal { .. } => GaugeSnapshot::default(),
+            BackendImpl::Network { nets, banks, .. } => GaugeSnapshot {
+                mm_queue_depth_max: banks
+                    .iter()
+                    .map(|b| b.queue_depth() as u64)
+                    .max()
+                    .unwrap_or(0),
+                wait_occupancy: nets.total_wait_occupancy(),
+            },
+        }
+    }
+
+    /// Records every telemetry window whose boundary `now` has reached —
+    /// one window per normal step, possibly several after a fast-forward
+    /// jump (each then sees unchanged counters, exactly as per-cycle
+    /// stepping would have sampled them, keeping the series
+    /// bit-identical across fast-forward settings).
+    fn telemetry_tick(&mut self) {
+        while self.series.due(self.now) {
+            let cum = self.telemetry_counters();
+            let gauges = self.telemetry_gauges();
+            self.series.sample(cum, gauges);
+        }
     }
 
     fn is_quiescent(&self) -> bool {
@@ -884,12 +1017,50 @@ impl Machine {
         for fault in fired {
             self.apply_fault(fault);
         }
-        self.flush_outgoing(now);
-        self.backend_cycle(now);
-        self.queue_due_retries(now);
-        self.release_barrier_if_complete();
-        self.pe_phase(now);
+        // Phase timing costs an `Instant::now` pair per phase, so the
+        // default path takes none of them.
+        if self.phases.is_enabled() {
+            let t0 = Instant::now();
+            self.flush_outgoing(now);
+            let dur = t0.elapsed().as_nanos() as u64;
+            self.record_phase_span(now, EnginePhase::Flush, t0, dur, 0);
+            self.backend_cycle(now);
+            self.queue_due_retries(now);
+            self.release_barrier_if_complete();
+            let t0 = Instant::now();
+            self.pe_phase(now);
+            let dur = t0.elapsed().as_nanos() as u64;
+            let chunks = self.pool.dispatch_stats().last_chunks as u32;
+            self.record_phase_span(now, EnginePhase::PeShards, t0, dur, chunks);
+        } else {
+            self.flush_outgoing(now);
+            self.backend_cycle(now);
+            self.queue_due_retries(now);
+            self.release_barrier_if_complete();
+            self.pe_phase(now);
+        }
         self.now += 1;
+        self.telemetry_tick();
+    }
+
+    /// Records one wall-clock phase span that started at `t0` and took
+    /// `dur_ns`.
+    fn record_phase_span(
+        &mut self,
+        cycle: Cycle,
+        phase: EnginePhase,
+        t0: Instant,
+        dur_ns: u64,
+        chunks: u32,
+    ) {
+        let start_ns = t0.saturating_duration_since(self.phase_epoch).as_nanos() as u64;
+        self.phases.record(PhaseSpan {
+            cycle,
+            phase,
+            start_ns,
+            dur_ns,
+            pool_chunks: chunks,
+        });
     }
 
     /// The datapath cycle of every physical PE, fanned out over the
@@ -1001,6 +1172,10 @@ impl Machine {
         }
         self.fast_forwarded += skipped;
         self.now = target;
+        // The jump may have crossed telemetry window boundaries; emit
+        // the samples stepping would have produced (zero-delta, since
+        // nothing happened in the skipped stretch).
+        self.telemetry_tick();
     }
 
     /// Applies one fired fault to the live machine. Faults target the
@@ -1205,12 +1380,18 @@ impl Machine {
     /// Advances the memory system and delivers completions.
     fn backend_cycle(&mut self, now: Cycle) {
         let pool = &self.pool;
+        let timed = self.phases.is_enabled();
         // Staged first to avoid borrowing `self` across the delivery; the
         // buffer is pooled on the machine so steady state never allocates.
         let mut deliveries = std::mem::take(&mut self.deliveries);
         debug_assert!(deliveries.is_empty());
+        // Spans are staged here and recorded after the backend borrow
+        // ends.
+        let mut bank_span: Option<(Instant, u64, u32)> = None;
+        let mut net_span: Option<(Instant, u64, u32)> = None;
         match &mut self.backend {
             BackendImpl::Ideal { para, pending, .. } => {
+                let t0 = timed.then(Instant::now);
                 if let Some(batch) = pending.remove(&now) {
                     // The whole batch is "simultaneous": serialization
                     // principle via seeded shuffle inside apply_batch.
@@ -1238,12 +1419,16 @@ impl Machine {
                         deliveries.push(Reply::to_request(m, v));
                     }
                 }
+                if let Some(t0) = t0 {
+                    bank_span = Some((t0, t0.elapsed().as_nanos() as u64, 0));
+                }
             }
             BackendImpl::Network {
                 nets,
                 banks,
                 copy_of,
             } => {
+                let t0 = timed.then(Instant::now);
                 // Banks are mutually independent and never read the
                 // network, so serving them fans out over the engine's
                 // threads; their outboxes then drain into the network in
@@ -1270,6 +1455,11 @@ impl Machine {
                         }
                     }
                 }
+                if let Some(t0) = t0 {
+                    let chunks = pool.dispatch_stats().last_chunks as u32;
+                    bank_span = Some((t0, t0.elapsed().as_nanos() as u64, chunks));
+                }
+                let t0 = timed.then(Instant::now);
                 // The fabric moves — the d copies share nothing within a
                 // cycle, so they advance in parallel into their pooled
                 // event buffers; arrivals then drain in fixed copy order.
@@ -1291,7 +1481,17 @@ impl Machine {
                         self.shards[dropped.src.0].outgoing.push_back(dropped);
                     }
                 }
+                if let Some(t0) = t0 {
+                    let chunks = pool.dispatch_stats().last_chunks as u32;
+                    net_span = Some((t0, t0.elapsed().as_nanos() as u64, chunks));
+                }
             }
+        }
+        if let Some((t0, dur, chunks)) = bank_span {
+            self.record_phase_span(now, EnginePhase::MemBanks, t0, dur, chunks);
+        }
+        if let Some((t0, dur, chunks)) = net_span {
+            self.record_phase_span(now, EnginePhase::Network, t0, dur, chunks);
         }
         for reply in deliveries.drain(..) {
             self.deliver_reply(&reply, now);

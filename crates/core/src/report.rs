@@ -7,6 +7,7 @@ use std::fmt;
 use std::time::Duration;
 
 use ultra_net::stats::NetStats;
+use ultra_obs::HeatmapSnapshot;
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
 use ultra_sim::Cycle;
@@ -39,6 +40,13 @@ pub struct MachineReport {
     /// Cycles the engine skipped via idle fast-forward (still included
     /// in [`MachineReport::cycles`]).
     pub fast_forwarded: Cycle,
+    /// Whether idle fast-forward was enabled — distinguishes "on but
+    /// never fired" (printed as 0 cycles) from "off" (not printed).
+    pub fast_forward_enabled: bool,
+    /// Hot-spot heatmap of the fabric, populated when the machine ran
+    /// with telemetry enabled (and has a network backend). Rendered in
+    /// the Display footer.
+    pub heatmap: Option<HeatmapSnapshot>,
 }
 
 impl MachineReport {
@@ -67,6 +75,10 @@ impl MachineReport {
             engine: m.engine_mode(),
             engine_auto: m.auto_threads(),
             fast_forwarded: m.fast_forwarded_cycles(),
+            fast_forward_enabled: m.cfg().fast_forward,
+            // Default-off: the footer (and harness stdout) only grows a
+            // heatmap when the run opted into telemetry.
+            heatmap: m.telemetry().is_enabled().then(|| m.heatmap()).flatten(),
         }
     }
 
@@ -187,6 +199,19 @@ impl fmt::Display for MachineReport {
             100.0 * self.net.combine_rate(),
             self.net.drops
         )?;
+        write!(
+            f,
+            "\n  latency p50/p90/p99: fwd {}/{}/{} | rev {}/{}/{} | round-trip {}/{}/{} cycles",
+            self.net.forward_transit.p50(),
+            self.net.forward_transit.p90(),
+            self.net.forward_transit.p99(),
+            self.net.reverse_transit.p50(),
+            self.net.reverse_transit.p90(),
+            self.net.reverse_transit.p99(),
+            self.pe.cm_access.p50(),
+            self.pe.cm_access.p90(),
+            self.pe.cm_access.p99(),
+        )?;
         if self.faults.any() {
             write!(
                 f,
@@ -213,8 +238,14 @@ impl fmt::Display for MachineReport {
             if let Some(cps) = self.cycles_per_sec() {
                 write!(f, " | {cps:.0} cycles/s")?;
             }
-            if self.fast_forwarded > 0 {
-                write!(f, " | {} cycles fast-forwarded", self.fast_forwarded)?;
+            if self.fast_forward_enabled {
+                write!(f, " | fast-forward: {} cycles", self.fast_forwarded)?;
+            }
+        }
+        if let Some(heatmap) = &self.heatmap {
+            write!(f, "\n  hot-spot heatmap:")?;
+            for line in heatmap.render_ascii(64).lines() {
+                write!(f, "\n{line}")?;
             }
         }
         Ok(())
@@ -262,6 +293,77 @@ mod tests {
         assert!(text.contains("cycles/s"), "footer reports throughput");
         assert!(r.elapsed.is_some());
         assert!(r.cycles_per_sec().unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn display_surfaces_latency_percentiles() {
+        let p = Program::new(
+            body(vec![
+                Op::Load {
+                    addr: Expr::PeIndex,
+                    dst: 0,
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut m = MachineBuilder::new(8).build_spmd(&p);
+        assert!(m.run().completed);
+        let text = MachineReport::from_machine(&m).to_string();
+        assert!(
+            text.contains("latency p50/p90/p99"),
+            "percentile line missing: {text}"
+        );
+        assert!(text.contains("round-trip"));
+    }
+
+    #[test]
+    fn footer_prints_fast_forward_only_when_enabled() {
+        let p = Program::new(body(vec![Op::Compute(3), Op::Halt]), vec![]);
+        let run = |ff: bool| {
+            let mut m = MachineBuilder::new(4).fast_forward(ff).build_spmd(&p);
+            assert!(m.run().completed);
+            MachineReport::from_machine(&m).to_string()
+        };
+        let on = run(true);
+        assert!(
+            on.contains("fast-forward:"),
+            "enabled fast-forward must be reported even at 0 skipped cycles: {on}"
+        );
+        let off = run(false);
+        assert!(
+            !off.contains("fast-forward"),
+            "disabled fast-forward must not appear: {off}"
+        );
+    }
+
+    #[test]
+    fn heatmap_appears_only_with_telemetry() {
+        let p = Program::new(
+            body(vec![
+                Op::FetchAdd {
+                    addr: Expr::Const(0),
+                    delta: Expr::Const(1),
+                    dst: None,
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut plain = MachineBuilder::new(8).build_spmd(&p);
+        assert!(plain.run().completed);
+        let text = MachineReport::from_machine(&plain).to_string();
+        assert!(!text.contains("hot-spot heatmap"));
+
+        let mut observed = MachineBuilder::new(8).build_spmd(&p);
+        observed.enable_telemetry(16, 1024);
+        assert!(observed.run().completed);
+        let text = MachineReport::from_machine(&observed).to_string();
+        assert!(
+            text.contains("hot-spot heatmap"),
+            "telemetry adds the footer"
+        );
+        assert!(text.contains("combines (per switch"));
     }
 
     #[test]

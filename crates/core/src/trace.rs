@@ -155,6 +155,57 @@ mod tests {
     }
 
     #[test]
+    fn overfilled_ring_drops_exactly_the_overflow() {
+        let capacity = 64;
+        let recorded = 1000;
+        let mut t = Trace::new();
+        t.enable(capacity);
+        for c in 0..recorded {
+            t.record(halt(c));
+        }
+        assert_eq!(t.len(), capacity);
+        assert_eq!(t.dropped(), (recorded as usize - capacity) as u64);
+        // The retained window is exactly the newest `capacity` events.
+        let cycles: Vec<Cycle> = t.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles[0], recorded - capacity as Cycle);
+        assert_eq!(*cycles.last().unwrap(), recorded - 1);
+    }
+
+    #[test]
+    fn retained_tail_stays_cycle_monotone() {
+        let mut t = Trace::new();
+        t.enable(7);
+        // Mixed event kinds, strictly increasing cycles, far past capacity.
+        for c in 0..200 {
+            let e = match c % 4 {
+                0 => halt(c),
+                1 => TraceEvent::Reply {
+                    cycle: c,
+                    pe: PeId(1),
+                    latency: 3,
+                },
+                2 => TraceEvent::BarrierRelease {
+                    cycle: c,
+                    generation: c / 4,
+                },
+                _ => TraceEvent::Issue {
+                    cycle: c,
+                    pe: PeId(2),
+                    kind: MsgKind::Load,
+                    vaddr: 9,
+                },
+            };
+            t.record(e);
+        }
+        let cycles: Vec<Cycle> = t.events().map(TraceEvent::cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "retained tail must stay in recording order: {cycles:?}"
+        );
+        assert_eq!(cycles.len() as u64 + t.dropped(), 200);
+    }
+
+    #[test]
     fn event_cycle_accessor_covers_variants() {
         assert_eq!(
             TraceEvent::Issue {

@@ -34,6 +34,7 @@ use crate::route::{ForwardHop, ReverseHop, RouteTables, Topology};
 use crate::stats::NetStats;
 use crate::switch::{AcceptOutcome, Switch};
 use ultra_faults::FaultMask;
+use ultra_obs::HeatmapSnapshot;
 use ultra_sim::{Cycle, WorkerPool};
 
 /// Occupancy (in percent of a stage's switches) above which
@@ -249,6 +250,40 @@ impl OmegaNetwork {
             .map(Switch::request_queue_high_water)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Wait-buffer entries outstanding across every switch — the
+    /// instantaneous combining-capacity gauge the telemetry recorder
+    /// samples at window boundaries.
+    #[must_use]
+    pub fn total_wait_occupancy(&self) -> u64 {
+        self.stages
+            .iter()
+            .flatten()
+            .map(|sw| sw.wait_occupancy() as u64)
+            .sum()
+    }
+
+    /// Snapshots the per-switch hot-spot matrices: cumulative combine
+    /// counts, request-queue high-water marks, and instantaneous
+    /// wait-buffer occupancy for every switch in the fabric.
+    #[must_use]
+    pub fn heatmap(&self) -> HeatmapSnapshot {
+        let stages = self.stages.len();
+        let width = self.stages.first().map_or(0, Vec::len);
+        let mut snap = HeatmapSnapshot::new(stages, width);
+        for (s, row) in self.stages.iter().enumerate() {
+            for (i, sw) in row.iter().enumerate() {
+                snap.record(
+                    s,
+                    i,
+                    sw.combines(),
+                    sw.request_queue_high_water() as u64,
+                    sw.wait_occupancy() as u64,
+                );
+            }
+        }
+        snap
     }
 
     /// Draws a fresh request id (callers managing their own id space — like
@@ -844,6 +879,27 @@ impl ReplicatedOmega {
     /// Sum of a statistic across copies, selected by `f`.
     pub fn total_stat(&self, f: impl Fn(&NetStats) -> u64) -> u64 {
         self.lanes.iter().map(|l| f(l.net.stats())).sum()
+    }
+
+    /// Wait-buffer entries outstanding across every switch of every copy.
+    #[must_use]
+    pub fn total_wait_occupancy(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.net.total_wait_occupancy())
+            .sum()
+    }
+
+    /// The hot-spot heatmap merged across the `d` copies: combine counts
+    /// and wait occupancy sum per switch position, queue high-water marks
+    /// take the per-position maximum.
+    #[must_use]
+    pub fn heatmap(&self) -> HeatmapSnapshot {
+        let mut merged = self.lanes[0].net.heatmap();
+        for lane in &self.lanes[1..] {
+            merged.merge(&lane.net.heatmap());
+        }
+        merged
     }
 }
 

@@ -54,6 +54,9 @@ pub struct Switch {
     policy: SwitchPolicy,
     data_packets: u8,
     ctl_packets: u8,
+    /// Combines performed in this switch — the per-cell source of the
+    /// hot-spot heatmap (the aggregate lives in `NetStats::combines`).
+    combines: u64,
 }
 
 impl Switch {
@@ -74,6 +77,7 @@ impl Switch {
             policy: cfg.policy,
             data_packets: cfg.data_packets,
             ctl_packets: cfg.ctl_packets,
+            combines: 0,
         }
     }
 
@@ -170,6 +174,12 @@ impl Switch {
         );
         stats.stuck_wait_entries.incr();
         true
+    }
+
+    /// Combines performed in this switch since construction.
+    #[must_use]
+    pub fn combines(&self) -> u64 {
+        self.combines
     }
 
     /// Largest packet occupancy any of this switch's ToMM queues reached.
@@ -269,6 +279,7 @@ impl Switch {
                         );
                         stats.combines.incr();
                         stats.combines_by_stage[self.stage].incr();
+                        self.combines += 1;
                         return AcceptOutcome::Combined;
                     }
                 } else {

@@ -1,0 +1,32 @@
+//! Observability for the Ultracomputer simulator.
+//!
+//! The paper's whole evaluation (§4–§5) rests on *observing* simulated
+//! runs, yet end-of-run aggregates (`NetStats`, `PeStats`) can only say
+//! what happened on average — never *when* congestion formed or *where*
+//! in the fabric it sat. This crate supplies the three missing views:
+//!
+//! * [`series`] — a cycle-windowed time-series recorder ([`TimeSeries`])
+//!   the machine samples at window boundaries, turning cumulative
+//!   counters into rate-over-time curves. Off by default, zero
+//!   allocation once enabled, and deterministic: the sampled series is
+//!   bit-identical across the sequential and parallel cycle engines.
+//! * [`chrome`] — a hand-serialized Chrome/Perfetto `trace_event` JSON
+//!   writer ([`ChromeTraceBuilder`]), so event rings, engine-phase
+//!   spans and telemetry series load directly in `ui.perfetto.dev`.
+//!   No serde, mirroring the repo's hand-rolled BENCH JSON files.
+//! * [`heatmap`] — per-switch, per-stage matrices ([`HeatmapSnapshot`])
+//!   of combine counts, queue high-water marks and wait-buffer
+//!   occupancy, with an ASCII renderer for report footers.
+//!
+//! Everything here is passive: recording never feeds back into the
+//! simulation, so enabling telemetry cannot perturb `parity_string`.
+
+pub mod chrome;
+pub mod heatmap;
+pub mod series;
+
+pub use chrome::{json_escape, ChromeTraceBuilder};
+pub use heatmap::HeatmapSnapshot;
+pub use series::{
+    CounterSnapshot, EnginePhase, GaugeSnapshot, PhaseRecorder, PhaseSpan, Sample, TimeSeries,
+};

@@ -46,6 +46,6 @@ pub use clock::{Clock, Cycle};
 pub use ids::{digits, MemAddr, MmId, PeId, Value};
 pub use inline_vec::InlineVec;
 pub use par::par_for_each_mut;
-pub use pool::WorkerPool;
+pub use pool::{PoolDispatchStats, WorkerPool};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use stats::{Counter, Histogram, RunningStats};

@@ -33,6 +33,7 @@
 #![allow(unsafe_code)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -94,6 +95,38 @@ struct Shared {
 pub struct WorkerPool {
     shared: Option<Arc<Shared>>,
     handles: Vec<JoinHandle<()>>,
+    /// Fan-outs dispatched (inline or parallel) since construction.
+    dispatches: AtomicU64,
+    /// Chunks those fan-outs split into, summed — `chunks / dispatches`
+    /// is the pool's mean dispatch occupancy.
+    chunks_dispatched: AtomicU64,
+    /// Chunk count of the most recent dispatch.
+    last_chunks: AtomicU64,
+}
+
+/// Cumulative dispatch accounting for a [`WorkerPool`] — observability
+/// counters only, never consulted by the pool itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolDispatchStats {
+    /// Fan-outs dispatched since the pool was built.
+    pub dispatches: u64,
+    /// Total chunks across all dispatches (1 per inline run).
+    pub chunks: u64,
+    /// Chunk count of the most recent dispatch.
+    pub last_chunks: u64,
+}
+
+impl PoolDispatchStats {
+    /// Mean chunks per dispatch — how much of the pool each fan-out
+    /// actually occupied (1.0 means everything ran inline).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.chunks as f64 / self.dispatches as f64
+        }
+    }
 }
 
 impl WorkerPool {
@@ -111,6 +144,9 @@ impl WorkerPool {
             return Self {
                 shared: None,
                 handles: Vec::new(),
+                dispatches: AtomicU64::new(0),
+                chunks_dispatched: AtomicU64::new(0),
+                last_chunks: AtomicU64::new(0),
             };
         }
         let shared = Arc::new(Shared {
@@ -136,6 +172,9 @@ impl WorkerPool {
         Self {
             shared: Some(shared),
             handles,
+            dispatches: AtomicU64::new(0),
+            chunks_dispatched: AtomicU64::new(0),
+            last_chunks: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +182,17 @@ impl WorkerPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.handles.len() + 1
+    }
+
+    /// Cumulative dispatch accounting (relaxed counters — exact on any
+    /// single-threaded reader once dispatches have completed).
+    #[must_use]
+    pub fn dispatch_stats(&self) -> PoolDispatchStats {
+        PoolDispatchStats {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            chunks: self.chunks_dispatched.load(Ordering::Relaxed),
+            last_chunks: self.last_chunks.load(Ordering::Relaxed),
+        }
     }
 
     /// Applies `f(index, &mut item)` to every element of `items`,
@@ -162,6 +212,11 @@ impl WorkerPool {
         let threads = self.threads().min(n);
         let chunk = n.div_ceil(threads.max(1));
         let chunks = if chunk == 0 { 0 } else { n.div_ceil(chunk) };
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.chunks_dispatched
+            .fetch_add(chunks.max(1) as u64, Ordering::Relaxed);
+        self.last_chunks
+            .store(chunks.max(1) as u64, Ordering::Relaxed);
         if chunks <= 1 || self.shared.is_none() {
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
@@ -371,6 +426,23 @@ mod tests {
         let mut v = vec![0u64; 10];
         pool.run(&mut v, |i, x| *x = offsets[i] * 2);
         assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_stats_count_fanouts_and_chunks() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.dispatch_stats(), PoolDispatchStats::default());
+        let mut v = vec![0u64; 16];
+        pool.run(&mut v, |i, x| *x = i as u64);
+        pool.run(&mut v, |i, x| *x += i as u64);
+        let mut one = vec![1u64];
+        pool.run(&mut one, |_, x| *x += 1);
+        let stats = pool.dispatch_stats();
+        assert_eq!(stats.dispatches, 3);
+        // Two 4-chunk fan-outs plus one inline run.
+        assert_eq!(stats.chunks, 9);
+        assert_eq!(stats.last_chunks, 1);
+        assert!((stats.mean_occupancy() - 3.0).abs() < 1e-12);
     }
 
     #[test]

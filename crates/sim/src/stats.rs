@@ -271,6 +271,24 @@ impl Histogram {
         self.max
     }
 
+    /// Median — [`Histogram::percentile`] at 50.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile — [`Histogram::percentile`] at 90.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile — [`Histogram::percentile`] at 99.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.linear.len() < other.linear.len() {
@@ -384,5 +402,44 @@ mod tests {
     #[test]
     fn percentile_empty_is_zero() {
         assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn named_percentiles_on_uniform_distribution() {
+        // 1..=100 once each: the p-th percentile is exactly p.
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 99);
+    }
+
+    #[test]
+    fn named_percentiles_on_skewed_distribution() {
+        // 99 fast observations and one slow outlier: the tail percentile
+        // sees the outlier's bin, the median does not.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(10_000);
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p90(), 4);
+        // 10_000 lands in a log bin; its lower power-of-two edge is 8192.
+        assert_eq!(h.p99(), 4);
+        assert_eq!(h.percentile(100.0), 8192);
+    }
+
+    #[test]
+    fn named_percentiles_on_constant_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(17);
+        }
+        assert_eq!(h.p50(), 17);
+        assert_eq!(h.p90(), 17);
+        assert_eq!(h.p99(), 17);
     }
 }

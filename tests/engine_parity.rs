@@ -244,6 +244,77 @@ fn pool_dispatch_matches_scoped_fanout() {
     });
 }
 
+/// Cycle-windowed telemetry is defined in *simulated* time, so the
+/// recorded series and the end-of-run heatmap must be bit-identical
+/// across the sequential engine, the parallel engine at any thread
+/// count, and fast-forward on/off — and enabling it must not change the
+/// parity digest at all.
+#[test]
+fn telemetry_is_bit_identical_across_engines_and_inert() {
+    use ultracomputer::ultra_obs::{HeatmapSnapshot, Sample};
+
+    struct Observed {
+        parity: String,
+        samples: Vec<Sample>,
+        heatmap: Option<HeatmapSnapshot>,
+    }
+    fn run_observed(builder: MachineBuilder, program: &Program, window: u64) -> Observed {
+        let mut m = builder.build_spmd(program);
+        m.enable_telemetry(window, 1 << 12);
+        m.run();
+        Observed {
+            parity: MachineReport::from_machine(&m).parity_string(),
+            samples: m.telemetry().samples().copied().collect(),
+            heatmap: m.heatmap(),
+        }
+    }
+
+    forall(8, "telemetry parity across engines", |rng| {
+        let n = [4usize, 8, 16][rng.range_u64(0..3) as usize];
+        let window = [1u64, 3, 16, 64][rng.range_u64(0..4) as usize];
+        let iters = 2 + rng.range_u64(0..4) as i64;
+        let seed = rng.next_u64();
+        let program = if rng.range_u64(0..2) == 0 {
+            ticket_program(iters)
+        } else {
+            load_barrier_program(iters)
+        };
+        let make = || MachineBuilder::new(n).seed(seed);
+        let seq = run_observed(make().threads(1), &program, window);
+        assert!(!seq.samples.is_empty(), "telemetry recorded nothing");
+        for threads in [2usize, 4] {
+            let par = run_observed(make().threads(threads), &program, window);
+            assert_eq!(
+                seq.samples, par.samples,
+                "telemetry series diverged at {threads} threads (window {window})"
+            );
+            assert_eq!(
+                seq.heatmap, par.heatmap,
+                "heatmap diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.parity, par.parity,
+                "parity diverged at {threads} threads"
+            );
+        }
+        let stepped = run_observed(make().threads(1).fast_forward(false), &program, window);
+        assert_eq!(
+            seq.samples, stepped.samples,
+            "fast-forward changed the telemetry series (window {window})"
+        );
+        assert_eq!(
+            seq.heatmap, stepped.heatmap,
+            "fast-forward changed the heatmap"
+        );
+        // Inert: the same machine without telemetry digests identically.
+        let bare = run(make().threads(1), &program, false);
+        assert_eq!(
+            seq.parity, bare.parity,
+            "enabling telemetry perturbed the simulation"
+        );
+    });
+}
+
 /// The E14c degradation configuration: 16 PEs, d = 2 with copy 0
 /// fail-stopped at boot — `FaultSummary` (failovers, refusals) must be
 /// byte-identical between engines, not just final memory.
