@@ -92,12 +92,13 @@ fn drive_network(mut advance: impl FnMut(&mut OmegaNetwork, u64)) {
 fn bench_network_cycle() {
     let mut group = Group::new("network_cycle_n256");
     group.sample_size(10);
-    // Kept on the deprecated API on purpose: this row *is* the price of
-    // the seed's allocating path.
-    #[allow(deprecated)]
+    // Reproduces the seed's removed allocating `cycle` API (a fresh event
+    // buffer per call): this row *is* the price of that path.
     group.bench("allocating_seed_path", || {
         drive_network(|net, now| {
-            black_box(net.cycle(now));
+            let mut events = NetworkEvents::default();
+            net.cycle_into(now, &mut events);
+            black_box(events);
         });
     });
     let mut events = NetworkEvents::default();

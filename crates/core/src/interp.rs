@@ -14,9 +14,13 @@
 //! machine.
 
 use ultra_net::message::MsgKind;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{PeId, Value};
 
-use crate::program::{Body, EvalCtx, Expr, FrameLimitExceeded, Op, Program, Reg, NUM_REGS};
+use crate::program::{
+    decode_body, encode_body, Body, EvalCtx, Expr, FrameLimitExceeded, Op, Program, Reg,
+    MAX_DECODE_DEPTH, NUM_REGS,
+};
 
 /// What the PE's next instruction needs from the machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +61,39 @@ pub struct IssueSpec {
     pub dst: Option<Reg>,
 }
 
+impl Wire for IssueSpec {
+    fn encode(&self, w: &mut WireWriter) {
+        self.kind.encode(w);
+        w.usize(self.vaddr);
+        w.i64(self.value);
+        self.dst.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            kind: MsgKind::decode(r)?,
+            vaddr: r.usize()?,
+            value: r.i64()?,
+            dst: decode_reg_opt(r)?,
+        })
+    }
+}
+
+/// Decodes an optional register index, bounds-checked against
+/// [`NUM_REGS`].
+fn decode_reg_opt(r: &mut WireReader<'_>) -> Result<Option<Reg>, WireError> {
+    Option::<Reg>::decode(r)?
+        .map(decode_reg_checked)
+        .transpose()
+}
+
+fn decode_reg_checked(reg: Reg) -> Result<Reg, WireError> {
+    if (reg as usize) < NUM_REGS {
+        Ok(reg)
+    } else {
+        Err(WireError::Invalid("register index out of range"))
+    }
+}
+
 #[derive(Debug, Clone)]
 enum FrameCtl {
     Seq,
@@ -78,6 +115,106 @@ struct Frame {
     body: Body,
     pc: usize,
     ctl: FrameCtl,
+}
+
+impl Wire for FrameCtl {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Self::Seq => w.u8(0),
+            Self::For { reg, end } => {
+                w.u8(1);
+                w.u8(*reg);
+                w.i64(*end);
+            }
+            Self::SelfSched {
+                reg,
+                counter,
+                limit,
+            } => {
+                w.u8(2);
+                w.u8(*reg);
+                w.usize(*counter);
+                w.i64(*limit);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Seq,
+            1 => Self::For {
+                reg: decode_reg_checked(r.u8()?)?,
+                end: r.i64()?,
+            },
+            2 => Self::SelfSched {
+                reg: decode_reg_checked(r.u8()?)?,
+                counter: r.usize()?,
+                limit: r.i64()?,
+            },
+            _ => return Err(WireError::Invalid("frame control tag")),
+        })
+    }
+}
+
+impl Wire for Frame {
+    fn encode(&self, w: &mut WireWriter) {
+        encode_body(&self.body, w);
+        // `PC_AWAIT_CLAIM` (`usize::MAX`) rides through the fixed-width
+        // `u64` encoding unchanged.
+        w.usize(self.pc);
+        self.ctl.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let body = decode_body(r, MAX_DECODE_DEPTH)?;
+        let pc = r.usize()?;
+        let ctl = FrameCtl::decode(r)?;
+        let await_claim_ok = matches!(ctl, FrameCtl::SelfSched { .. }) && pc == PC_AWAIT_CLAIM;
+        if pc > body.len() && !await_claim_ok {
+            return Err(WireError::Invalid("frame pc out of range"));
+        }
+        Ok(Self { body, pc, ctl })
+    }
+}
+
+impl Wire for PeInterp {
+    fn encode(&self, w: &mut WireWriter) {
+        self.pe.encode(w);
+        w.usize(self.n_pes);
+        self.params.encode(w);
+        for reg in &self.regs {
+            w.i64(*reg);
+        }
+        for locked in &self.locked {
+            w.bool(*locked);
+        }
+        self.frames.encode(w);
+        w.bool(self.halted);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let pe = PeId::decode(r)?;
+        let n_pes = r.usize()?;
+        let params = Vec::decode(r)?;
+        let mut regs = [0; NUM_REGS];
+        for reg in &mut regs {
+            *reg = r.i64()?;
+        }
+        let mut locked = [false; NUM_REGS];
+        for flag in &mut locked {
+            *flag = r.bool()?;
+        }
+        let frames: Vec<Frame> = Vec::decode(r)?;
+        if frames.len() >= FrameLimitExceeded::LIMIT {
+            return Err(WireError::Invalid("frame stack too deep"));
+        }
+        Ok(Self {
+            pe,
+            n_pes,
+            params,
+            regs,
+            locked,
+            frames,
+            halted: r.bool()?,
+        })
+    }
 }
 
 /// Interpreter state for one PE.
@@ -854,6 +991,79 @@ mod tests {
                 instructions: 4,
                 private_refs: 0
             }
+        );
+    }
+
+    #[test]
+    fn mid_run_interpreter_round_trips_through_wire() {
+        use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
+        // Snapshot inside a self-scheduled loop, with a claim in flight
+        // (locked register, PC_AWAIT_CLAIM frame) — the hardest state.
+        let p = Program::new(
+            body(vec![
+                Op::Set {
+                    reg: 2,
+                    value: Expr::Const(5),
+                },
+                Op::SelfSched {
+                    reg: 0,
+                    counter: Expr::Const(0),
+                    limit: Expr::Const(6),
+                    body: body(vec![Op::FetchAdd {
+                        addr: Expr::add(Expr::Const(100), Expr::Reg(0)),
+                        delta: Expr::Reg(2),
+                        dst: None,
+                    }]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut interp = PeInterp::new(PeId(3), 8, &p);
+        assert!(matches!(interp.next_op(), Fetched::Work { .. })); // Set
+        let Fetched::Issue(spec) = interp.next_op() else {
+            panic!("expected the first claim");
+        };
+        interp.lock(spec.dst.unwrap());
+
+        let mut w = WireWriter::new();
+        interp.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut copy = PeInterp::decode(&mut WireReader::new(&bytes)).unwrap();
+
+        // Both copies must replay identically from here.
+        let drive = |i: &mut PeInterp| -> Vec<Fetched> {
+            i.write_and_unlock(0, 0); // deliver the claim: index 0
+            let mut log = Vec::new();
+            for _ in 0..32 {
+                let f = i.next_op();
+                let done = f == Fetched::Halted;
+                if let Fetched::Issue(s) = &f {
+                    if let Some(d) = s.dst {
+                        i.lock(d);
+                        i.write_and_unlock(d, 6); // claims exhaust the loop
+                    }
+                }
+                log.push(f);
+                if done {
+                    break;
+                }
+            }
+            log
+        };
+        assert_eq!(drive(&mut interp), drive(&mut copy));
+        assert_eq!(interp.regs(), copy.regs());
+
+        // Truncation is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(PeInterp::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        }
+        // A register index past the file is rejected.
+        let mut w = WireWriter::new();
+        FrameCtl::For { reg: 200, end: 3 }.encode(&mut w);
+        assert_eq!(
+            FrameCtl::decode(&mut WireReader::new(&w.into_bytes())).err(),
+            Some(WireError::Invalid("register index out of range"))
         );
     }
 

@@ -58,6 +58,7 @@ pub mod machine;
 pub mod paracomputer;
 pub mod program;
 pub mod report;
+pub mod snapshot;
 pub mod trace;
 
 pub use engine::EngineMode;
@@ -66,6 +67,7 @@ pub use machine::{BackendKind, FaultSummary, Machine, MachineBuilder, MachineCon
 pub use paracomputer::{MemOp, Paracomputer};
 pub use program::{Expr, Op, Program};
 pub use report::MachineReport;
+pub use snapshot::{EngineTuning, SnapshotError};
 
 /// Compile-checks the README's Rust examples as doctests.
 #[cfg(doctest)]

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use ultra_net::message::PhiOp;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{Rng, SplitMix64, Value};
 
 /// One memory operation directed at a flat shared address.
@@ -80,6 +81,21 @@ impl MemOp {
 pub struct Paracomputer {
     mem: HashMap<usize, Value>,
     rng: SplitMix64,
+}
+
+impl Wire for Paracomputer {
+    fn encode(&self, w: &mut WireWriter) {
+        self.mem.encode(w);
+        // The rng *state* (not the original seed) is what preserves the
+        // serialization order of batches applied after a restore.
+        self.rng.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            mem: HashMap::decode(r)?,
+            rng: SplitMix64::decode(r)?,
+        })
+    }
 }
 
 impl Paracomputer {
@@ -266,6 +282,25 @@ mod tests {
         pc.store(20, 200);
         let res = pc.apply_batch(&[MemOp::Load { addr: 20 }, MemOp::Load { addr: 10 }]);
         assert_eq!(res, vec![200, 100]);
+    }
+
+    #[test]
+    fn paracomputer_round_trip_preserves_serialization_stream() {
+        use ultra_sim::wire::{Wire, WireReader, WireWriter};
+        let mut pc = Paracomputer::new(99);
+        let warm: Vec<MemOp> = (0..50).map(|_| MemOp::fetch_add(0, 1)).collect();
+        let _ = pc.apply_batch(&warm); // advance the rng past its seed
+        let mut w = WireWriter::new();
+        pc.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut copy = Paracomputer::decode(&mut WireReader::new(&bytes)).unwrap();
+        // Identical future serialization orders and memory contents.
+        let batch: Vec<MemOp> = (0..20).map(|i| MemOp::fetch_add(i % 3, 1)).collect();
+        assert_eq!(pc.apply_batch(&batch), copy.apply_batch(&batch));
+        assert_eq!(pc.load(0), copy.load(0));
+        for cut in 0..bytes.len() {
+            assert!(Paracomputer::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use ultra_net::message::PhiOp;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{PeId, Value};
 
 /// Register index; each PE has [`NUM_REGS`] general registers.
@@ -185,6 +186,128 @@ impl Expr {
 impl From<Value> for Expr {
     fn from(v: Value) -> Self {
         Expr::Const(v)
+    }
+}
+
+/// Maximum expression / statement nesting accepted when decoding program
+/// bytes — far above anything a workload generator emits, low enough that
+/// a corrupted snapshot cannot drive the decoder's recursion off the
+/// stack.
+pub(crate) const MAX_DECODE_DEPTH: usize = 64;
+
+fn decode_expr(r: &mut WireReader<'_>, depth: usize) -> Result<Expr, WireError> {
+    if depth == 0 {
+        return Err(WireError::Invalid("expression nesting too deep"));
+    }
+    Ok(match r.u8()? {
+        0 => Expr::Const(r.i64()?),
+        1 => Expr::Reg(r.u8()?),
+        2 => Expr::PeIndex,
+        3 => Expr::NumPes,
+        4 => Expr::Param(r.u8()?),
+        5 => Expr::Bin(
+            BinOp::decode(r)?,
+            Box::new(decode_expr(r, depth - 1)?),
+            Box::new(decode_expr(r, depth - 1)?),
+        ),
+        _ => return Err(WireError::Invalid("expression tag")),
+    })
+}
+
+impl Wire for Expr {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Expr::Const(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            Expr::Reg(reg) => {
+                w.u8(1);
+                w.u8(*reg);
+            }
+            Expr::PeIndex => w.u8(2),
+            Expr::NumPes => w.u8(3),
+            Expr::Param(i) => {
+                w.u8(4);
+                w.u8(*i);
+            }
+            Expr::Bin(op, a, b) => {
+                w.u8(5);
+                op.encode(w);
+                a.encode(w);
+                b.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        decode_expr(r, MAX_DECODE_DEPTH)
+    }
+}
+
+impl Wire for BinOp {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 3,
+            BinOp::Rem => 4,
+            BinOp::Min => 5,
+            BinOp::Max => 6,
+            BinOp::Hash => 7,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::Div,
+            4 => BinOp::Rem,
+            5 => BinOp::Min,
+            6 => BinOp::Max,
+            7 => BinOp::Hash,
+            _ => return Err(WireError::Invalid("binary-operator tag")),
+        })
+    }
+}
+
+impl Wire for CmpOp {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            CmpOp::Lt => 0,
+            CmpOp::Le => 1,
+            CmpOp::Eq => 2,
+            CmpOp::Ne => 3,
+            CmpOp::Ge => 4,
+            CmpOp::Gt => 5,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => CmpOp::Lt,
+            1 => CmpOp::Le,
+            2 => CmpOp::Eq,
+            3 => CmpOp::Ne,
+            4 => CmpOp::Ge,
+            5 => CmpOp::Gt,
+            _ => return Err(WireError::Invalid("comparison-operator tag")),
+        })
+    }
+}
+
+impl Wire for Cond {
+    fn encode(&self, w: &mut WireWriter) {
+        self.op.encode(w);
+        self.lhs.encode(w);
+        self.rhs.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            op: CmpOp::decode(r)?,
+            lhs: Expr::decode(r)?,
+            rhs: Expr::decode(r)?,
+        })
     }
 }
 
@@ -374,6 +497,196 @@ pub enum Op {
     Halt,
 }
 
+fn encode_op(op: &Op, w: &mut WireWriter) {
+    match op {
+        Op::Compute(n) => {
+            w.u8(0);
+            w.u32(*n);
+        }
+        Op::ComputeVar { amount } => {
+            w.u8(1);
+            amount.encode(w);
+        }
+        Op::PrivateRef(n) => {
+            w.u8(2);
+            w.u32(*n);
+        }
+        Op::Load { addr, dst } => {
+            w.u8(3);
+            addr.encode(w);
+            w.u8(*dst);
+        }
+        Op::Store { addr, value } => {
+            w.u8(4);
+            addr.encode(w);
+            value.encode(w);
+        }
+        Op::FetchAdd { addr, delta, dst } => {
+            w.u8(5);
+            addr.encode(w);
+            delta.encode(w);
+            dst.encode(w);
+        }
+        Op::FetchPhi {
+            op,
+            addr,
+            operand,
+            dst,
+        } => {
+            w.u8(6);
+            op.encode(w);
+            addr.encode(w);
+            operand.encode(w);
+            dst.encode(w);
+        }
+        Op::Barrier => w.u8(7),
+        Op::Fence => w.u8(8),
+        Op::Set { reg, value } => {
+            w.u8(9);
+            w.u8(*reg);
+            value.encode(w);
+        }
+        Op::For {
+            reg,
+            from,
+            to,
+            body,
+        } => {
+            w.u8(10);
+            w.u8(*reg);
+            from.encode(w);
+            to.encode(w);
+            encode_body(body, w);
+        }
+        Op::SelfSched {
+            reg,
+            counter,
+            limit,
+            body,
+        } => {
+            w.u8(11);
+            w.u8(*reg);
+            counter.encode(w);
+            limit.encode(w);
+            encode_body(body, w);
+        }
+        Op::If {
+            cond,
+            then_ops,
+            else_ops,
+        } => {
+            w.u8(12);
+            cond.encode(w);
+            encode_body(then_ops, w);
+            encode_body(else_ops, w);
+        }
+        Op::Halt => w.u8(13),
+    }
+}
+
+fn decode_op(r: &mut WireReader<'_>, depth: usize) -> Result<Op, WireError> {
+    Ok(match r.u8()? {
+        0 => Op::Compute(r.u32()?),
+        1 => Op::ComputeVar {
+            amount: Expr::decode(r)?,
+        },
+        2 => Op::PrivateRef(r.u32()?),
+        3 => Op::Load {
+            addr: Expr::decode(r)?,
+            dst: r.u8()?,
+        },
+        4 => Op::Store {
+            addr: Expr::decode(r)?,
+            value: Expr::decode(r)?,
+        },
+        5 => Op::FetchAdd {
+            addr: Expr::decode(r)?,
+            delta: Expr::decode(r)?,
+            dst: Option::decode(r)?,
+        },
+        6 => Op::FetchPhi {
+            op: PhiOp::decode(r)?,
+            addr: Expr::decode(r)?,
+            operand: Expr::decode(r)?,
+            dst: Option::decode(r)?,
+        },
+        7 => Op::Barrier,
+        8 => Op::Fence,
+        9 => Op::Set {
+            reg: r.u8()?,
+            value: Expr::decode(r)?,
+        },
+        10 => Op::For {
+            reg: r.u8()?,
+            from: Expr::decode(r)?,
+            to: Expr::decode(r)?,
+            body: decode_body(r, depth)?,
+        },
+        11 => Op::SelfSched {
+            reg: r.u8()?,
+            counter: Expr::decode(r)?,
+            limit: Expr::decode(r)?,
+            body: decode_body(r, depth)?,
+        },
+        12 => Op::If {
+            cond: Cond::decode(r)?,
+            then_ops: decode_body(r, depth)?,
+            else_ops: decode_body(r, depth)?,
+        },
+        13 => Op::Halt,
+        _ => return Err(WireError::Invalid("statement tag")),
+    })
+}
+
+/// Serializes a statement block as a full inline tree (sharing via `Arc`
+/// is a memory optimization, not part of program identity).
+pub fn encode_body(body: &Body, w: &mut WireWriter) {
+    w.usize(body.len());
+    for op in body.iter() {
+        encode_op(op, w);
+    }
+}
+
+/// Decodes a statement block written by [`encode_body`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated or malformed bytes, or when the
+/// block nesting exceeds the decoder's recursion bound.
+pub fn decode_body(r: &mut WireReader<'_>, depth: usize) -> Result<Body, WireError> {
+    if depth == 0 {
+        return Err(WireError::Invalid("statement nesting too deep"));
+    }
+    let len = r.seq_len()?;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        ops.push(decode_op(r, depth - 1)?);
+    }
+    Ok(Arc::from(ops))
+}
+
+impl Wire for Op {
+    fn encode(&self, w: &mut WireWriter) {
+        encode_op(self, w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        decode_op(r, MAX_DECODE_DEPTH)
+    }
+}
+
+impl Wire for Program {
+    fn encode(&self, w: &mut WireWriter) {
+        encode_body(&self.ops, w);
+        self.params.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            ops: decode_body(r, MAX_DECODE_DEPTH)?,
+            params: Vec::decode(r)?,
+        })
+    }
+}
+
 /// Error marker for runaway control-flow nesting in the interpreter.
 ///
 /// Well-formed programs nest loops a handful deep; hitting the limit means
@@ -532,6 +845,57 @@ mod tests {
             seen.insert(a % 64);
         }
         assert!(seen.len() > 48, "hash must spread: {} buckets", seen.len());
+    }
+
+    #[test]
+    fn programs_round_trip_through_wire() {
+        let prog = Program::new(
+            body(vec![
+                Op::Set {
+                    reg: 1,
+                    value: Expr::add(Expr::PeIndex, Expr::Param(0)),
+                },
+                Op::SelfSched {
+                    reg: 0,
+                    counter: Expr::Const(0),
+                    limit: Expr::Param(0),
+                    body: body(vec![
+                        Op::If {
+                            cond: Cond::new(Expr::Reg(0), CmpOp::Lt, 10),
+                            then_ops: body(vec![Op::FetchAdd {
+                                addr: Expr::hash(Expr::Reg(0), 7),
+                                delta: Expr::Const(1),
+                                dst: Some(2),
+                            }]),
+                            else_ops: body(vec![Op::Compute(3)]),
+                        },
+                        Op::Barrier,
+                    ]),
+                },
+                Op::Fence,
+                Op::Halt,
+            ]),
+            vec![64, -3],
+        );
+        let mut w = WireWriter::new();
+        prog.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let twin = Program::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(prog, twin);
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_a_stack_overflow() {
+        // A byte stream of nothing but `Bin` tags would recurse once per
+        // byte without the depth guard.
+        let bytes = vec![5u8; 10_000];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(
+            Expr::decode(&mut r),
+            Err(WireError::Invalid("expression nesting too deep"))
+        );
     }
 
     #[test]

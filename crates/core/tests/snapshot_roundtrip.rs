@@ -1,0 +1,216 @@
+//! Snapshot round-trip property: `run(k) → snapshot → restore → run(m)`
+//! is bit-identical to `run(k+m)` — on every engine, through every kind
+//! of mid-run machine state.
+//!
+//! Each scenario builds a machine, runs the *uninterrupted* baseline to
+//! completion, then re-runs it with a snapshot cut at several mid-run
+//! points. At each cut the snapshot is restored under every engine
+//! tuning (donor settings, pinned sequential, parallel, fast-forward
+//! off, dense sweep) and driven to completion; all of them — and the
+//! donor machine continuing past its own snapshot — must digest to the
+//! baseline's parity string. The fault scenarios deliberately cut while
+//! recovery machinery is live: one cut is searched for dynamically so a
+//! PNI retry is *pending* (a loss happened, its timeout has not fired)
+//! at snapshot time, and one scenario snapshots before a scheduled fault
+//! so the restored clock must still fire it.
+
+use ultracomputer::machine::{Machine, MachineBuilder};
+use ultracomputer::program::{body, Expr, Op, Program};
+use ultracomputer::ultra_faults::{Fault, FaultPlan};
+use ultracomputer::ultra_net::config::SweepMode;
+use ultracomputer::ultra_sim::MmId;
+use ultracomputer::{EngineTuning, MachineReport};
+
+/// Tickets from a hot counter, a private-slot store per round, and a
+/// closing barrier — combining, register locking, bank traffic and
+/// barrier state all live at most cut points.
+fn ticket_program(rounds: i64) -> Program {
+    Program::new(
+        body(vec![
+            Op::For {
+                reg: 1,
+                from: Expr::Const(0),
+                to: Expr::Const(rounds),
+                body: body(vec![
+                    Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: Some(0),
+                    },
+                    Op::Store {
+                        addr: Expr::add(
+                            Expr::add(Expr::Const(1024), Expr::mul(Expr::PeIndex, 64)),
+                            Expr::Reg(1),
+                        ),
+                        value: Expr::Reg(0),
+                    },
+                ]),
+            },
+            Op::Barrier,
+            Op::Halt,
+        ]),
+        vec![],
+    )
+}
+
+fn digest(m: &Machine) -> String {
+    MachineReport::from_machine(m).parity_string()
+}
+
+fn tunings() -> Vec<(&'static str, EngineTuning)> {
+    vec![
+        ("donor", EngineTuning::default()),
+        (
+            "sequential",
+            EngineTuning {
+                threads: Some(1),
+                ..EngineTuning::default()
+            },
+        ),
+        (
+            "parallel-3",
+            EngineTuning {
+                threads: Some(3),
+                ..EngineTuning::default()
+            },
+        ),
+        (
+            "no-fast-forward",
+            EngineTuning {
+                fast_forward: Some(false),
+                ..EngineTuning::default()
+            },
+        ),
+        (
+            "dense-sweep",
+            EngineTuning {
+                sweep: Some(SweepMode::Dense),
+                ..EngineTuning::default()
+            },
+        ),
+    ]
+}
+
+/// The property at one cut point: donor-continue and every restored
+/// engine reach the baseline digest.
+fn check_cut(make: &dyn Fn() -> Machine, baseline: &str, cut: u64, label: &str) {
+    let mut donor = make();
+    donor.run_for(cut);
+    let snapshot = donor.snapshot();
+    assert!(
+        donor.run().completed,
+        "{label} cut {cut}: donor must finish"
+    );
+    assert_eq!(
+        digest(&donor),
+        baseline,
+        "{label} cut {cut}: snapshotting perturbed the donor"
+    );
+    for (engine, tuning) in tunings() {
+        let mut restored = Machine::restore_tuned(&snapshot, tuning)
+            .unwrap_or_else(|e| panic!("{label} cut {cut} [{engine}]: restore failed: {e}"));
+        assert!(
+            restored.run().completed,
+            "{label} cut {cut} [{engine}]: restored run must finish"
+        );
+        assert_eq!(
+            digest(&restored),
+            baseline,
+            "{label} cut {cut} [{engine}]: diverged from the uninterrupted run"
+        );
+    }
+}
+
+fn check_scenario(make: &dyn Fn() -> Machine, cuts: &[u64], label: &str) {
+    let mut full = make();
+    assert!(full.run().completed, "{label}: baseline must complete");
+    let baseline = digest(&full);
+    for &cut in cuts {
+        check_cut(make, &baseline, cut, label);
+    }
+}
+
+#[test]
+fn healthy_machine_round_trips_at_any_cut() {
+    let make = || MachineBuilder::new(8).build_spmd(&ticket_program(12));
+    check_scenario(&make, &[1, 5, 33, 100, 251], "healthy 8-PE ticket");
+}
+
+#[test]
+fn lossy_links_round_trip_with_a_pni_retry_pending_at_the_cut() {
+    let make = || {
+        MachineBuilder::new(8)
+            .faults(FaultPlan::none().seed(11).link_loss(0.15))
+            .max_cycles(2_000_000)
+            .build_spmd(&ticket_program(10))
+    };
+
+    // Find a cut where a loss has happened but its retry has not fired:
+    // at that snapshot a PNI timeout (and its sequence-numbered request)
+    // is in flight and must survive the round trip.
+    let mut probe = make();
+    let mut pending_cut = None;
+    while probe.now() < 5_000 {
+        probe.run_for(1);
+        let f = probe.fault_summary();
+        if f.dropped > f.retries {
+            pending_cut = Some(probe.now());
+            break;
+        }
+    }
+    let pending_cut = pending_cut.expect("15% loss must strand a message within 5k cycles");
+
+    let mut full = make();
+    assert!(full.run().completed);
+    assert!(
+        full.fault_summary().retries > 0,
+        "scenario must actually exercise the retry protocol"
+    );
+    let baseline = digest(&full);
+    for cut in [pending_cut, pending_cut + 37, 400] {
+        check_cut(&make, &baseline, cut, "lossy 8-PE ticket");
+    }
+}
+
+#[test]
+fn dead_copy_failover_round_trips() {
+    let make = || {
+        MachineBuilder::new(8)
+            .network(2)
+            .faults(FaultPlan::none().dead_copy(0))
+            .build_spmd(&ticket_program(8))
+    };
+    check_scenario(&make, &[20, 75, 160], "dead-copy d=2");
+}
+
+#[test]
+fn scheduled_mm_death_fires_after_restore() {
+    // Cut 30 is *before* the scheduled kill at cycle 60: the restored
+    // fault clock must still fire it. Cut 90 is after, in degraded mode.
+    let make = || {
+        MachineBuilder::new(8)
+            .faults(FaultPlan::none().schedule(60, Fault::KillMm { mm: MmId(3) }))
+            .build_spmd(&ticket_program(8))
+    };
+    check_scenario(&make, &[30, 90], "scheduled MM death");
+}
+
+#[test]
+fn ideal_backend_round_trips() {
+    let make = || {
+        MachineBuilder::new(8)
+            .ideal(10)
+            .build_spmd(&ticket_program(6))
+    };
+    check_scenario(&make, &[7, 40], "ideal backend");
+}
+
+#[test]
+fn multiprogrammed_contexts_round_trip() {
+    let make = || {
+        MachineBuilder::new(4)
+            .multiprogramming(2)
+            .build_spmd(&ticket_program(6))
+    };
+    check_scenario(&make, &[15, 80], "4 PEs x 2 contexts");
+}

@@ -40,6 +40,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use ultra_sim::rng::{Rng, SplitMix64};
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{Cycle, MmId};
 
 /// The PNI's timeout-and-retry recovery protocol (enabled by a fault plan;
@@ -72,6 +73,19 @@ impl RetryPolicy {
     #[must_use]
     pub fn deadline(&self, now: Cycle, attempt: u32) -> Cycle {
         now + (self.base_timeout << attempt.min(self.backoff_cap))
+    }
+}
+
+impl Wire for RetryPolicy {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.base_timeout);
+        w.u32(self.backoff_cap);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            base_timeout: r.u64()?,
+            backoff_cap: r.u32()?,
+        })
     }
 }
 
@@ -124,6 +138,72 @@ pub enum Fault {
     },
 }
 
+impl Wire for Fault {
+    fn encode(&self, w: &mut WireWriter) {
+        match *self {
+            Self::KillCopy { copy } => {
+                w.u8(0);
+                w.usize(copy);
+            }
+            Self::KillMm { mm } => {
+                w.u8(1);
+                mm.encode(w);
+            }
+            Self::SlowMm { mm, factor } => {
+                w.u8(2);
+                mm.encode(w);
+                w.u32(factor);
+            }
+            Self::KillSwitchPort {
+                copy,
+                stage,
+                switch,
+                port,
+            } => {
+                w.u8(3);
+                w.usize(copy);
+                w.usize(stage);
+                w.usize(switch);
+                w.usize(port);
+            }
+            Self::StickWaitEntry {
+                copy,
+                stage,
+                switch,
+            } => {
+                w.u8(4);
+                w.usize(copy);
+                w.usize(stage);
+                w.usize(switch);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::KillCopy { copy: r.usize()? },
+            1 => Self::KillMm {
+                mm: MmId::decode(r)?,
+            },
+            2 => Self::SlowMm {
+                mm: MmId::decode(r)?,
+                factor: r.u32()?,
+            },
+            3 => Self::KillSwitchPort {
+                copy: r.usize()?,
+                stage: r.usize()?,
+                switch: r.usize()?,
+                port: r.usize()?,
+            },
+            4 => Self::StickWaitEntry {
+                copy: r.usize()?,
+                stage: r.usize()?,
+                switch: r.usize()?,
+            },
+            _ => return Err(WireError::Invalid("fault tag")),
+        })
+    }
+}
+
 /// A fault scheduled to fire at an exact cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledFault {
@@ -131,6 +211,19 @@ pub struct ScheduledFault {
     pub at: Cycle,
     /// What breaks.
     pub fault: Fault,
+}
+
+impl Wire for ScheduledFault {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.at);
+        self.fault.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            at: r.u64()?,
+            fault: Fault::decode(r)?,
+        })
+    }
 }
 
 /// Geometry the random-plan generator needs to know what can break.
@@ -387,6 +480,31 @@ impl FaultPlan {
     }
 }
 
+impl Wire for FaultPlan {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.seed);
+        self.dead_copies.encode(w);
+        self.dead_mms.encode(w);
+        self.slow_mms.encode(w);
+        self.dead_ports.encode(w);
+        w.f64(self.link_loss);
+        self.schedule.encode(w);
+        self.retry.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            seed: r.u64()?,
+            dead_copies: BTreeSet::decode(r)?,
+            dead_mms: BTreeSet::decode(r)?,
+            slow_mms: BTreeMap::decode(r)?,
+            dead_ports: BTreeSet::decode(r)?,
+            link_loss: r.f64()?,
+            schedule: Vec::decode(r)?,
+            retry: Option::decode(r)?,
+        })
+    }
+}
+
 /// The live fault state of one network copy, consulted at injection time
 /// by `ultra_net::OmegaNetwork`.
 ///
@@ -470,6 +588,23 @@ impl FaultMask {
     }
 }
 
+impl Wire for FaultMask {
+    fn encode(&self, w: &mut WireWriter) {
+        w.bool(self.copy_dead);
+        self.dead_ports.encode(w);
+        w.f64(self.link_loss);
+        self.rng.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            copy_dead: r.bool()?,
+            dead_ports: HashSet::decode(r)?,
+            link_loss: r.f64()?,
+            rng: SplitMix64::decode(r)?,
+        })
+    }
+}
+
 /// Drains a [`FaultPlan`]'s schedule in cycle order.
 #[derive(Debug, Clone)]
 pub struct FaultClock {
@@ -505,9 +640,57 @@ impl FaultClock {
     }
 }
 
+impl Wire for FaultClock {
+    fn encode(&self, w: &mut WireWriter) {
+        self.pending.encode(w);
+        w.usize(self.cursor);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let pending: Vec<ScheduledFault> = Vec::decode(r)?;
+        let cursor = r.usize()?;
+        if cursor > pending.len() {
+            return Err(WireError::Invalid("fault-clock cursor out of range"));
+        }
+        Ok(Self { pending, cursor })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_state_round_trips_through_wire() {
+        let plan = FaultPlan::none()
+            .seed(9)
+            .dead_copy(1)
+            .dead_mm(MmId(3))
+            .slow_mm(MmId(5), 4)
+            .dead_switch_port(0, 2, 1, 0)
+            .link_loss(0.05)
+            .schedule(100, Fault::KillMm { mm: MmId(2) })
+            .retry(RetryPolicy::for_depth(6));
+        let mut mask = plan.mask_for_copy(0);
+        let _ = mask.roll_link_loss(); // advance the RNG off its seed
+        let mut clock = plan.clock();
+        let _ = clock.due(100);
+        let mut w = WireWriter::new();
+        plan.encode(&mut w);
+        mask.encode(&mut w);
+        clock.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let plan2 = FaultPlan::decode(&mut r).unwrap();
+        let mut mask2 = FaultMask::decode(&mut r).unwrap();
+        let clock2 = FaultClock::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(plan, plan2);
+        for _ in 0..32 {
+            assert_eq!(mask.roll_link_loss(), mask2.roll_link_loss());
+        }
+        assert_eq!(clock.remaining(), clock2.remaining());
+        assert_eq!(clock.next_due(), clock2.next_due());
+    }
 
     #[test]
     fn none_is_healthy_and_inert() {

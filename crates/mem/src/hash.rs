@@ -28,6 +28,7 @@
 //! injective. With an empty dead set the remap layer is structurally
 //! absent and translation is bit-identical to the healthy hasher.
 
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{MemAddr, MmId};
 
 /// First offset of the reserved region that remapped (dead-module) words
@@ -47,6 +48,22 @@ pub enum TranslationMode {
     /// within a group the mix permutes which module each word lands on.
     #[default]
     Hashed,
+}
+
+impl Wire for TranslationMode {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Self::Interleaved => 0,
+            Self::Hashed => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Interleaved,
+            1 => Self::Hashed,
+            _ => return Err(WireError::Invalid("translation mode tag")),
+        })
+    }
 }
 
 /// Translates flat virtual word addresses to physical [`MemAddr`]s.

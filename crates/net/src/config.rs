@@ -1,5 +1,7 @@
 //! Network configuration.
 
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
+
 /// How a switch resolves two requests wanting the same output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SwitchPolicy {
@@ -14,6 +16,24 @@ pub enum SwitchPolicy {
     /// no queue — a request arriving at a busy output is killed and must be
     /// retried by the PE, which limits bandwidth to `O(N / log N)`.
     DropOnConflict,
+}
+
+impl Wire for SwitchPolicy {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Self::QueuedCombining => 0,
+            Self::QueuedNoCombine => 1,
+            Self::DropOnConflict => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::QueuedCombining,
+            1 => Self::QueuedNoCombine,
+            2 => Self::DropOnConflict,
+            _ => return Err(WireError::Invalid("switch-policy tag")),
+        })
+    }
 }
 
 /// How [`crate::omega::OmegaNetwork`] iterates switches each cycle.
@@ -31,6 +51,22 @@ pub enum SweepMode {
     /// Always scan every switch of every stage — the seed behaviour,
     /// kept as the parity reference and for threshold benchmarking.
     Dense,
+}
+
+impl Wire for SweepMode {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Self::Sparse => 0,
+            Self::Dense => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Sparse,
+            1 => Self::Dense,
+            _ => return Err(WireError::Invalid("sweep-mode tag")),
+        })
+    }
 }
 
 /// Static parameters of one Omega network.
@@ -65,6 +101,31 @@ pub struct NetConfig {
     pub data_packets: u8,
     /// Packets in a dataless message (§4.2 uses 1).
     pub ctl_packets: u8,
+}
+
+impl Wire for NetConfig {
+    fn encode(&self, w: &mut WireWriter) {
+        w.usize(self.pes);
+        w.usize(self.k);
+        w.usize(self.request_queue_packets);
+        w.usize(self.reply_queue_packets);
+        w.usize(self.wait_entries);
+        self.policy.encode(w);
+        w.u8(self.data_packets);
+        w.u8(self.ctl_packets);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            pes: r.usize()?,
+            k: r.usize()?,
+            request_queue_packets: r.usize()?,
+            reply_queue_packets: r.usize()?,
+            wait_entries: r.usize()?,
+            policy: SwitchPolicy::decode(r)?,
+            data_packets: r.u8()?,
+            ctl_packets: r.u8()?,
+        })
+    }
 }
 
 impl NetConfig {

@@ -13,6 +13,7 @@
 //! data (a load request, a store acknowledgement) is **one** packet; a
 //! message with a data word is **three** packets.
 
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{Cycle, InlineVec, MemAddr, PeId, Value};
 
 /// The folded-id list of a [`Message`].
@@ -30,6 +31,15 @@ pub type FoldedIds = InlineVec<MsgId, 4>;
 /// is regenerated on the reply spawned during decombining.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
+
+impl Wire for MsgId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self(r.u64()?))
+    }
+}
 
 /// The associative operators accepted by fetch-and-phi (§2.4).
 ///
@@ -93,6 +103,32 @@ impl PhiOp {
     }
 }
 
+impl Wire for PhiOp {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Self::Add => 0,
+            Self::And => 1,
+            Self::Or => 2,
+            Self::Xor => 3,
+            Self::Max => 4,
+            Self::Min => 5,
+            Self::Second => 6,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Add,
+            1 => Self::And,
+            2 => Self::Or,
+            3 => Self::Xor,
+            4 => Self::Max,
+            5 => Self::Min,
+            6 => Self::Second,
+            _ => return Err(WireError::Invalid("phi-op tag")),
+        })
+    }
+}
+
 /// The function indicator of a memory request (§3.3: "load, store, or
 /// fetch-and-add", generalized to fetch-and-phi).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +159,27 @@ impl MsgKind {
     #[must_use]
     pub fn reply_carries_data(self) -> bool {
         !matches!(self, MsgKind::Store)
+    }
+}
+
+impl Wire for MsgKind {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Self::Load => w.u8(0),
+            Self::Store => w.u8(1),
+            Self::FetchPhi(op) => {
+                w.u8(2);
+                op.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Load,
+            1 => Self::Store,
+            2 => Self::FetchPhi(PhiOp::decode(r)?),
+            _ => return Err(WireError::Invalid("msg-kind tag")),
+        })
     }
 }
 
@@ -212,6 +269,33 @@ impl Message {
     }
 }
 
+impl Wire for Message {
+    fn encode(&self, w: &mut WireWriter) {
+        self.id.encode(w);
+        self.kind.encode(w);
+        self.addr.encode(w);
+        w.i64(self.value);
+        self.src.encode(w);
+        w.u64(self.issued_at);
+        w.usize(self.amalgam);
+        w.u32(self.attempt);
+        self.folded.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            id: MsgId::decode(r)?,
+            kind: MsgKind::decode(r)?,
+            addr: MemAddr::decode(r)?,
+            value: r.i64()?,
+            src: PeId::decode(r)?,
+            issued_at: r.u64()?,
+            amalgam: r.usize()?,
+            attempt: r.u32()?,
+            folded: FoldedIds::decode(r)?,
+        })
+    }
+}
+
 /// What a reply delivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplyKind {
@@ -245,6 +329,49 @@ pub struct Reply {
     /// Which attempt of the request this reply answers (copied from the
     /// request; lets the PNI/machine pair replies with retried issues).
     pub attempt: u32,
+}
+
+impl Wire for ReplyKind {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Self::Value => 0,
+            Self::Ack => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Self::Value,
+            1 => Self::Ack,
+            _ => return Err(WireError::Invalid("reply-kind tag")),
+        })
+    }
+}
+
+impl Wire for Reply {
+    fn encode(&self, w: &mut WireWriter) {
+        self.id.encode(w);
+        self.dst.encode(w);
+        self.addr.encode(w);
+        w.i64(self.value);
+        self.kind.encode(w);
+        w.u64(self.request_issued_at);
+        w.u64(self.mm_injected_at);
+        w.usize(self.amalgam);
+        w.u32(self.attempt);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            id: MsgId::decode(r)?,
+            dst: PeId::decode(r)?,
+            addr: MemAddr::decode(r)?,
+            value: r.i64()?,
+            kind: ReplyKind::decode(r)?,
+            request_issued_at: r.u64()?,
+            mm_injected_at: r.u64()?,
+            amalgam: r.usize()?,
+            attempt: r.u32()?,
+        })
+    }
 }
 
 impl Reply {

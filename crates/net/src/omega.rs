@@ -15,7 +15,7 @@
 //!   [`crate::SwitchPolicy::DropOnConflict`], which kills the request
 //!   instead.
 //!
-//! Each call to [`OmegaNetwork::cycle`] performs one sweep in each
+//! Each call to [`OmegaNetwork::cycle_into`] performs one sweep in each
 //! direction, processing stages sink-first so that a message moves at most
 //! one hop per cycle while freed space propagates without extra dead
 //! cycles.
@@ -35,6 +35,7 @@ use crate::stats::NetStats;
 use crate::switch::{AcceptOutcome, Switch};
 use ultra_faults::FaultMask;
 use ultra_obs::HeatmapSnapshot;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{Cycle, WorkerPool};
 
 /// Occupancy (in percent of a stage's switches) above which
@@ -47,7 +48,7 @@ use ultra_sim::{Cycle, WorkerPool};
 const DENSE_FALLBACK_PERCENT: usize = 75;
 
 /// Everything that emerged from the network during one cycle.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkEvents {
     /// Requests whose tail arrived at their MNI this cycle.
     pub requests_at_mm: Vec<Message>,
@@ -73,6 +74,45 @@ impl NetworkEvents {
         self.replies_at_pe.clear();
         self.dropped.clear();
     }
+}
+
+impl Wire for NetworkEvents {
+    fn encode(&self, w: &mut WireWriter) {
+        self.requests_at_mm.encode(w);
+        self.replies_at_pe.encode(w);
+        self.dropped.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            requests_at_mm: Vec::decode(r)?,
+            replies_at_pe: Vec::decode(r)?,
+            dropped: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Non-panicking counterpart of [`NetConfig::validate`] for decoding
+/// untrusted snapshot bytes.
+fn check_cfg(cfg: &NetConfig) -> Result<(), WireError> {
+    if cfg.k < 2 {
+        return Err(WireError::Invalid("switch arity below 2"));
+    }
+    let mut p = 1usize;
+    while p < cfg.pes {
+        p = p
+            .checked_mul(cfg.k)
+            .ok_or(WireError::Invalid("pe count overflows"))?;
+    }
+    if p != cfg.pes || cfg.pes == 0 {
+        return Err(WireError::Invalid("pe count not a power of k"));
+    }
+    if cfg.data_packets == 0 || cfg.ctl_packets == 0 {
+        return Err(WireError::Invalid("zero-length packet config"));
+    }
+    if (cfg.request_queue_packets as u64) < u64::from(cfg.data_packets) {
+        return Err(WireError::Invalid("request queue below one data message"));
+    }
+    Ok(())
 }
 
 /// Which half of the fabric a sweep advances.
@@ -373,22 +413,10 @@ impl OmegaNetwork {
         Ok(())
     }
 
-    /// Advances the whole fabric by one switch cycle and returns whatever
-    /// emerged.
-    ///
-    /// Allocates a fresh [`NetworkEvents`] per call; use
-    /// [`OmegaNetwork::cycle_into`] with a reusable buffer instead.
-    #[deprecated(note = "allocates per call; use cycle_into with a reusable NetworkEvents buffer")]
-    pub fn cycle(&mut self, now: Cycle) -> NetworkEvents {
-        let mut events = NetworkEvents::default();
-        self.cycle_into(now, &mut events);
-        events
-    }
-
     /// Advances the whole fabric by one switch cycle, writing whatever
     /// emerged into the caller-supplied `events` buffer (cleared first).
-    /// Behaviourally identical to [`OmegaNetwork::cycle`] but free of
-    /// per-cycle allocation once the buffer's capacity has warmed up.
+    /// Free of per-cycle allocation once the buffer's capacity has warmed
+    /// up.
     pub fn cycle_into(&mut self, now: Cycle, events: &mut NetworkEvents) {
         events.clear();
         events.dropped.append(&mut self.pending_drops);
@@ -486,6 +514,83 @@ impl OmegaNetwork {
             }
         }
         Ok(())
+    }
+
+    /// Serializes the network's full dynamic state (switch queues, wait
+    /// buffers, link timing, in-flight egress, statistics, fault mask).
+    /// Routing tables and active sets are not written: they are re-derived
+    /// from the config and from queue occupancy on decode.
+    pub fn encode_state(&self, w: &mut WireWriter) {
+        self.cfg.encode(w);
+        w.usize(self.stages.len());
+        for row in &self.stages {
+            w.usize(row.len());
+            for sw in row {
+                sw.encode_state(w);
+            }
+        }
+        self.sweep.encode(w);
+        self.pe_link_free.encode(w);
+        self.mm_link_free.encode(w);
+        self.fwd_egress.encode(w);
+        self.rev_egress.encode(w);
+        self.pending_drops.encode(w);
+        w.u64(self.next_id);
+        self.stats.encode(w);
+        self.mask.encode(w);
+    }
+
+    /// Rebuilds a network from [`OmegaNetwork::encode_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the bytes are truncated, malformed, or
+    /// internally inconsistent (e.g. a stage count disagreeing with the
+    /// embedded configuration).
+    pub fn decode_state(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let cfg = NetConfig::decode(r)?;
+        check_cfg(&cfg)?;
+        let mut net = OmegaNetwork::new(cfg);
+        let n_stages = r.seq_len()?;
+        if n_stages != net.routes.stages() {
+            return Err(WireError::Invalid("stage count mismatch"));
+        }
+        for s in 0..n_stages {
+            let row_len = r.seq_len()?;
+            if row_len != net.routes.switches_per_stage() {
+                return Err(WireError::Invalid("stage width mismatch"));
+            }
+            for i in 0..row_len {
+                let sw = Switch::decode_state(r, &net.cfg)?;
+                if sw.stage() != s || sw.index() != i {
+                    return Err(WireError::Invalid("switch out of position"));
+                }
+                // Re-derive active-set membership from queue occupancy.
+                if sw.has_forward_traffic() {
+                    net.active_fwd[s].insert(i);
+                }
+                if sw.has_reverse_traffic() {
+                    net.active_rev[s].insert(i);
+                }
+                net.stages[s][i] = sw;
+            }
+        }
+        net.sweep = SweepMode::decode(r)?;
+        net.pe_link_free = Vec::decode(r)?;
+        net.mm_link_free = Vec::decode(r)?;
+        if net.pe_link_free.len() != net.cfg.pes || net.mm_link_free.len() != net.cfg.pes {
+            return Err(WireError::Invalid("link-timing vector length mismatch"));
+        }
+        net.fwd_egress = Vec::decode(r)?;
+        net.rev_egress = Vec::decode(r)?;
+        net.pending_drops = Vec::decode(r)?;
+        net.next_id = r.u64()?;
+        net.stats = NetStats::decode(r)?;
+        if net.stats.combines_by_stage.len() != n_stages {
+            return Err(WireError::Invalid("per-stage counter length mismatch"));
+        }
+        net.mask = FaultMask::decode(r)?;
+        Ok(net)
     }
 
     /// Forward sweep, MM side first so freed space propagates upstream
@@ -819,25 +924,6 @@ impl ReplicatedOmega {
         }
     }
 
-    /// Advances every copy one cycle; events are tagged with the copy that
-    /// produced them.
-    ///
-    /// Allocates fresh buffers per call; use
-    /// [`ReplicatedOmega::cycle_inplace`] + [`ReplicatedOmega::events_mut`]
-    /// with the lanes' pooled buffers instead.
-    #[deprecated(note = "allocates per call; use cycle_inplace + events_mut")]
-    pub fn cycle(&mut self, now: Cycle) -> Vec<(usize, NetworkEvents)> {
-        self.lanes
-            .iter_mut()
-            .enumerate()
-            .map(|(i, l)| {
-                let mut events = NetworkEvents::default();
-                l.net.cycle_into(now, &mut events);
-                (i, events)
-            })
-            .collect()
-    }
-
     /// Advances every copy one cycle into its lane's pooled event buffer,
     /// fanning the independent copies out over `pool`'s worker threads.
     /// Results land in fixed lane order regardless of the pool width, so
@@ -890,6 +976,54 @@ impl ReplicatedOmega {
             .sum()
     }
 
+    /// Serializes every copy's state plus the round-robin cursors and
+    /// failover count.
+    pub fn encode_state(&self, w: &mut WireWriter) {
+        w.usize(self.lanes.len());
+        for lane in &self.lanes {
+            lane.net.encode_state(w);
+            // Pooled event buffers are drained every machine cycle, but
+            // serializing them costs a few bytes and removes any doubt.
+            lane.events.encode(w);
+        }
+        self.cursor.encode(w);
+        w.u64(self.failovers);
+    }
+
+    /// Rebuilds the replicated network from
+    /// [`ReplicatedOmega::encode_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the bytes are truncated, malformed, or
+    /// internally inconsistent.
+    pub fn decode_state(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let d = r.seq_len()?;
+        if d == 0 {
+            return Err(WireError::Invalid("zero network copies"));
+        }
+        let mut lanes = Vec::with_capacity(d);
+        for _ in 0..d {
+            lanes.push(CopyLane {
+                net: OmegaNetwork::decode_state(r)?,
+                events: NetworkEvents::decode(r)?,
+            });
+        }
+        let pes = lanes[0].net.cfg().pes;
+        if lanes.iter().any(|l| l.net.cfg().pes != pes) {
+            return Err(WireError::Invalid("copies disagree on pe count"));
+        }
+        let cursor: Vec<usize> = Vec::decode(r)?;
+        if cursor.len() != pes || cursor.iter().any(|&c| c >= d) {
+            return Err(WireError::Invalid("round-robin cursor out of range"));
+        }
+        Ok(Self {
+            lanes,
+            cursor,
+            failovers: r.u64()?,
+        })
+    }
+
     /// The hot-spot heatmap merged across the `d` copies: combine counts
     /// and wait occupancy sum per switch position, queue high-water marks
     /// take the per-position maximum.
@@ -909,7 +1043,7 @@ mod tests {
     use crate::message::{MsgKind, ReplyKind};
     use ultra_sim::{MemAddr, MmId, PeId, Value};
 
-    /// Non-deprecated stand-in for the old allocating `cycle` in tests.
+    /// Advances `net` one cycle into a fresh event buffer.
     fn cyc(net: &mut OmegaNetwork, now: Cycle) -> NetworkEvents {
         let mut events = NetworkEvents::default();
         net.cycle_into(now, &mut events);
@@ -1260,6 +1394,71 @@ mod tests {
         assert!(lost > 0, "p = 0.5 must lose some of 20");
         assert!(delivered > 0, "p = 0.5 must deliver some of 20");
         assert_eq!((delivered, lost), run(7), "same seed, same losses");
+    }
+
+    #[test]
+    fn replicated_state_round_trips_through_wire() {
+        // Build a replicated network with traffic mid-flight (queues,
+        // egress links, wait buffers all non-empty), snapshot it, and check
+        // that the decoded twin is byte-identical and behaves identically.
+        let mut rep = ReplicatedOmega::new(NetConfig::small(16), 2);
+        let mut id = 0u64;
+        for pe in 0..16 {
+            id += 1;
+            let msg = Message::request(
+                MsgId(id),
+                MsgKind::fetch_add(),
+                MemAddr::new(MmId(6), 0),
+                1,
+                PeId(pe),
+                0,
+            );
+            let _ = rep.try_inject_request(msg, 0);
+        }
+        let pool = WorkerPool::new(1);
+        for now in 0..3 {
+            rep.cycle_inplace(now, &pool);
+        }
+
+        let mut w = WireWriter::new();
+        rep.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut twin = ReplicatedOmega::decode_state(&mut r).expect("decode");
+        assert!(r.is_empty(), "decode consumed every byte");
+
+        let mut w2 = WireWriter::new();
+        twin.encode_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "re-encode is byte-identical");
+
+        // Both instances must produce the same event stream from here on.
+        for now in 3..40 {
+            rep.cycle_inplace(now, &pool);
+            twin.cycle_inplace(now, &pool);
+            for i in 0..rep.copies() {
+                assert_eq!(rep.events_mut(i).clone(), {
+                    let ev = twin.events_mut(i);
+                    ev.clone()
+                });
+            }
+        }
+        assert_eq!(
+            rep.total_stat(|s| s.combines.get()),
+            twin.total_stat(|s| s.combines.get())
+        );
+    }
+
+    #[test]
+    fn corrupt_network_snapshot_is_an_error_not_a_panic() {
+        let rep = ReplicatedOmega::new(NetConfig::small(8), 1);
+        let mut w = WireWriter::new();
+        rep.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation at every prefix length must error cleanly.
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(ReplicatedOmega::decode_state(&mut r).is_err());
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! ([`crate::message::Message`]) and replies ([`crate::message::Reply`]).
 
 use std::collections::VecDeque;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::Cycle;
 
 /// A queued message plus its bookkeeping.
@@ -197,6 +198,47 @@ impl<T> OutQueue<T> {
     #[must_use]
     pub fn link_free_at(&self) -> Cycle {
         self.link_free_at
+    }
+}
+
+impl<T: Wire> Wire for Slot<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        self.item.encode(w);
+        w.u64(self.head_arrival);
+        w.bool(self.combined_here);
+        w.u8(self.packets);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            item: T::decode(r)?,
+            head_arrival: r.u64()?,
+            combined_here: r.bool()?,
+            packets: r.u8()?,
+        })
+    }
+}
+
+impl<T: Wire> Wire for OutQueue<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        // `packets_used` is derivable from the slots; capacity is part of
+        // the static config, but a snapshot must restore it because combines
+        // may transiently exceed it (see `resize_slot`) and the analytic
+        // infinite-queue case uses `usize::MAX`.
+        self.entries.encode(w);
+        w.usize(self.max_packets_used);
+        w.usize(self.capacity_packets);
+        w.u64(self.link_free_at);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let entries: VecDeque<Slot<T>> = VecDeque::decode(r)?;
+        let packets_used = entries.iter().map(|s| s.packets as usize).sum();
+        Ok(Self {
+            entries,
+            packets_used,
+            max_packets_used: r.usize()?,
+            capacity_packets: r.usize()?,
+            link_free_at: r.u64()?,
+        })
     }
 }
 

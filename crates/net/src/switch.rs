@@ -27,6 +27,7 @@ use crate::message::{Message, MsgId, Reply};
 use crate::queue::OutQueue;
 use crate::route::RouteTables;
 use crate::stats::NetStats;
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::Cycle;
 
 /// What became of a request offered to a switch.
@@ -190,6 +191,38 @@ impl Switch {
             .map(super::queue::OutQueue::max_packets_used)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Serializes the switch's dynamic state (queues, wait buffer, combine
+    /// count). Static parameters (capacities, policy, packet lengths) are
+    /// not written — they are re-derived from the [`NetConfig`] on decode.
+    pub fn encode_state(&self, w: &mut WireWriter) {
+        w.usize(self.stage);
+        w.usize(self.index);
+        self.to_mm.encode(w);
+        self.to_pe.encode(w);
+        self.wait.encode(w);
+        w.u64(self.combines);
+    }
+
+    /// Rebuilds a switch from [`Switch::encode_state`] bytes plus the
+    /// network configuration it was created under.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the bytes are truncated or malformed.
+    pub fn decode_state(r: &mut WireReader<'_>, cfg: &NetConfig) -> Result<Self, WireError> {
+        let stage = r.usize()?;
+        let index = r.usize()?;
+        let mut sw = Switch::new(stage, index, cfg);
+        sw.to_mm = Vec::decode(r)?;
+        sw.to_pe = Vec::decode(r)?;
+        if sw.to_mm.len() != cfg.k || sw.to_pe.len() != cfg.k {
+            return Err(WireError::Invalid("switch port count mismatch"));
+        }
+        sw.wait = HashMap::decode(r)?;
+        sw.combines = r.u64()?;
+        Ok(sw)
     }
 
     fn packets_of(&self, msg: &Message) -> u8 {

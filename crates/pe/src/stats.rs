@@ -5,6 +5,7 @@
 //! references per instruction, and shared references per instruction. All
 //! of those derive from the counters kept here.
 
+use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
 use ultra_sim::{Counter, Cycle, Histogram};
 
 /// Counters for one PE's run.
@@ -28,6 +29,31 @@ pub struct PeStats {
     /// Of the idle cycles, those spent waiting at barriers — Table 2's
     /// `W(P,N)` as opposed to Table 1's memory-latency idling.
     pub barrier_wait_cycles: Counter,
+}
+
+impl Wire for PeStats {
+    fn encode(&self, w: &mut WireWriter) {
+        self.instructions.encode(w);
+        self.idle_cycles.encode(w);
+        self.private_refs.encode(w);
+        self.shared_refs.encode(w);
+        self.cm_loads.encode(w);
+        self.cm_access.encode(w);
+        w.u64(self.total_cycles);
+        self.barrier_wait_cycles.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            instructions: Counter::decode(r)?,
+            idle_cycles: Counter::decode(r)?,
+            private_refs: Counter::decode(r)?,
+            shared_refs: Counter::decode(r)?,
+            cm_loads: Counter::decode(r)?,
+            cm_access: Histogram::decode(r)?,
+            total_cycles: r.u64()?,
+            barrier_wait_cycles: Counter::decode(r)?,
+        })
+    }
 }
 
 impl PeStats {

@@ -1,0 +1,145 @@
+//! The snapshot prefix cache.
+//!
+//! Sweep batches repeat a prefix: many jobs share a machine shape, seed
+//! and workload and differ only in how far (or with what telemetry) they
+//! run. Each executing job deposits its checkpoints here keyed by
+//! [`crate::spec::JobSpec::prefix_key`]; a later job with the same key
+//! restores the latest checkpoint at or below its own cycle target and
+//! simulates only the suffix. Snapshot restore is bit-identical to
+//! having run the prefix (the core snapshot contract), so cached resumes
+//! change wall-clock only, never results.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ultra_sim::Cycle;
+
+/// Checkpoints kept per prefix key; the earliest is evicted first (late
+/// checkpoints cover more of any future job's prefix).
+const PER_KEY_CAP: usize = 8;
+
+/// Checkpoints of one prefix, indexed by the cycle they were taken at.
+type Checkpoints = BTreeMap<Cycle, Arc<Vec<u8>>>;
+
+/// Shared snapshot store (see the module docs). Cheap to clone handles
+/// via [`Arc`]; interior mutability throughout.
+#[derive(Default)]
+pub struct SnapshotCache {
+    by_key: Mutex<HashMap<String, Checkpoints>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a checkpoint of `key` taken at `cycle`.
+    pub fn insert(&self, key: &str, cycle: Cycle, snapshot: Vec<u8>) {
+        let mut map = self.by_key.lock().expect("cache poisoned");
+        let slots = map.entry(key.to_owned()).or_default();
+        slots.insert(cycle, Arc::new(snapshot));
+        while slots.len() > PER_KEY_CAP {
+            let earliest = *slots.keys().next().expect("non-empty");
+            slots.remove(&earliest);
+        }
+    }
+
+    /// The latest checkpoint of `key` at or below `cycle`, if any.
+    /// Counts a hit or a miss.
+    #[must_use]
+    pub fn best_at_or_below(&self, key: &str, cycle: Cycle) -> Option<(Cycle, Arc<Vec<u8>>)> {
+        let map = self.by_key.lock().expect("cache poisoned");
+        let found = map.get(key).and_then(|slots| {
+            slots
+                .range(..=cycle)
+                .next_back()
+                .map(|(&at, snap)| (at, Arc::clone(snap)))
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Lookups that found a usable checkpoint.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total checkpoints currently held, across all keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_key
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .map(BTreeMap::len)
+            .sum()
+    }
+
+    /// Whether the cache holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_the_latest_checkpoint_at_or_below_the_target() {
+        let cache = SnapshotCache::new();
+        cache.insert("k", 100, vec![1]);
+        cache.insert("k", 300, vec![3]);
+        cache.insert("k", 200, vec![2]);
+        let (at, snap) = cache.best_at_or_below("k", 250).unwrap();
+        assert_eq!((at, snap[0]), (200, 2));
+        let (at, _) = cache.best_at_or_below("k", 300).unwrap();
+        assert_eq!(at, 300, "exact cycle counts as at-or-below");
+        assert!(cache.best_at_or_below("k", 50).is_none());
+        assert!(cache.best_at_or_below("other", 1000).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn evicts_earliest_checkpoints_beyond_the_per_key_cap() {
+        let cache = SnapshotCache::new();
+        for cycle in 1..=(PER_KEY_CAP as Cycle + 3) {
+            cache.insert("k", cycle * 10, vec![cycle as u8]);
+        }
+        assert_eq!(cache.len(), PER_KEY_CAP);
+        assert!(
+            cache.best_at_or_below("k", 30).is_none(),
+            "earliest checkpoints were evicted"
+        );
+        let (at, _) = cache
+            .best_at_or_below("k", Cycle::MAX)
+            .expect("latest survives");
+        assert_eq!(at, (PER_KEY_CAP as Cycle + 3) * 10);
+    }
+
+    #[test]
+    fn keys_are_fully_independent() {
+        let cache = SnapshotCache::new();
+        cache.insert("a", 10, vec![1]);
+        cache.insert("b", 10, vec![2]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.best_at_or_below("a", 10).unwrap().1[0], 1);
+        assert_eq!(cache.best_at_or_below("b", 10).unwrap().1[0], 2);
+    }
+}

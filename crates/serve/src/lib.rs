@@ -1,0 +1,317 @@
+//! # ultra-serve — the simulator as a resident service
+//!
+//! A multi-threaded job server over the `ultracomputer` machine: clients
+//! submit simulation requests (machine shape + workload + fault plan +
+//! seed + cycle budget) as newline-delimited JSON — from a batch file or
+//! over a TCP socket — and receive one JSON result line per job,
+//! rendered with the same hand-rolled serializer the bench harness uses.
+//!
+//! The server owns three pieces of machinery:
+//!
+//! * a bounded **priority queue** ([`queue::JobQueue`]) feeding a worker
+//!   pool, with per-job cancellation and wall-clock timeouts polled at
+//!   checkpoint boundaries;
+//! * a **snapshot prefix cache** ([`cache::SnapshotCache`]): every job
+//!   checkpoints its machine at a configurable cadence via
+//!   [`Machine::snapshot`], and a later job whose
+//!   [`spec::JobSpec::prefix_key`] matches restores the latest
+//!   checkpoint at or below its own cycle target instead of re-simulating
+//!   the shared prefix — bit-identical by the core snapshot contract;
+//! * the **workload registry** ([`spec::Workload`]): deterministic
+//!   programs parameterized by `(pes, rounds)`.
+//!
+//! Results carry a parity digest (FNV-1a of the machine's canonical
+//! parity string), so "served run == one-shot run" is a one-field
+//! comparison; the integration tests hold the whole result line to that
+//! standard.
+
+pub mod cache;
+pub mod json;
+pub mod queue;
+pub mod spec;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ultra_bench::json::{heatmap_json, JsonObject};
+use ultra_sim::wire::fnv1a;
+use ultracomputer::machine::Machine;
+use ultracomputer::{EngineTuning, MachineReport};
+
+use crate::cache::SnapshotCache;
+use crate::queue::JobQueue;
+use crate::spec::JobSpec;
+
+/// Telemetry ring capacity (windows) for jobs that request telemetry.
+const TELEMETRY_CAPACITY: usize = 4096;
+
+/// How one job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The workload ran to completion within the cycle budget.
+    Completed,
+    /// The cycle budget elapsed first; the final checkpoint stays in the
+    /// prefix cache for a longer-budget job to resume.
+    BudgetExhausted,
+    /// The job was cancelled; partial progress is reported.
+    Cancelled,
+    /// The wall-clock timeout fired between checkpoints.
+    Timeout,
+}
+
+impl JobStatus {
+    /// The protocol string for this status.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Completed => "completed",
+            Self::BudgetExhausted => "budget-exhausted",
+            Self::Cancelled => "cancelled",
+            Self::Timeout => "timeout",
+        }
+    }
+}
+
+/// One finished job: the NDJSON result line plus server-side log lines
+/// (cache hits, rejections) that belong on stderr, not in the stream.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's id, echoed from the spec.
+    pub id: String,
+    /// The single-line JSON result.
+    pub line: String,
+    /// Human-readable log lines about how the job executed.
+    pub log: Vec<String>,
+}
+
+/// The resident service: cache + cancellation registry. One instance
+/// outlives many batches; the prefix cache persists across them.
+#[derive(Default)]
+pub struct Server {
+    cache: SnapshotCache,
+    cancels: Mutex<HashMap<String, Arc<AtomicBool>>>,
+}
+
+impl Server {
+    /// A fresh server with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The snapshot prefix cache (for stats and tests).
+    #[must_use]
+    pub fn cache(&self) -> &SnapshotCache {
+        &self.cache
+    }
+
+    /// Requests cancellation of job `id` — queued or running. A job
+    /// observes the flag at its next checkpoint boundary.
+    pub fn cancel(&self, id: &str) {
+        self.cancel_flag(id).store(true, Ordering::Relaxed);
+    }
+
+    fn cancel_flag(&self, id: &str) -> Arc<AtomicBool> {
+        Arc::clone(
+            self.cancels
+                .lock()
+                .expect("cancel registry poisoned")
+                .entry(id.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// Executes one job to its terminal status, synchronously.
+    ///
+    /// The execution loop is slice-based: `run_for(checkpoint_every)`
+    /// until the workload completes or the budget is spent, depositing a
+    /// snapshot in the prefix cache after every slice (checkpoint-on-
+    /// budget comes for free: the final checkpoint of a budget-exhausted
+    /// job *is* the resume point for the next, longer job). Cancellation
+    /// and timeout are polled between slices.
+    pub fn run_job(&self, spec: &JobSpec) -> JobOutcome {
+        let started = Instant::now();
+        let cancel = self.cancel_flag(&spec.id);
+        let key = spec.prefix_key();
+        let mut log = Vec::new();
+
+        // Resume from the best cached prefix, unless this job wants
+        // telemetry (a snapshot carries no telemetry history, so a
+        // telemetry series must start from cycle 0 to be complete).
+        let mut machine = None;
+        if spec.telemetry_window.is_none() {
+            if let Some((cycle, snap)) = self.cache.best_at_or_below(&key, spec.cycles) {
+                let tuning = EngineTuning {
+                    threads: Some(spec.threads),
+                    ..EngineTuning::default()
+                };
+                match Machine::restore_tuned(&snap, tuning) {
+                    Ok(m) => {
+                        log.push(format!(
+                            "cache hit: job `{}` resumed from cycle {cycle}",
+                            spec.id
+                        ));
+                        machine = Some(m);
+                    }
+                    Err(e) => log.push(format!(
+                        "cache snapshot for job `{}` rejected ({e}); running from cycle 0",
+                        spec.id
+                    )),
+                }
+            }
+        }
+        let mut m = machine.unwrap_or_else(|| spec.machine());
+        if let Some(window) = spec.telemetry_window {
+            m.enable_telemetry(window, TELEMETRY_CAPACITY);
+        }
+
+        let mut status = JobStatus::BudgetExhausted;
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                status = JobStatus::Cancelled;
+                break;
+            }
+            if let Some(ms) = spec.timeout_ms {
+                if started.elapsed() >= Duration::from_millis(ms) {
+                    status = JobStatus::Timeout;
+                    break;
+                }
+            }
+            let remaining = spec.cycles.saturating_sub(m.now());
+            if remaining == 0 {
+                break;
+            }
+            let outcome = m.run_for(remaining.min(spec.checkpoint_every));
+            self.cache.insert(&key, m.now(), m.snapshot());
+            if outcome.completed {
+                status = JobStatus::Completed;
+                break;
+            }
+        }
+        JobOutcome {
+            id: spec.id.clone(),
+            line: render_result(spec, &m, status),
+            log,
+        }
+    }
+
+    /// Runs a batch: enqueues every spec into a bounded priority queue,
+    /// fans out over `workers` threads, and streams each [`JobOutcome`]
+    /// to `on_result` in completion order. Returns the number of jobs
+    /// executed.
+    pub fn run_batch<F: FnMut(JobOutcome)>(
+        &self,
+        specs: Vec<JobSpec>,
+        workers: usize,
+        queue_capacity: usize,
+        mut on_result: F,
+    ) -> usize {
+        let queue = JobQueue::new(queue_capacity.max(1));
+        let (tx, rx) = mpsc::channel();
+        let mut done = 0;
+        thread::scope(|s| {
+            for _ in 0..workers.max(1) {
+                let tx = tx.clone();
+                let queue = &queue;
+                s.spawn(move || {
+                    while let Some(spec) = queue.pop() {
+                        let spec: JobSpec = spec;
+                        if tx.send(self.run_job(&spec)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for spec in specs {
+                let priority = spec.priority;
+                if !queue.push(priority, spec) {
+                    break;
+                }
+            }
+            queue.close();
+            for outcome in rx {
+                done += 1;
+                on_result(outcome);
+            }
+        });
+        done
+    }
+}
+
+/// Renders one job's NDJSON result line.
+///
+/// Deliberately deterministic: no wall-clock fields and no cache
+/// provenance, so a cached resume renders byte-identically to a fresh
+/// one-shot run of the same spec — the service's core correctness claim,
+/// asserted by the integration tests. The `parity` field is the FNV-1a
+/// digest of the machine's canonical parity string.
+fn render_result(spec: &JobSpec, m: &Machine, status: JobStatus) -> String {
+    let report = MachineReport::from_machine(m);
+    let digest = fnv1a(report.parity_string().as_bytes());
+    let mut obj = JsonObject::new()
+        .str("id", &spec.id)
+        .str("status", status.as_str())
+        .str("workload", spec.workload.name())
+        .uint("pes", spec.pes as u64)
+        .uint("seed", spec.seed)
+        .uint("cycles", m.now())
+        .uint("fast_forwarded", report.fast_forwarded)
+        .uint("injected", report.net.injected_requests.get())
+        .uint("combines", report.net.combines.get())
+        .uint("drops", report.net.drops.get())
+        .uint("retries", report.faults.retries)
+        .int("shared0", m.read_shared(0))
+        .str("parity", &format!("{digest:016x}"));
+    if spec.telemetry_window.is_some() {
+        obj = obj.raw("telemetry", telemetry_json(m));
+    }
+    obj.render()
+}
+
+/// Renders a protocol-level failure (parse error, invalid spec) as a
+/// result line, so batch output stays one line per input job.
+#[must_use]
+pub fn error_line(id: &str, message: &str) -> String {
+    JsonObject::new()
+        .str("id", id)
+        .str("status", "error")
+        .str("error", message)
+        .render()
+}
+
+/// Renders the machine's telemetry series (and heatmap) as a single-line
+/// JSON object — the NDJSON variant of the bench harness's
+/// `--metrics-out` document.
+fn telemetry_json(m: &Machine) -> String {
+    let series = m.telemetry();
+    let windows: Vec<String> = series
+        .samples()
+        .map(|s| {
+            let mut row = JsonObject::new().uint("start", s.start).uint("len", s.len);
+            for (key, value) in s.counters.fields() {
+                row = row.uint(key, value);
+            }
+            for (key, value) in s.gauges.fields() {
+                row = row.uint(key, value);
+            }
+            row.render()
+        })
+        .collect();
+    let mut totals = JsonObject::new();
+    for (key, value) in series.totals().fields() {
+        totals = totals.uint(key, value);
+    }
+    let mut obj = JsonObject::new()
+        .uint("window", series.window())
+        .uint("dropped_windows", series.dropped())
+        .raw("windows", format!("[{}]", windows.join(", ")))
+        .raw("totals", totals.render());
+    if let Some(heatmap) = m.heatmap() {
+        obj = obj.raw("heatmap", heatmap_json(&heatmap));
+    }
+    obj.render()
+}

@@ -1,0 +1,302 @@
+//! `ultra-serve` — the Ultracomputer simulator as a resident service.
+//!
+//! ```text
+//! ultra-serve --batch jobs.ndjson [--workers N] [--queue-cap N]
+//! ultra-serve --listen 127.0.0.1:7077 [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Both modes speak the same newline-delimited JSON protocol: one object
+//! per line. A job line names a machine and a workload (see
+//! `ultra_serve::spec::JobSpec`); `{"cancel": "<id>"}` cancels a queued
+//! or running job; `{"shutdown": true}` (socket mode) drains the queue
+//! and exits. Results stream back one JSON line per job — to stdout in
+//! batch mode, to the submitting connection in socket mode — and
+//! execution logs (cache hits, rejected snapshots) go to stderr.
+//!
+//! Batch mode exits non-zero if any line failed to parse or validate;
+//! `--batch -` reads the batch from stdin.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use ultra_serve::json::{parse_object, Json};
+use ultra_serve::queue::JobQueue;
+use ultra_serve::spec::JobSpec;
+use ultra_serve::{error_line, JobOutcome, Server};
+
+const DEFAULT_WORKERS: usize = 2;
+const DEFAULT_QUEUE_CAP: usize = 64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ultra-serve --batch <file|-> [--workers N] [--queue-cap N]\n       ultra-serve --listen <addr> [--workers N] [--queue-cap N]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    batch: Option<String>,
+    listen: Option<String>,
+    workers: usize,
+    queue_cap: usize,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        batch: None,
+        listen: None,
+        workers: DEFAULT_WORKERS,
+        queue_cap: DEFAULT_QUEUE_CAP,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--batch" => opts.batch = Some(value(i)),
+            "--listen" => opts.listen = Some(value(i)),
+            "--workers" => {
+                opts.workers = value(i).parse().unwrap_or_else(|_| usage());
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value(i).parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if opts.batch.is_some() == opts.listen.is_some() {
+        usage();
+    }
+    if opts.workers < 1 || opts.queue_cap < 1 {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if let Some(path) = &opts.batch {
+        run_batch_mode(path, opts.workers, opts.queue_cap)
+    } else if let Some(addr) = &opts.listen {
+        run_listen_mode(addr, opts.workers, opts.queue_cap)
+    } else {
+        usage()
+    }
+}
+
+/// What one protocol line meant.
+enum Classified {
+    /// A job to enqueue.
+    Job(JobSpec),
+    /// A blank line, comment, or control line already acted on.
+    Control,
+    /// A `{"shutdown": true}` request (socket mode drains and exits; in
+    /// a batch the end of file is the shutdown, so it is a no-op there).
+    Shutdown,
+}
+
+/// Parses one protocol line, applying `{"cancel": ...}` control lines to
+/// the server immediately. `Err` carries a rendered error result line.
+fn classify_line(server: &Server, line: &str, lineno: usize) -> Result<Classified, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(Classified::Control);
+    }
+    let fallback_id = format!("job-{lineno}");
+    let obj = match parse_object(trimmed) {
+        Ok(obj) => obj,
+        Err(e) => return Err(error_line(&fallback_id, &format!("parse error: {e}"))),
+    };
+    if let Some(target) = obj.get("cancel") {
+        return match target.as_str() {
+            Some(id) => {
+                server.cancel(id);
+                Ok(Classified::Control)
+            }
+            None => Err(error_line(&fallback_id, "field `cancel` must be a job id")),
+        };
+    }
+    if obj.get("shutdown") == Some(&Json::Bool(true)) {
+        return Ok(Classified::Shutdown);
+    }
+    match JobSpec::from_json(&obj, &fallback_id) {
+        Ok(spec) => Ok(Classified::Job(spec)),
+        Err(e) => Err(error_line(&fallback_id, &e)),
+    }
+}
+
+fn run_batch_mode(path: &str, workers: usize, queue_cap: usize) -> ExitCode {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("ultra-serve: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("ultra-serve: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let server = Server::new();
+    let mut specs = Vec::new();
+    let mut had_error = false;
+    for (index, line) in text.lines().enumerate() {
+        match classify_line(&server, line, index + 1) {
+            Ok(Classified::Job(spec)) => specs.push(spec),
+            Ok(Classified::Control | Classified::Shutdown) => {}
+            Err(error) => {
+                println!("{error}");
+                had_error = true;
+            }
+        }
+    }
+
+    let submitted = specs.len();
+    let done = server.run_batch(specs, workers, queue_cap, |outcome| {
+        println!("{}", outcome.line);
+        for entry in &outcome.log {
+            eprintln!("ultra-serve: {entry}");
+        }
+    });
+    eprintln!(
+        "ultra-serve: {done}/{submitted} jobs done; cache: {} hits, {} misses, {} checkpoints",
+        server.cache().hits(),
+        server.cache().misses(),
+        server.cache().len()
+    );
+    if had_error || done != submitted {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One queued unit in socket mode: the job plus the channel back to the
+/// connection that submitted it.
+struct Submission {
+    spec: JobSpec,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+fn run_listen_mode(addr: &str, workers: usize, queue_cap: usize) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("ultra-serve: binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener.local_addr().ok();
+    eprintln!(
+        "ultra-serve: listening on {}",
+        local.map_or_else(|| addr.to_owned(), |a| a.to_string())
+    );
+
+    let server = Arc::new(Server::new());
+    let queue = Arc::new(JobQueue::<Submission>::new(queue_cap));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                while let Some(sub) = queue.pop() {
+                    let outcome = server.run_job(&sub.spec);
+                    for entry in &outcome.log {
+                        eprintln!("ultra-serve: {entry}");
+                    }
+                    // A disconnected client just drops its results.
+                    let _ = sub.reply.send(outcome);
+                }
+            })
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = Arc::clone(&server);
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || handle_connection(stream, &server, &queue, &shutdown, local));
+    }
+
+    queue.close();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    eprintln!("ultra-serve: shut down");
+    ExitCode::SUCCESS
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    server: &Server,
+    queue: &JobQueue<Submission>,
+    shutdown: &AtomicBool,
+    local: Option<std::net::SocketAddr>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    let writer = thread::spawn(move || {
+        let mut out = write_half;
+        for outcome in rx {
+            if writeln!(out, "{}", outcome.line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut lineno = 0;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        lineno += 1;
+        match classify_line(server, &line, lineno) {
+            Ok(Classified::Job(spec)) => {
+                let priority = spec.priority;
+                let submission = Submission {
+                    spec,
+                    reply: tx.clone(),
+                };
+                if !queue.push(priority, submission) {
+                    break;
+                }
+            }
+            Ok(Classified::Control) => {}
+            Ok(Classified::Shutdown) => {
+                // Flag the whole server down, then poke the accept loop
+                // awake with a throwaway connection.
+                shutdown.store(true, Ordering::SeqCst);
+                if let Some(addr) = local {
+                    let _ = TcpStream::connect(addr);
+                }
+                break;
+            }
+            Err(error) => {
+                let _ = tx.send(JobOutcome {
+                    id: String::new(),
+                    line: error,
+                    log: Vec::new(),
+                });
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}

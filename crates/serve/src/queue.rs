@@ -1,0 +1,193 @@
+//! A bounded, blocking priority queue for job dispatch.
+//!
+//! Higher priority pops first; jobs of equal priority pop in submission
+//! order (FIFO). The bound applies backpressure to submitters —
+//! [`JobQueue::push`] blocks while the queue is full — so a flood of
+//! requests cannot balloon memory; a closed queue wakes everyone and
+//! drains without accepting more work.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// One queued item: max-heap on priority, then earliest sequence.
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: bigger priority wins, and among
+        // equals the *smaller* sequence number (earlier submission) must
+        // surface first, so the sequence comparison is reversed.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The bounded, blocking priority queue (see the module docs).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a zero-capacity queue can never accept work");
+        Self {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue was closed.
+    pub fn push(&self, priority: i64, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.heap.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the highest-priority item, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                self.not_full.notify_one();
+                return Some(entry.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// every blocked thread wakes.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(16);
+        q.push(0, "low-a");
+        q.push(5, "high-a");
+        q.push(0, "low-b");
+        q.push(5, "high-b");
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["high-a", "high-b", "low-a", "low-b"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_a_pop_frees_space() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0, 1u32);
+        let pushed = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (q, pushed) = (Arc::clone(&q), Arc::clone(&pushed));
+            thread::spawn(move || {
+                assert!(q.push(0, 2));
+                pushed.store(true, Ordering::SeqCst);
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        assert!(
+            !pushed.load(Ordering::SeqCst),
+            "push must block while the queue is full"
+        );
+        assert_eq!(q.pop(), Some(1));
+        handle.join().unwrap();
+        assert!(pushed.load(Ordering::SeqCst));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_rejects_producers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let handle = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(handle.join().unwrap(), None, "blocked pop observes close");
+        assert!(!q.push(0, 7), "push after close is refused");
+    }
+}

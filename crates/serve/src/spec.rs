@@ -1,0 +1,490 @@
+//! Job specifications: what one simulation request asks for.
+//!
+//! A job is one line of the NDJSON protocol. It names a machine shape
+//! (PEs, network copies, seed, fault plan), a workload from the small
+//! built-in registry, and execution controls (cycle budget, checkpoint
+//! cadence, priority, timeout). Everything that affects *simulation
+//! state* folds into [`JobSpec::prefix_key`] — two jobs with equal keys
+//! walk bit-identical cycle sequences, which is what lets a sweep job
+//! resume from another job's cached snapshot.
+
+use std::collections::BTreeMap;
+
+use ultra_faults::FaultPlan;
+use ultra_sim::Cycle;
+use ultracomputer::machine::{Machine, MachineBuilder};
+use ultracomputer::program::{body, Expr, Op, Program};
+
+use crate::json::Json;
+
+/// Default checkpoint cadence in cycles: snapshots land in the prefix
+/// cache (and cancellation/timeout are polled) every this many cycles.
+pub const DEFAULT_CHECKPOINT_EVERY: Cycle = 4096;
+
+/// Default total cycle budget when a job does not set `"cycles"`.
+pub const DEFAULT_CYCLE_BUDGET: Cycle = 10_000_000;
+
+/// The built-in workload registry.
+///
+/// Each workload is a deterministic function of `(pes, rounds)`, so the
+/// name plus parameters fully identify the instruction streams — that
+/// pair is all the prefix cache needs to key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Every PE fetch-and-adds 1 to one shared counter `rounds` times —
+    /// the §2.2 hot-word idiom, maximal combining.
+    Counter,
+    /// Every PE draws `rounds` tickets from a counter and stores each
+    /// into a private slot — serialization-heavy, network and banks busy.
+    Ticket,
+    /// `rounds` alternations of a fetch-and-add with a machine-assisted
+    /// barrier — the phase structure of the §4.2 scientific codes.
+    Barrier,
+}
+
+impl Workload {
+    /// The registry name used in the protocol.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Ticket => "ticket",
+            Self::Barrier => "barrier",
+        }
+    }
+
+    /// Looks a workload up by protocol name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "counter" => Some(Self::Counter),
+            "ticket" => Some(Self::Ticket),
+            "barrier" => Some(Self::Barrier),
+            _ => None,
+        }
+    }
+
+    /// Builds the per-PE program for this workload.
+    #[must_use]
+    pub fn program(self, rounds: i64) -> Program {
+        let ops = match self {
+            Self::Counter => vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(rounds),
+                    body: body(vec![Op::FetchAdd {
+                        addr: Expr::Const(0),
+                        delta: Expr::Const(1),
+                        dst: None,
+                    }]),
+                },
+                Op::Halt,
+            ],
+            Self::Ticket => vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(rounds),
+                    body: body(vec![
+                        Op::FetchAdd {
+                            addr: Expr::Const(0),
+                            delta: Expr::Const(1),
+                            dst: Some(0),
+                        },
+                        Op::Store {
+                            // Slot base 1024 keeps PE 0's slots clear of
+                            // the counter word at address 0.
+                            addr: Expr::add(
+                                Expr::add(Expr::Const(1024), Expr::mul(Expr::PeIndex, 64)),
+                                Expr::Reg(1),
+                            ),
+                            value: Expr::Reg(0),
+                        },
+                    ]),
+                },
+                Op::Halt,
+            ],
+            Self::Barrier => vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(rounds),
+                    body: body(vec![
+                        Op::FetchAdd {
+                            addr: Expr::Const(0),
+                            delta: Expr::Const(1),
+                            dst: Some(0),
+                        },
+                        Op::Barrier,
+                    ]),
+                },
+                Op::Halt,
+            ],
+        };
+        Program::new(body(ops), vec![])
+    }
+}
+
+/// The fault-plan slice of a job: static faults only, all seeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Memory modules dead at boot.
+    pub dead_mms: Vec<usize>,
+    /// Network copies dead at boot (requires `copies` > the index).
+    pub dead_copies: Vec<usize>,
+    /// Per-link loss probability in [0, 1).
+    pub link_loss: f64,
+    /// Seed for the loss process (and any other stochastic faults).
+    pub fault_seed: u64,
+}
+
+impl FaultSpec {
+    fn none() -> Self {
+        Self {
+            dead_mms: Vec::new(),
+            dead_copies: Vec::new(),
+            link_loss: 0.0,
+            fault_seed: 0,
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.dead_mms.is_empty() && self.dead_copies.is_empty() && self.link_loss == 0.0
+    }
+
+    fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none().seed(self.fault_seed);
+        for &mm in &self.dead_mms {
+            plan = plan.dead_mm(ultra_sim::MmId(mm));
+        }
+        for &copy in &self.dead_copies {
+            plan = plan.dead_copy(copy);
+        }
+        if self.link_loss > 0.0 {
+            plan = plan.link_loss(self.link_loss);
+        }
+        plan
+    }
+}
+
+/// One simulation request, fully validated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job identifier, echoed in the result line and used for
+    /// cancellation. Unique per submission batch by convention.
+    pub id: String,
+    /// PE count (a power of two).
+    pub pes: usize,
+    /// Machine seed (serialization order etc.).
+    pub seed: u64,
+    /// Which registry workload to run.
+    pub workload: Workload,
+    /// Workload size parameter.
+    pub rounds: i64,
+    /// Network copies `d` (1 = single copy).
+    pub copies: usize,
+    /// Engine thread budget for this job's machine (a speed knob — every
+    /// value is bit-identical; the default 1 leaves server-level
+    /// parallelism to the worker pool).
+    pub threads: usize,
+    /// Total cycle budget: the job runs until the workload completes or
+    /// the machine reaches this cycle, whichever is first.
+    pub cycles: Cycle,
+    /// Checkpoint cadence: snapshot (and poll cancellation/timeout)
+    /// every this many cycles.
+    pub checkpoint_every: Cycle,
+    /// Queue priority (higher runs first; FIFO among equals).
+    pub priority: i64,
+    /// Wall-clock timeout in milliseconds, polled between checkpoints.
+    pub timeout_ms: Option<u64>,
+    /// When set, attach cycle-windowed telemetry with this window to the
+    /// result. Telemetry jobs never *resume* from the prefix cache (a
+    /// snapshot carries no telemetry history) but still seed it.
+    pub telemetry_window: Option<u64>,
+    /// Static fault plan.
+    pub faults: FaultSpec,
+}
+
+impl JobSpec {
+    /// A baseline spec for `id` — 8 PEs, counter workload, defaults
+    /// everywhere. Tests and callers override fields directly.
+    #[must_use]
+    pub fn new(id: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            pes: 8,
+            seed: 0x5eed,
+            workload: Workload::Counter,
+            rounds: 4,
+            copies: 1,
+            threads: 1,
+            cycles: DEFAULT_CYCLE_BUDGET,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            priority: 0,
+            timeout_ms: None,
+            telemetry_window: None,
+            faults: FaultSpec::none(),
+        }
+    }
+
+    /// Parses one protocol object into a validated spec. `fallback_id`
+    /// names the job when the line omits `"id"`.
+    pub fn from_json(obj: &BTreeMap<String, Json>, fallback_id: &str) -> Result<Self, String> {
+        let mut spec = Self::new(fallback_id);
+        let uint = |key: &str, v: &Json| {
+            v.as_u64()
+                .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+        };
+        for (key, value) in obj {
+            match key.as_str() {
+                "id" => {
+                    let id = value.as_str().ok_or("field `id` must be a string")?;
+                    if id.is_empty() {
+                        return Err("field `id` must not be empty".into());
+                    }
+                    spec.id = id.to_owned();
+                }
+                "pes" => spec.pes = uint(key, value)? as usize,
+                "seed" => spec.seed = uint(key, value)?,
+                "workload" => {
+                    let name = value.as_str().ok_or("field `workload` must be a string")?;
+                    spec.workload = Workload::by_name(name)
+                        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+                }
+                "rounds" => {
+                    spec.rounds = value
+                        .as_i64()
+                        .filter(|&r| r >= 1)
+                        .ok_or("field `rounds` must be a positive integer")?;
+                }
+                "copies" => spec.copies = uint(key, value)? as usize,
+                "threads" => spec.threads = uint(key, value)? as usize,
+                "cycles" => spec.cycles = uint(key, value)?,
+                "checkpoint_every" => spec.checkpoint_every = uint(key, value)?,
+                "priority" => {
+                    spec.priority = value
+                        .as_i64()
+                        .ok_or("field `priority` must be an integer")?;
+                }
+                "timeout_ms" => spec.timeout_ms = Some(uint(key, value)?),
+                "telemetry_window" => {
+                    let window = uint(key, value)?;
+                    if window == 0 {
+                        return Err("field `telemetry_window` must be positive".into());
+                    }
+                    spec.telemetry_window = Some(window);
+                }
+                "dead_mms" => {
+                    let items = value
+                        .as_array()
+                        .ok_or("field `dead_mms` must be an array")?;
+                    spec.faults.dead_mms = items
+                        .iter()
+                        .map(|v| uint(key, v).map(|m| m as usize))
+                        .collect::<Result<_, _>>()?;
+                }
+                "dead_copies" => {
+                    let items = value
+                        .as_array()
+                        .ok_or("field `dead_copies` must be an array")?;
+                    spec.faults.dead_copies = items
+                        .iter()
+                        .map(|v| uint(key, v).map(|c| c as usize))
+                        .collect::<Result<_, _>>()?;
+                }
+                "link_loss" => {
+                    spec.faults.link_loss = value
+                        .as_f64()
+                        .filter(|p| (0.0..1.0).contains(p))
+                        .ok_or("field `link_loss` must be a probability in [0, 1)")?;
+                }
+                "fault_seed" => spec.faults.fault_seed = uint(key, value)?,
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !self.pes.is_power_of_two() || self.pes < 2 {
+            return Err(format!("pes must be a power of two >= 2, got {}", self.pes));
+        }
+        if self.copies < 1 {
+            return Err("copies must be >= 1".into());
+        }
+        if let Some(&copy) = self.faults.dead_copies.iter().find(|&&c| c >= self.copies) {
+            return Err(format!(
+                "dead copy {copy} out of range (copies={})",
+                self.copies
+            ));
+        }
+        if self.faults.dead_mms.iter().any(|&mm| mm >= self.pes) {
+            return Err(format!("dead MM out of range (pes={})", self.pes));
+        }
+        if self.faults.dead_mms.len() >= self.pes {
+            return Err("cannot kill every memory module".into());
+        }
+        if self.faults.dead_copies.len() >= self.copies {
+            return Err("cannot kill every network copy".into());
+        }
+        if self.threads < 1 {
+            return Err("threads must be >= 1".into());
+        }
+        if self.cycles < 1 {
+            return Err("cycles must be >= 1".into());
+        }
+        if self.checkpoint_every < 1 {
+            return Err("checkpoint_every must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh machine for this job at cycle 0.
+    ///
+    /// `max_cycles` is pinned to `Cycle::MAX` — the job's budget is
+    /// enforced by the server through [`Machine::run_for`] slices, so
+    /// jobs differing only in budget share one config identity (and
+    /// therefore one snapshot-cache prefix).
+    #[must_use]
+    pub fn machine(&self) -> Machine {
+        let mut b = MachineBuilder::new(self.pes)
+            .seed(self.seed)
+            .threads(self.threads)
+            .max_cycles(Cycle::MAX);
+        if self.copies > 1 {
+            b = b.network(self.copies);
+        }
+        if !self.faults.is_none() {
+            b = b.faults(self.faults.plan());
+        }
+        b.build_spmd(&self.workload.program(self.rounds))
+    }
+
+    /// The snapshot-cache key: every field that shapes simulation state,
+    /// and nothing that doesn't. Budget, priority, timeout, telemetry,
+    /// checkpoint cadence, engine threads and the job id are all
+    /// excluded — jobs differing only in those walk bit-identical cycle
+    /// sequences and may share checkpoints.
+    #[must_use]
+    pub fn prefix_key(&self) -> String {
+        format!(
+            "pes={};seed={};workload={};rounds={};copies={};dead_mms={:?};dead_copies={:?};link_loss={};fault_seed={}",
+            self.pes,
+            self.seed,
+            self.workload.name(),
+            self.rounds,
+            self.copies,
+            self.faults.dead_mms,
+            self.faults.dead_copies,
+            self.faults.link_loss,
+            self.faults.fault_seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_object;
+
+    fn spec_of(line: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&parse_object(line).unwrap(), "fallback")
+    }
+
+    #[test]
+    fn parses_a_full_job_line() {
+        let spec = spec_of(
+            r#"{"id": "j1", "pes": 16, "seed": 9, "workload": "ticket", "rounds": 12,
+                "copies": 2, "dead_copies": [1], "cycles": 5000, "checkpoint_every": 500,
+                "priority": 3, "timeout_ms": 1000, "link_loss": 0.1, "fault_seed": 7}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.id, "j1");
+        assert_eq!(spec.pes, 16);
+        assert_eq!(spec.workload, Workload::Ticket);
+        assert_eq!(spec.rounds, 12);
+        assert_eq!(spec.copies, 2);
+        assert_eq!(spec.faults.dead_copies, [1]);
+        assert_eq!(spec.cycles, 5000);
+        assert_eq!(spec.priority, 3);
+        assert_eq!(spec.timeout_ms, Some(1000));
+        assert_eq!(spec.faults.link_loss, 0.1);
+    }
+
+    #[test]
+    fn defaults_fill_everything_optional() {
+        let spec = spec_of(r#"{"pes": 4}"#).unwrap();
+        assert_eq!(spec.id, "fallback");
+        assert_eq!(spec.workload, Workload::Counter);
+        assert_eq!(spec.cycles, DEFAULT_CYCLE_BUDGET);
+        assert_eq!(spec.checkpoint_every, DEFAULT_CHECKPOINT_EVERY);
+        assert!(spec.faults.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        for (line, needle) in [
+            (r#"{"pes": 6}"#, "power of two"),
+            (r#"{"pes": "eight"}"#, "non-negative integer"),
+            (r#"{"workload": "fib"}"#, "unknown workload"),
+            (r#"{"rounds": 0}"#, "positive"),
+            (r#"{"link_loss": 1.5}"#, "probability"),
+            (r#"{"copies": 2, "dead_copies": [2]}"#, "out of range"),
+            (r#"{"dead_mms": [9]}"#, "out of range"),
+            (r#"{"dead_copies": [0]}"#, "every network copy"),
+            (r#"{"cycles": 0}"#, "cycles"),
+            (r#"{"telemetry_window": 0}"#, "positive"),
+            (r#"{"frobnicate": 1}"#, "unknown field"),
+            (r#"{"id": ""}"#, "empty"),
+        ] {
+            let err = spec_of(line).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "line {line}: error {err:?} lacks {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_key_ignores_execution_knobs_only() {
+        let base = spec_of(r#"{"pes": 8, "seed": 1, "workload": "ticket", "rounds": 5}"#).unwrap();
+        let tuned = spec_of(
+            r#"{"id": "other", "pes": 8, "seed": 1, "workload": "ticket", "rounds": 5,
+                "cycles": 123, "priority": 9, "threads": 3, "checkpoint_every": 7,
+                "timeout_ms": 5, "telemetry_window": 64}"#,
+        )
+        .unwrap();
+        assert_eq!(base.prefix_key(), tuned.prefix_key());
+        let other_seed =
+            spec_of(r#"{"pes": 8, "seed": 2, "workload": "ticket", "rounds": 5}"#).unwrap();
+        assert_ne!(base.prefix_key(), other_seed.prefix_key());
+        let other_faults =
+            spec_of(r#"{"pes": 8, "seed": 1, "workload": "ticket", "rounds": 5, "dead_mms": [3]}"#)
+                .unwrap();
+        assert_ne!(base.prefix_key(), other_faults.prefix_key());
+    }
+
+    #[test]
+    fn workloads_complete_and_count_correctly() {
+        for (workload, expected_counter) in [
+            (Workload::Counter, 4 * 6),
+            (Workload::Ticket, 4 * 6),
+            (Workload::Barrier, 4 * 6),
+        ] {
+            let mut spec = JobSpec::new("w");
+            spec.pes = 4;
+            spec.workload = workload;
+            spec.rounds = 6;
+            let mut m = spec.machine();
+            assert!(m.run().completed, "{} must complete", workload.name());
+            assert_eq!(
+                m.read_shared(0),
+                expected_counter,
+                "{} counter",
+                workload.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end service tests: the acceptance criteria of the
+//! simulation-as-a-service milestone.
+//!
+//! * An 8-job concurrent batch (mixed PE counts, seeds, fault plans)
+//!   produces per-job JSON byte-identical to one-shot runs of the same
+//!   specs on a fresh server.
+//! * At least one job resumes from the snapshot prefix cache, and says
+//!   so in its log.
+//! * Cancellation and timeout produce their statuses, never hangs.
+
+use std::collections::HashMap;
+
+use ultra_serve::spec::{JobSpec, Workload};
+use ultra_serve::{JobOutcome, Server};
+
+/// Extracts `"key": "value"` or `"key": 123` from a rendered result line
+/// (every value the protocol renders is a string or an integer).
+fn field(line: &str, key: &str) -> String {
+    let tag = format!("\"{key}\": ");
+    let at = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{line} lacks {key}"))
+        + tag.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped[..stripped.find('"').unwrap()].to_owned()
+    } else {
+        rest[..rest.find([',', '}']).unwrap()].trim().to_owned()
+    }
+}
+
+fn mixed_batch() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+
+    // The sweep pair: same prefix key as the warm-up job below, bigger
+    // budget — must resume from the cached checkpoint.
+    let mut resume = JobSpec::new("resume");
+    resume.pes = 8;
+    resume.seed = 11;
+    resume.workload = Workload::Ticket;
+    resume.rounds = 40;
+    resume.cycles = 200_000;
+    resume.checkpoint_every = 512;
+    jobs.push(resume);
+
+    let mut small = JobSpec::new("small-counter");
+    small.pes = 4;
+    small.seed = 1;
+    small.rounds = 8;
+    jobs.push(small);
+
+    let mut wide = JobSpec::new("wide-counter");
+    wide.pes = 16;
+    wide.seed = 2;
+    wide.rounds = 6;
+    jobs.push(wide);
+
+    let mut ticket = JobSpec::new("ticket-99");
+    ticket.pes = 8;
+    ticket.seed = 99;
+    ticket.workload = Workload::Ticket;
+    ticket.rounds = 10;
+    jobs.push(ticket);
+
+    let mut barrier = JobSpec::new("barrier");
+    barrier.pes = 8;
+    barrier.seed = 5;
+    barrier.workload = Workload::Barrier;
+    barrier.rounds = 6;
+    jobs.push(barrier);
+
+    let mut dead_mm = JobSpec::new("dead-mm");
+    dead_mm.pes = 8;
+    dead_mm.seed = 3;
+    dead_mm.rounds = 6;
+    dead_mm.faults.dead_mms = vec![3];
+    jobs.push(dead_mm);
+
+    let mut dead_copy = JobSpec::new("dead-copy");
+    dead_copy.pes = 8;
+    dead_copy.seed = 4;
+    dead_copy.copies = 2;
+    dead_copy.rounds = 6;
+    dead_copy.faults.dead_copies = vec![0];
+    jobs.push(dead_copy);
+
+    let mut lossy = JobSpec::new("lossy");
+    lossy.pes = 8;
+    lossy.seed = 6;
+    lossy.rounds = 10;
+    lossy.cycles = 2_000_000;
+    lossy.faults.link_loss = 0.1;
+    lossy.faults.fault_seed = 7;
+    jobs.push(lossy);
+
+    jobs
+}
+
+#[test]
+fn concurrent_batch_matches_one_shot_runs_and_resumes_from_the_prefix_cache() {
+    let server = Server::new();
+
+    // Warm the cache: the prefix of the `resume` job, cut off after 600
+    // cycles (the 40-round ticket workload runs far longer than that).
+    let mut warm = JobSpec::new("warm");
+    warm.pes = 8;
+    warm.seed = 11;
+    warm.workload = Workload::Ticket;
+    warm.rounds = 40;
+    warm.cycles = 600;
+    warm.checkpoint_every = 512;
+    let warm_out = server.run_job(&warm);
+    assert_eq!(field(&warm_out.line, "status"), "budget-exhausted");
+    assert!(
+        !server.cache().is_empty(),
+        "budget-exhausted job must leave checkpoints behind"
+    );
+
+    let jobs = mixed_batch();
+    assert!(jobs.len() >= 8, "acceptance demands >= 8 jobs");
+    let mut outcomes: HashMap<String, JobOutcome> = HashMap::new();
+    let done = server.run_batch(jobs.clone(), 3, 16, |out| {
+        outcomes.insert(out.id.clone(), out);
+    });
+    assert_eq!(done, jobs.len(), "every job must produce a result");
+
+    // Every job's result line is byte-identical to a one-shot run of the
+    // same spec on a fresh server (empty cache, no concurrency).
+    for spec in &jobs {
+        let solo = Server::new().run_job(spec);
+        let served = &outcomes[&spec.id];
+        assert_eq!(
+            served.line, solo.line,
+            "served result for `{}` diverged from its one-shot run",
+            spec.id
+        );
+        assert_eq!(field(&served.line, "status"), "completed", "{}", spec.id);
+    }
+
+    // The sweep job resumed from the warm-up's checkpoint.
+    assert!(server.cache().hits() >= 1, "prefix cache never hit");
+    let resumed = &outcomes["resume"];
+    assert!(
+        resumed.log.iter().any(|l| l.contains("cache hit")),
+        "resume job must log its cache hit, got {:?}",
+        resumed.log
+    );
+
+    // Sanity on the physics: combining happened, and the lossy run
+    // actually lost and retried messages.
+    assert!(
+        field(&outcomes["wide-counter"].line, "combines")
+            .parse::<u64>()
+            .unwrap()
+            > 0
+    );
+    assert!(
+        field(&outcomes["lossy"].line, "retries")
+            .parse::<u64>()
+            .unwrap()
+            > 0
+    );
+    assert_eq!(field(&outcomes["small-counter"].line, "shared0"), "32");
+}
+
+#[test]
+fn telemetry_jobs_attach_a_series_and_never_resume_from_cache() {
+    let server = Server::new();
+    let mut plain = JobSpec::new("plain");
+    plain.seed = 21;
+    plain.workload = Workload::Ticket;
+    plain.rounds = 12;
+    let _ = server.run_job(&plain);
+
+    // Same prefix, telemetry on: must NOT consume the cached prefix (a
+    // resumed series would be missing its head), but must still succeed.
+    let mut observed = plain.clone();
+    observed.id = "observed".into();
+    observed.telemetry_window = Some(64);
+    let hits_before = server.cache().hits();
+    let out = server.run_job(&observed);
+    assert_eq!(
+        server.cache().hits(),
+        hits_before,
+        "telemetry job used the cache"
+    );
+    assert!(
+        out.log.is_empty(),
+        "no cache-hit log expected: {:?}",
+        out.log
+    );
+    assert!(out.line.contains("\"telemetry\": {"), "series missing");
+    assert!(out.line.contains("\"windows\": ["));
+    assert!(out.line.contains("\"heatmap\": {"));
+    assert!(!out.line.contains('\n'), "result must stay a single line");
+
+    // Everything before the telemetry attachment matches the plain job's
+    // simulation (same parity digest, different id).
+    let solo = Server::new().run_job(&plain);
+    assert_eq!(field(&out.line, "parity"), field(&solo.line, "parity"));
+}
+
+#[test]
+fn cancelled_jobs_report_cancelled_without_running() {
+    let server = Server::new();
+    server.cancel("doomed");
+    let mut spec = JobSpec::new("doomed");
+    spec.workload = Workload::Ticket;
+    spec.rounds = 50;
+    let out = server.run_job(&spec);
+    assert_eq!(field(&out.line, "status"), "cancelled");
+    assert_eq!(
+        field(&out.line, "cycles"),
+        "0",
+        "cancelled before any slice"
+    );
+}
+
+#[test]
+fn timeouts_fire_between_checkpoints() {
+    let server = Server::new();
+    let mut spec = JobSpec::new("slowpoke");
+    spec.workload = Workload::Ticket;
+    spec.rounds = 50;
+    spec.timeout_ms = Some(0);
+    let out = server.run_job(&spec);
+    assert_eq!(field(&out.line, "status"), "timeout");
+}
+
+#[test]
+fn batch_respects_priority_order_with_one_worker() {
+    let server = Server::new();
+    let mut order = Vec::new();
+    let mut jobs = Vec::new();
+    for (id, priority) in [("low", 0), ("high", 9), ("mid", 4)] {
+        let mut spec = JobSpec::new(id);
+        spec.pes = 4;
+        spec.rounds = 2;
+        spec.priority = priority;
+        jobs.push(spec);
+    }
+    server.run_batch(jobs, 1, 1, |out| order.push(out.id));
+    // Capacity 1 + a single worker: "low" is claimed immediately (the
+    // queue never holds more than one job), then the remaining two pop
+    // by priority.
+    assert_eq!(order, ["low", "high", "mid"]);
+}

@@ -75,6 +75,19 @@ impl Default for TimeScale {
     }
 }
 
+impl crate::wire::Wire for TimeScale {
+    fn encode(&self, w: &mut crate::wire::WireWriter) {
+        w.u64(self.cycles_per_instruction);
+        w.u64(self.cycles_per_mm_access);
+    }
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(Self {
+            cycles_per_instruction: r.u64()?,
+            cycles_per_mm_access: r.u64()?,
+        })
+    }
+}
+
 impl TimeScale {
     /// Converts a duration in network cycles to PE instruction times.
     #[must_use]

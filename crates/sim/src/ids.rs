@@ -8,6 +8,8 @@
 
 use core::fmt;
 
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+
 /// The machine word stored in memory cells; all paper primitives
 /// (fetch-and-add, swap, test-and-set) operate on this type.
 pub type Value = i64;
@@ -35,6 +37,24 @@ impl fmt::Display for MmId {
 impl From<usize> for PeId {
     fn from(v: usize) -> Self {
         PeId(v)
+    }
+}
+
+impl Wire for PeId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.usize(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self(r.usize()?))
+    }
+}
+
+impl Wire for MmId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.usize(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self(r.usize()?))
     }
 }
 
@@ -71,6 +91,19 @@ impl MemAddr {
     #[must_use]
     pub fn new(mm: MmId, offset: usize) -> Self {
         Self { mm, offset }
+    }
+}
+
+impl Wire for MemAddr {
+    fn encode(&self, w: &mut WireWriter) {
+        self.mm.encode(w);
+        w.usize(self.offset);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            mm: MmId::decode(r)?,
+            offset: r.usize()?,
+        })
     }
 }
 

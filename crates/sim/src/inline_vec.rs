@@ -118,6 +118,23 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     }
 }
 
+impl<T: Copy + Default + crate::wire::Wire, const N: usize> crate::wire::Wire for InlineVec<T, N> {
+    fn encode(&self, w: &mut crate::wire::WireWriter) {
+        w.usize(self.len());
+        for item in self.iter() {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        let len = r.seq_len()?;
+        let mut out = Self::new();
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
 impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
     fn default() -> Self {
         Self::new()

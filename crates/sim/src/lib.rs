@@ -18,6 +18,9 @@
 //!   one-shot scoped-thread form ([`par::par_for_each_mut`]) and the
 //!   persistent worker pool ([`pool::WorkerPool`]) the cycle engine
 //!   dispatches through every cycle.
+//! * [`wire`] — the hand-rolled binary format machine snapshots are
+//!   written in ([`wire::Wire`], [`wire::WireWriter`],
+//!   [`wire::WireReader`]).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod wire;
 
 pub use clock::{Clock, Cycle};
 pub use ids::{digits, MemAddr, MmId, PeId, Value};
@@ -49,3 +53,4 @@ pub use par::par_for_each_mut;
 pub use pool::{PoolDispatchStats, WorkerPool};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use stats::{Counter, Histogram, RunningStats};
+pub use wire::{Wire, WireError, WireReader, WireWriter};

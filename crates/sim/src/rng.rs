@@ -15,6 +15,8 @@
 
 use core::ops::Range;
 
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+
 /// A deterministic source of pseudo-random numbers.
 ///
 /// All simulator components draw randomness through this trait so that the
@@ -114,6 +116,15 @@ impl SplitMix64 {
     }
 }
 
+impl Wire for SplitMix64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.state);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { state: r.u64()? })
+    }
+}
+
 impl Rng for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -158,6 +169,19 @@ impl Xoshiro256StarStar {
             s[0] = 1;
         }
         Self { s }
+    }
+}
+
+impl Wire for Xoshiro256StarStar {
+    fn encode(&self, w: &mut WireWriter) {
+        self.s.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let s = <[u64; 4]>::decode(r)?;
+        if s == [0; 4] {
+            return Err(WireError::Invalid("all-zero xoshiro state"));
+        }
+        Ok(Self { s })
     }
 }
 
@@ -252,6 +276,22 @@ mod tests {
         let mut rng = SplitMix64::new(8);
         let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
         assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn generators_round_trip_through_wire() {
+        let mut sm = SplitMix64::new(3);
+        let mut xo = Xoshiro256StarStar::new(4);
+        let _ = (sm.next_u64(), xo.next_u64()); // advance off the seed
+        let mut w = WireWriter::new();
+        sm.encode(&mut w);
+        xo.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut sm2 = SplitMix64::decode(&mut r).unwrap();
+        let mut xo2 = Xoshiro256StarStar::decode(&mut r).unwrap();
+        assert_eq!(sm.next_u64(), sm2.next_u64());
+        assert_eq!(xo.next_u64(), xo2.next_u64());
     }
 
     #[test]
