@@ -6,6 +6,10 @@
 //! machine whose ticket traffic is in full flight, so the pooled buffers
 //! (`NetworkEvents` lanes, PNI retry scratch, shard effect queues,
 //! delivery staging) are warm and the path is allocation-free.
+//! `merge_phase` steps a mostly-halted N = 1024 machine (16 live shards,
+//! fast-forward off) so the row isolates the engine's occupancy-mask
+//! bookkeeping — dirty-word effect drain, masked flush, masked bank
+//! sweep — rather than the PE work itself.
 //! `network_cycle` prices the seed's allocating `OmegaNetwork::cycle`
 //! against the pooled `cycle_into` it was replaced with, under identical
 //! hot-spot load. `sweep_occupancy` compares the sparse active-set walk
@@ -65,6 +69,46 @@ fn bench_machine_step() {
     let mut group = Group::new("engine_step_n256");
     group.sample_size(10);
     let mut m = warmed_machine();
+    group.bench("steady_state", || {
+        for _ in 0..STEPS_PER_SAMPLE {
+            m.step();
+        }
+        black_box(m.now());
+    });
+    group.finish();
+}
+
+/// The merge phase in isolation: a mostly-halted N = 1024 machine where
+/// only 16 shards produce effects each cycle. Per-step cost here is
+/// dominated by the engine's bookkeeping around the live work — the
+/// dirty-word drain of shard effects, the masked outgoing flush, the
+/// masked bank/network sweep — not by the work itself. Before the
+/// occupancy masks this path walked all 1024 shards (and every bank)
+/// per cycle; with them it touches only the 16 live lanes' words, so
+/// this row is the direct price of the merge machinery at low occupancy.
+fn bench_merge_phase() {
+    const IDLE_N: usize = 1024;
+    const ACTIVE: usize = 16;
+    let mut group = Group::new("merge_phase_n1024_16live");
+    group.sample_size(10);
+    let parked = Program::new(body(vec![Op::Halt]), vec![]);
+    let programs: Vec<Program> = (0..IDLE_N)
+        .map(|pe| {
+            if pe < ACTIVE {
+                ticket_program()
+            } else {
+                parked.clone()
+            }
+        })
+        .collect();
+    // Fast-forward off: the point is per-step merge cost, and idle-cycle
+    // skipping would collapse the steps being measured.
+    let mut m = MachineBuilder::new(IDLE_N)
+        .fast_forward(false)
+        .build(programs);
+    for _ in 0..500 {
+        m.step();
+    }
     group.bench("steady_state", || {
         for _ in 0..STEPS_PER_SAMPLE {
             m.step();
@@ -155,6 +199,7 @@ fn bench_sweep_occupancy() {
 
 fn main() {
     bench_machine_step();
+    bench_merge_phase();
     bench_network_cycle();
     bench_sweep_occupancy();
 }

@@ -1,15 +1,18 @@
 //! Cycle-engine throughput harness.
 //!
 //! Measures simulated-cycles/sec and PE·cycles/sec for the sequential and
-//! parallel engines at N ∈ {64, 256, 1024, 4096} on two workloads, and
-//! writes the rows to `BENCH_engine.json` at the repo root:
+//! parallel engines at N ∈ {64, 256, 1024, 4096, 16384, 65536} on two
+//! workloads, and writes the rows to `BENCH_engine.json` at the repo root:
 //!
 //! * `ticket` — every PE hammers one combinable hot word (traffic scales
-//!   with N; measures the whole engine under load).
+//!   with N; measures the whole engine under load). The 65536 row runs in
+//!   full mode only — at that size a single run is ~10 s of wall time.
 //! * `idle` — 16 ticket PEs inside the full fabric, every other PE halts
 //!   immediately (traffic is constant while topology grows; isolates the
-//!   sparse active-set sweep's *scale with traffic, not switches* claim).
-//!   Sequential-only: the point is per-cycle sweep cost, not fan-out.
+//!   word-packed sweep's *scale with traffic, not switches* claim).
+//!   Measured under both engines: the parallel rows price the masked
+//!   dispatch — `run_sparse` must collapse to the inline word-skip walk
+//!   when only 16 of 65536 shards are live, not fan out over dead air.
 //!
 //! Flags (combine freely):
 //!
@@ -19,9 +22,10 @@
 //!   E14 harness configurations, assert every measured N produced the
 //!   same cycle count under both engines, fail if any row regressed more
 //!   than 35% in cycles/sec against the committed `BENCH_engine.json`
-//!   (matched by N + engine + workload), and — on hosts with ≥ 2 cores —
-//!   fail if the parallel engine is materially slower than sequential at
-//!   N ≥ 1024. Exits non-zero on any violation.
+//!   (matched by N + engine + workload), and — on multi-core hosts —
+//!   gate parallel against sequential at N ≥ 1024: with ≥ 4 cores
+//!   parallel must be at least as fast, with 2–3 cores it gets a 10%
+//!   noise margin. Exits non-zero on any violation.
 //! * `--out <path>` — also write the freshly measured rows to `<path>`
 //!   (CI uploads this as an artifact so regressions can be diffed).
 //! * `--metrics-out <path>` — run one instrumented N = 1024 ticket
@@ -47,9 +51,15 @@ use ultracomputer::{chrome_trace, MachineReport};
 /// setting of a few active PEs inside a big fabric).
 const IDLE_ACTIVE_PES: usize = 16;
 
-/// On multi-core hosts, how much slower than sequential the parallel
-/// engine may measure at N ≥ 1024 before the gate fails (noise margin).
+/// On 2–3-core hosts, how much slower than sequential the parallel
+/// engine may measure at N ≥ 1024 before the gate fails (noise margin:
+/// with so little fan-out headroom, merge overhead can eat the gain).
 const PARALLEL_TOLERANCE: f64 = 0.9;
+
+/// On hosts with ≥ 4 cores the parallel engine must actually *win*: at
+/// N ≥ 1024 on the ticket workload it may not measure below sequential
+/// at all.
+const PARALLEL_TOLERANCE_WIDE: f64 = 1.0;
 
 /// Every PE draws `iters` tickets from one combinable hot word and writes
 /// each ticket into a private slot — serialization-heavy, so the network,
@@ -138,6 +148,14 @@ fn measure(
             other => unreachable!("unknown workload {other}"),
         }
     };
+    if reps == 1 {
+        // Single-rep rows still need the process heap warmed at this
+        // fabric size: the first-ever run at a new N pays first-touch
+        // page faults for gigabyte-scale shard state, which would bill
+        // whichever engine happens to run first ~2x the steady cost.
+        let mut warm = build();
+        warm.run();
+    }
     let mut best: Option<(f64, RunOutcome)> = None;
     for _ in 0..reps {
         let mut m = build();
@@ -197,6 +215,10 @@ fn render_json(rows: &[Row]) -> String {
     let mut text = JsonObject::new()
         .str("bench", "engine")
         .uint("host_threads", host_threads() as u64)
+        .uint("host_cores", host_threads() as u64)
+        // The harness does not pin worker threads to cores; recorded so a
+        // future pinned baseline is distinguishable from these rows.
+        .bool("pinned", false)
         .raw("rows", array_lines(&items, 4))
         .render();
     text.push('\n');
@@ -245,11 +267,12 @@ fn committed_rate(baseline: &str, n: usize, engine: &str, workload: &str) -> Opt
 /// Fails if any measured row regressed more than 35% in cycles/sec
 /// against the committed baseline row with the same (N, engine,
 /// workload). Missing baseline rows are skipped — a new N or workload is
-/// not a regression. On hosts with ≥ 2 cores, additionally fails if the
-/// parallel engine measured materially slower than sequential at
+/// not a regression. On hosts with ≥ 4 cores, additionally fails unless
+/// the parallel engine measured at least as fast as sequential at
 /// N ≥ 1024 on the ticket workload (the persistent pool's reason to
-/// exist); single-core hosts skip that comparison — there is nothing to
-/// fan out over.
+/// exist); 2–3-core hosts get a 10% noise margin instead, and
+/// single-core hosts skip that comparison — there is nothing to fan out
+/// over.
 fn regression_gate(rows: &[Row]) -> Result<(), String> {
     let path = baseline_path();
     match std::fs::read_to_string(&path) {
@@ -278,6 +301,11 @@ fn regression_gate(rows: &[Row]) -> Result<(), String> {
         ),
     }
     if host_threads() >= 2 {
+        let tolerance = if host_threads() >= 4 {
+            PARALLEL_TOLERANCE_WIDE
+        } else {
+            PARALLEL_TOLERANCE
+        };
         for seq in rows
             .iter()
             .filter(|r| r.engine == "sequential" && r.workload == "ticket" && r.n >= 1024)
@@ -289,12 +317,12 @@ fn regression_gate(rows: &[Row]) -> Result<(), String> {
                 continue;
             };
             println!(
-                "gate n={} parallel({}) {:.0} cycles/s vs sequential {:.0}",
+                "gate n={} parallel({}) {:.0} cycles/s vs sequential {:.0} (must be >= {tolerance}x)",
                 seq.n, par.threads, par.cycles_per_sec, seq.cycles_per_sec
             );
-            if par.cycles_per_sec < PARALLEL_TOLERANCE * seq.cycles_per_sec {
+            if par.cycles_per_sec < tolerance * seq.cycles_per_sec {
                 return Err(format!(
-                    "parallel({}) slower than sequential at n={}: {:.0} vs {:.0} cycles/s",
+                    "parallel({}) below {tolerance}x sequential at n={}: {:.0} vs {:.0} cycles/s",
                     par.threads, seq.n, par.cycles_per_sec, seq.cycles_per_sec
                 ));
             }
@@ -362,19 +390,33 @@ fn main() {
     let metrics_path = flag_path("--metrics-out");
     let trace_path = flag_path("--trace-out");
     // Quick rows must still run long enough (≳ 0.1 s) that host jitter
-    // cannot swing a best-of-reps row past the regression gate.
+    // cannot swing a best-of-reps row past the regression gate. The
+    // 65536 ticket row is full-mode only: one run is ~10 s of wall
+    // time, which would dominate a CI --quick pass for one data point.
     let ticket_sizes: &[(usize, i64)] = if quick {
-        &[(64, 100), (256, 40), (1024, 10), (4096, 2)]
+        &[(64, 100), (256, 40), (1024, 10), (4096, 2), (16384, 1)]
     } else {
-        &[(64, 200), (256, 100), (1024, 40), (4096, 10)]
+        &[
+            (64, 200),
+            (256, 100),
+            (1024, 40),
+            (4096, 10),
+            (16384, 2),
+            (65536, 1),
+        ]
     };
+    // Big-fabric idle rows keep full-size iteration counts even under
+    // --quick: the runs are milliseconds either way, and shortening them
+    // shifts the rate enough to graze the 35% regression floor.
     let idle_sizes: &[(usize, i64)] = if quick {
-        &[(1024, 120), (4096, 25)]
+        &[(1024, 120), (4096, 25), (16384, 20), (65536, 5)]
     } else {
-        &[(1024, 200), (4096, 50)]
+        &[(1024, 200), (4096, 50), (16384, 20), (65536, 5)]
     };
     let threads = parallel_threads();
-    let reps = 3;
+    // Big-fabric ticket rows run once: a single run is seconds long, so
+    // best-of-reps buys nothing but triples the wall time.
+    let reps_for = |n: usize| if n >= 16384 { 1 } else { 3 };
 
     let print_row = |r: &Row| {
         println!(
@@ -385,6 +427,7 @@ fn main() {
     };
     let mut rows = Vec::new();
     for &(n, iters) in ticket_sizes {
+        let reps = reps_for(n);
         let (seq, seq_out) = measure(n, iters, "ticket", "sequential", 1, reps);
         let (par, par_out) = measure(n, iters, "ticket", "parallel", threads, reps);
         assert_eq!(
@@ -396,12 +439,22 @@ fn main() {
         rows.push(seq);
         rows.push(par);
     }
-    // Idle-heavy rows are sequential-only: they isolate per-cycle sweep
-    // cost, which fan-out would only blur.
+    // Idle-heavy rows run under both engines: the sequential row prices
+    // the word-packed sweep itself, the parallel row checks that masked
+    // dispatch degrades to the same walk (16 live shards must not be
+    // scattered across a thread fan-out) instead of taxing it.
     for &(n, iters) in idle_sizes {
-        let (seq, _) = measure(n, iters, "idle", "sequential", 1, reps);
+        let reps = reps_for(n);
+        let (seq, seq_out) = measure(n, iters, "idle", "sequential", 1, reps);
+        let (par, par_out) = measure(n, iters, "idle", "parallel", threads, reps);
+        assert_eq!(
+            seq_out.cycles, par_out.cycles,
+            "engines disagreed on simulated time at n={n} (idle)"
+        );
         print_row(&seq);
+        print_row(&par);
         rows.push(seq);
+        rows.push(par);
     }
 
     if let Some(path) = &out_path {

@@ -53,6 +53,12 @@ impl JsonObject {
         self.push(key, rendered)
     }
 
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
     /// Adds a string field (escaped).
     #[must_use]
     pub fn str(self, key: &str, value: &str) -> Self {

@@ -45,7 +45,9 @@ use ultra_pe::pni::{Pni, PniError};
 use ultra_pe::stats::PeStats;
 use ultra_sim::clock::TimeScale;
 use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
-use ultra_sim::{Cycle, MemAddr, MmId, PeId, PoolDispatchStats, Value, WorkerPool};
+use ultra_sim::{
+    AtomicBitmap, Cycle, MemAddr, MmId, PackedMask, PeId, PoolDispatchStats, Value, WorkerPool,
+};
 
 use crate::engine::EngineMode;
 use crate::interp::{Fetched, IssueSpec, PeInterp};
@@ -111,8 +113,9 @@ pub struct MachineConfig {
     /// automatically from the machine size and the host's core count
     /// instead of taken from [`MachineConfig::threads`]: small machines
     /// stay sequential (fan-out overhead beats the win below ~256 PEs),
-    /// large ones use up to four cores. [`MachineBuilder::threads`]
-    /// clears this flag.
+    /// mid-sized ones use up to four cores, and 16K-PE-and-wider fabrics
+    /// up to eight (see [`Machine::auto_thread_cap`]).
+    /// [`MachineBuilder::threads`] clears this flag.
     pub auto_threads: bool,
     /// How the network iterates its switches each cycle (sparse
     /// active-set walk by default). Purely a speed knob: every mode is
@@ -176,9 +179,10 @@ impl MachineBuilder {
     }
 
     /// Restores the default automatic thread selection: sequential below
-    /// 256 PEs, otherwise up to four threads capped by the host's
-    /// available parallelism. Every choice is bit-identical; this only
-    /// picks the fastest engine for the machine size.
+    /// 256 PEs, up to four threads below 16384 PEs, up to eight beyond —
+    /// always capped by the host's available parallelism (see
+    /// [`Machine::auto_thread_cap`]). Every choice is bit-identical; this
+    /// only picks the fastest engine for the machine size.
     #[must_use]
     pub fn threads_auto(mut self) -> Self {
         self.cfg.auto_threads = true;
@@ -435,6 +439,15 @@ struct ShardFx {
     halted: usize,
 }
 
+impl ShardFx {
+    /// Whether the latest datapath cycle produced any deferred effect.
+    /// Shards with nothing to merge skip the post-phase drain entirely
+    /// (they never set their dirty bit).
+    fn is_empty(&self) -> bool {
+        self.meta.is_empty() && self.trace.is_empty() && self.halted == 0
+    }
+}
+
 /// Read-only per-cycle parameters handed to every shard.
 #[derive(Clone, Copy)]
 struct CycleCtx {
@@ -480,6 +493,30 @@ pub struct Machine {
     /// memory banks, network copies). A 1-thread pool runs everything
     /// inline on the caller — the sequential engine.
     pool: WorkerPool,
+    /// One bit per shard: set (by whichever worker ran the shard) when
+    /// its datapath cycle left deferred effects, drained in ascending
+    /// word order by the post-phase merge. The pool's completion barrier
+    /// orders every mark before the drain, and index order is the
+    /// sequential merge order, so the merge stream is identical at any
+    /// thread count.
+    fx_dirty: AtomicBitmap,
+    /// One bit per shard whose `outgoing` queue is non-empty. The
+    /// outbound flush and the quiescence/fast-forward checks walk words
+    /// of this mask instead of scanning every shard.
+    outgoing_mask: PackedMask,
+    /// One bit per shard with at least one non-halted context. The PE
+    /// phase dispatches over this mask; a fully-halted shard's datapath
+    /// cycle is provably a no-op (no context resolves, nothing charges).
+    live_mask: PackedMask,
+    /// One bit per memory bank holding work (network backend; zero-length
+    /// on the ideal backend). Set on request delivery, cleared when the
+    /// bank is observed idle after its reply drain; [`MemBank::cycle`]
+    /// on an idle bank is a no-op, so masked cycling is exact.
+    bank_active: PackedMask,
+    /// Whether the PNI retry protocol is on (derived once from the fault
+    /// plan; never changes mid-run). With retries off, whole phases —
+    /// the retry queue walk, the fast-forward deadline scan — vanish.
+    retry_enabled: bool,
     /// Cycle-windowed telemetry recorder (off by default; see
     /// [`Machine::enable_telemetry`]). Sampling only reads simulation
     /// state, so the recorder never perturbs a run.
@@ -510,9 +547,7 @@ impl Machine {
         if !static_dead.is_empty() {
             hasher.set_dead_mms(&static_dead);
         }
-        let retry = plan.retry_policy().or_else(|| {
-            (!plan.is_healthy()).then(|| RetryPolicy::for_depth(Self::net_depth(&cfg.net)))
-        });
+        let retry = Self::retry_policy_for(&cfg);
         let shards: Vec<PeShard> = (0..n)
             .map(|phys| {
                 let base = phys * k;
@@ -572,6 +607,12 @@ impl Machine {
                 }
             }
         };
+        let mut live_mask = PackedMask::new(n);
+        live_mask.rebuild(|_| true);
+        let bank_universe = match cfg.backend {
+            BackendKind::Network { .. } => n,
+            BackendKind::Ideal { .. } => 0,
+        };
         let mut machine = Self {
             hasher,
             shards,
@@ -591,6 +632,11 @@ impl Machine {
             fast_forwarded: 0,
             deliveries: Vec::new(),
             pool: WorkerPool::new(Self::resolve_threads(&cfg)),
+            fx_dirty: AtomicBitmap::new(n),
+            outgoing_mask: PackedMask::new(n),
+            live_mask,
+            bank_active: PackedMask::new(bank_universe),
+            retry_enabled: retry.is_some(),
             series: TimeSeries::new(),
             phases: PhaseRecorder::new(),
             phase_epoch: Instant::now(),
@@ -598,6 +644,16 @@ impl Machine {
         };
         machine.absorb_unreachable();
         machine
+    }
+
+    /// The PNI retry policy `cfg` implies: the plan's explicit policy if
+    /// it carries one, else a depth-derived default whenever the plan is
+    /// unhealthy. Shared by [`Machine::new`] and [`Machine::decode_state`]
+    /// so a restored machine derives the same `retry_enabled` gate.
+    fn retry_policy_for(cfg: &MachineConfig) -> Option<RetryPolicy> {
+        cfg.faults.retry_policy().or_else(|| {
+            (!cfg.faults.is_healthy()).then(|| RetryPolicy::for_depth(Self::net_depth(&cfg.net)))
+        })
     }
 
     /// Network depth in stages (`log_k N`).
@@ -738,10 +794,36 @@ impl Machine {
     /// being parallelised (see `BENCH_engine.json`).
     pub const AUTO_THREADS_MIN_PES: usize = 256;
 
-    /// Upper bound on automatically chosen threads. The cycle engine's
-    /// fan-out points saturate quickly; more threads add merge and wake
-    /// cost without more speedup.
+    /// Upper bound on automatically chosen threads for mid-sized
+    /// machines (256 ≤ PEs < [`Self::AUTO_THREADS_WIDE_PES`]). The
+    /// per-cycle fan-out points saturate quickly at these sizes; more
+    /// threads add merge and wake cost without more speedup.
     pub const MAX_AUTO_THREADS: usize = 4;
+
+    /// Machines at or above this many PEs raise the automatic cap to
+    /// [`Self::MAX_AUTO_THREADS_WIDE`]: with occupancy-adaptive sparse
+    /// dispatch the per-chunk work finally dwarfs the wake cost, so
+    /// wide fabrics keep scaling past four workers.
+    pub const AUTO_THREADS_WIDE_PES: usize = 16384;
+
+    /// Upper bound on automatically chosen threads for wide machines
+    /// ([`Self::AUTO_THREADS_WIDE_PES`] PEs and up).
+    pub const MAX_AUTO_THREADS_WIDE: usize = 8;
+
+    /// The automatic thread cap for a `pes`-PE machine: 1 below
+    /// [`Self::AUTO_THREADS_MIN_PES`], [`Self::MAX_AUTO_THREADS`] up to
+    /// [`Self::AUTO_THREADS_WIDE_PES`], [`Self::MAX_AUTO_THREADS_WIDE`]
+    /// beyond. The host's available parallelism clamps this further.
+    #[must_use]
+    pub fn auto_thread_cap(pes: usize) -> usize {
+        if pes < Self::AUTO_THREADS_MIN_PES {
+            1
+        } else if pes < Self::AUTO_THREADS_WIDE_PES {
+            Self::MAX_AUTO_THREADS
+        } else {
+            Self::MAX_AUTO_THREADS_WIDE
+        }
+    }
 
     /// The thread budget a machine built from `cfg` will use.
     fn resolve_threads(cfg: &MachineConfig) -> usize {
@@ -751,12 +833,13 @@ impl Machine {
         if !cfg.auto_threads {
             return cfg.threads.max(1);
         }
-        if cfg.net.pes < Self::AUTO_THREADS_MIN_PES {
+        let cap = Self::auto_thread_cap(cfg.net.pes);
+        if cap <= 1 {
             return 1;
         }
         std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
-            .min(Self::MAX_AUTO_THREADS)
+            .min(cap)
     }
 
     /// Whether the engine's thread count was chosen automatically (the
@@ -1029,7 +1112,7 @@ impl Machine {
     fn is_quiescent(&self) -> bool {
         self.halted_count == self.virtual_pes()
             && self.meta.is_empty()
-            && self.shards.iter().all(|s| s.outgoing.is_empty())
+            && self.outgoing_mask.is_empty()
     }
 
     /// Advances the machine one cycle.
@@ -1085,11 +1168,21 @@ impl Machine {
         });
     }
 
-    /// The datapath cycle of every physical PE, fanned out over the
+    /// Sparse-dispatch grain: one worker thread is engaged per this many
+    /// *active* units (live shards, busy banks), so near-idle cycles run
+    /// inline on the caller instead of waking the pool.
+    const SPARSE_GRAIN: usize = 32;
+
+    /// The datapath cycle of every live physical PE, fanned out over the
     /// engine's threads (shards never touch each other within a cycle),
-    /// followed by the deferred-effect merge in shard index order — the
-    /// order the sequential loop applies them in, so every thread count
-    /// yields identical metadata, trace and halt streams.
+    /// followed by the deferred-effect merge. Workers flag shards that
+    /// produced effects in [`Machine::fx_dirty`]; the merge then drains
+    /// only flagged shards, in ascending shard index order — the order
+    /// the sequential loop applies effects in, so every thread count
+    /// yields identical metadata, trace and halt streams. Fully-halted
+    /// shards are skipped outright (their datapath cycle is a no-op),
+    /// and the post-phase pass is a pointer-wide word walk instead of an
+    /// every-shard scan.
     fn pe_phase(&mut self, now: Cycle) {
         let cx = CycleCtx {
             now,
@@ -1097,18 +1190,44 @@ impl Machine {
             barrier_generation: self.barrier_generation,
             trace_enabled: self.trace.enabled,
         };
-        self.pool.run(&mut self.shards, |_, shard| {
-            shard.pe_cycle(cx);
-        });
-        for shard in &mut self.shards {
-            for (id, meta) in shard.fx.meta.drain(..) {
-                self.meta.insert(id, meta);
+        let fx_dirty = &self.fx_dirty;
+        self.pool.run_sparse(
+            &mut self.shards,
+            self.live_mask.words(),
+            Self::SPARSE_GRAIN,
+            |i, shard| {
+                shard.pe_cycle(cx);
+                if !shard.fx.is_empty() {
+                    fx_dirty.mark(i);
+                }
+            },
+        );
+        for w in 0..self.fx_dirty.words() {
+            let mut bits = self.fx_dirty.take_word(w);
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let shard = &mut self.shards[i];
+                for (id, meta) in shard.fx.meta.drain(..) {
+                    self.meta.insert(id, meta);
+                }
+                for event in shard.fx.trace.drain(..) {
+                    self.trace.record(event);
+                }
+                if shard.fx.halted > 0 {
+                    self.halted_count += shard.fx.halted;
+                    shard.fx.halted = 0;
+                    if shard.states.iter().all(|s| *s == CtxState::Halted) {
+                        self.live_mask.clear(i);
+                    }
+                }
+                // An issue pushes its metadata and its outbound message
+                // together, so dirty shards are exactly the ones whose
+                // `outgoing` may have just become non-empty.
+                if !shard.outgoing.is_empty() {
+                    self.outgoing_mask.set(i);
+                }
             }
-            for event in shard.fx.trace.drain(..) {
-                self.trace.record(event);
-            }
-            self.halted_count += shard.fx.halted;
-            shard.fx.halted = 0;
         }
     }
 
@@ -1121,7 +1240,7 @@ impl Machine {
     /// would. Runs are bit-identical with this on or off.
     fn fast_forward_idle(&mut self) {
         let now = self.now;
-        if self.shards.iter().any(|s| !s.outgoing.is_empty()) {
+        if !self.outgoing_mask.is_empty() {
             return;
         }
         let mut next: Option<Cycle> = None;
@@ -1131,37 +1250,42 @@ impl Machine {
                     next = min_event(next, due);
                 }
             }
-            BackendImpl::Network { nets, banks, .. } => {
-                if !nets.is_drained() || banks.iter().any(|b| !b.is_idle()) {
+            BackendImpl::Network { nets, .. } => {
+                if !nets.is_drained() || !self.bank_active.is_empty() {
                     return;
                 }
             }
         }
-        for shard in &self.shards {
-            if shard.busy_until > now {
-                // Mid-instruction: the datapath frees at `busy_until`,
-                // which may unpark a ready context — an event.
-                next = min_event(next, shard.busy_until);
-                continue;
-            }
-            // Idle datapath: every context must be unable to run until a
-            // reply arrives (impossible: traffic is drained) or a future
-            // event fires. `Ready` could execute now; `WaitIssue`
-            // re-attempts each cycle and bumps PNI conflict counters, so
-            // neither may be skipped over.
-            for (c, state) in shard.states.iter().enumerate() {
-                let parked = match state {
-                    CtxState::Halted | CtxState::WaitBarrier => true,
-                    CtxState::WaitReg(r) => shard.interps[c].is_locked(*r),
-                    CtxState::WaitFence => shard.pni.outstanding() > 0,
-                    CtxState::Ready | CtxState::WaitIssue(..) => return,
-                };
-                if !parked {
-                    return;
+        // With retries enabled every shard must be scanned: a
+        // fully-halted shard can still hold a pending PNI retry deadline
+        // (a store issued just before the context halted, then lost to a
+        // faulty link), and missing that deadline would wedge the run.
+        // With retries off — the overwhelmingly common case — halted
+        // shards provably schedule nothing, so the scan walks only the
+        // live mask's words.
+        if self.retry_enabled {
+            for shard in &self.shards {
+                match Self::shard_ff_event(shard, now) {
+                    ShardFf::Event(at) => next = min_event(next, at),
+                    ShardFf::Parked => {}
+                    ShardFf::Runnable => return,
+                }
+                if let Some(deadline) = shard.pni.next_retry_deadline() {
+                    next = min_event(next, deadline);
                 }
             }
-            if let Some(deadline) = shard.pni.next_retry_deadline() {
-                next = min_event(next, deadline);
+        } else {
+            for w in 0..self.live_mask.words().len() {
+                let mut bits = self.live_mask.word(w);
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    match Self::shard_ff_event(&self.shards[i], now) {
+                        ShardFf::Event(at) => next = min_event(next, at),
+                        ShardFf::Parked => {}
+                        ShardFf::Runnable => return,
+                    }
+                }
             }
         }
         if let Some(due) = self.fault_clock.next_due() {
@@ -1174,21 +1298,29 @@ impl Machine {
             return;
         }
         let skipped = target - now;
-        for shard in &mut self.shards {
-            if shard.busy_until > now {
-                continue; // busy datapath: stepping charges no idle time
-            }
-            let k = shard.states.len();
-            let owner = shard.cursor % k;
-            let charged = if shard.states[owner] != CtxState::Halted {
-                Some(owner)
-            } else {
-                (0..k).find(|&c| shard.states[c] != CtxState::Halted)
-            };
-            if let Some(c) = charged {
-                shard.stats[c].idle_cycles.add(skipped);
-                if shard.states[c] == CtxState::WaitBarrier {
-                    shard.stats[c].barrier_wait_cycles.add(skipped);
+        // Bulk idle charging touches only live shards: a fully-halted
+        // shard has no context to charge.
+        for w in 0..self.live_mask.words().len() {
+            let mut bits = self.live_mask.word(w);
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let shard = &mut self.shards[i];
+                if shard.busy_until > now {
+                    continue; // busy datapath: stepping charges no idle time
+                }
+                let k = shard.states.len();
+                let owner = shard.cursor % k;
+                let charged = if shard.states[owner] != CtxState::Halted {
+                    Some(owner)
+                } else {
+                    (0..k).find(|&c| shard.states[c] != CtxState::Halted)
+                };
+                if let Some(c) = charged {
+                    shard.stats[c].idle_cycles.add(skipped);
+                    if shard.states[c] == CtxState::WaitBarrier {
+                        shard.stats[c].barrier_wait_cycles.add(skipped);
+                    }
                 }
             }
         }
@@ -1198,6 +1330,34 @@ impl Machine {
         // the samples stepping would have produced (zero-delta, since
         // nothing happened in the skipped stretch).
         self.telemetry_tick();
+    }
+
+    /// One shard's contribution to the fast-forward decision: the cycle
+    /// its datapath frees, proof every context is parked, or evidence a
+    /// context could run now (which forbids skipping).
+    fn shard_ff_event(shard: &PeShard, now: Cycle) -> ShardFf {
+        if shard.busy_until > now {
+            // Mid-instruction: the datapath frees at `busy_until`,
+            // which may unpark a ready context — an event.
+            return ShardFf::Event(shard.busy_until);
+        }
+        // Idle datapath: every context must be unable to run until a
+        // reply arrives (impossible: traffic is drained) or a future
+        // event fires. `Ready` could execute now; `WaitIssue`
+        // re-attempts each cycle and bumps PNI conflict counters, so
+        // neither may be skipped over.
+        for (c, state) in shard.states.iter().enumerate() {
+            let parked = match state {
+                CtxState::Halted | CtxState::WaitBarrier => true,
+                CtxState::WaitReg(r) => shard.interps[c].is_locked(*r),
+                CtxState::WaitFence => shard.pni.outstanding() > 0,
+                CtxState::Ready | CtxState::WaitIssue(..) => return ShardFf::Runnable,
+            };
+            if !parked {
+                return ShardFf::Runnable;
+            }
+        }
+        ShardFf::Parked
     }
 
     /// Applies one fired fault to the live machine. Faults target the
@@ -1262,8 +1422,15 @@ impl Machine {
             let BackendImpl::Network { nets, .. } = &self.backend else {
                 return;
             };
-            // One fully healthy copy routes everything.
-            if (0..nets.copies()).any(|c| nets.copy(c).fault_mask().is_healthy()) {
+            // One copy with intact routing reaches everything. Link loss
+            // alone never severs a route (a lossy link drops individual
+            // injections; `fault_refuses` ignores it), so only dead copies
+            // and dead ports matter here — a loss-only plan skips the
+            // O(PEs x MMs) route probe entirely.
+            if (0..nets.copies()).any(|c| {
+                let mask = nets.copy(c).fault_mask();
+                !mask.copy_dead() && !mask.any_port_dead()
+            }) {
                 return;
             }
             (0..n)
@@ -1334,6 +1501,8 @@ impl Machine {
         for id in shard.pni.abandon_all() {
             self.meta.remove(&id);
         }
+        self.outgoing_mask.clear(pe);
+        self.live_mask.clear(pe);
     }
 
     /// Kills module `mm` mid-run: its contents are lost, queued requests
@@ -1353,16 +1522,44 @@ impl Machine {
         }
     }
 
-    /// Re-issues timed-out requests (retry protocol; no-op when disabled).
+    /// Re-issues timed-out requests (retry protocol; skipped wholesale
+    /// when the fault plan never enabled retries).
     fn queue_due_retries(&mut self, now: Cycle) {
-        for shard in &mut self.shards {
+        if !self.retry_enabled {
+            return;
+        }
+        for pe in 0..self.shards.len() {
+            let shard = &mut self.shards[pe];
             shard.pni.due_retries_into(now, &mut shard.outgoing);
+            if !shard.outgoing.is_empty() {
+                self.outgoing_mask.set(pe);
+            }
         }
     }
 
-    /// Tries to push queued outbound messages into the backend.
+    /// Tries to push queued outbound messages into the backend. Walks
+    /// the outgoing mask's words, so a mostly-drained machine pays one
+    /// word test per 64 shards instead of a queue probe per shard; each
+    /// word is snapshot before its bits are consumed, and only the bit
+    /// of the shard just flushed is ever cleared, so the walk is safe
+    /// against its own updates.
     fn flush_outgoing(&mut self, now: Cycle) {
-        for pe in 0..self.shards.len() {
+        for w in 0..self.outgoing_mask.words().len() {
+            let mut bits = self.outgoing_mask.word(w);
+            while bits != 0 {
+                let pe = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.flush_shard_outgoing(pe, now);
+                if self.shards[pe].outgoing.is_empty() {
+                    self.outgoing_mask.clear(pe);
+                }
+            }
+        }
+    }
+
+    /// Flushes one shard's queue until empty or backpressured.
+    fn flush_shard_outgoing(&mut self, pe: usize, now: Cycle) {
+        {
             while let Some(msg) = self.shards[pe].outgoing.front() {
                 match &mut self.backend {
                     BackendImpl::Ideal {
@@ -1453,27 +1650,47 @@ impl Machine {
                 let t0 = timed.then(Instant::now);
                 // Banks are mutually independent and never read the
                 // network, so serving them fans out over the engine's
-                // threads; their outboxes then drain into the network in
-                // bank index order — exactly the injection sequence the
-                // sequential interleaved loop produces.
-                pool.run(banks, |_, bank| bank.cycle(now));
-                for bank in banks.iter_mut() {
-                    // Replies re-enter through the copy that carried the
-                    // request (stalling if the reverse link is busy).
-                    while let Some(reply) = bank.peek_reply() {
-                        let Some(&copy) = copy_of.get(&(reply.id, reply.attempt)) else {
-                            // An answer to an attempt whose twin already
-                            // round-tripped; nobody is waiting for it.
-                            let _ = bank.pop_reply();
-                            self.duplicate_replies += 1;
-                            continue;
-                        };
-                        let r = reply.clone();
-                        match nets.try_inject_reply(copy, r, now) {
-                            Ok(()) => {
+                // threads — but only banks actually holding work: a bit
+                // in `bank_active` is set when a request is delivered
+                // and cleared once the bank drains idle, and an idle
+                // bank's cycle is a no-op, so the masked fan-out is
+                // exact. Outboxes then drain into the network in bank
+                // index order (the mask walk is ascending) — exactly the
+                // injection sequence the sequential interleaved loop
+                // produces.
+                pool.run_sparse(
+                    banks,
+                    self.bank_active.words(),
+                    Self::SPARSE_GRAIN,
+                    |_, bank| bank.cycle(now),
+                );
+                for w in 0..self.bank_active.words().len() {
+                    let mut bits = self.bank_active.word(w);
+                    while bits != 0 {
+                        let b = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let bank = &mut banks[b];
+                        // Replies re-enter through the copy that carried
+                        // the request (stalling if the reverse link is
+                        // busy).
+                        while let Some(reply) = bank.peek_reply() {
+                            let Some(&copy) = copy_of.get(&(reply.id, reply.attempt)) else {
+                                // An answer to an attempt whose twin already
+                                // round-tripped; nobody is waiting for it.
                                 let _ = bank.pop_reply();
+                                self.duplicate_replies += 1;
+                                continue;
+                            };
+                            let r = reply.clone();
+                            match nets.try_inject_reply(copy, r, now) {
+                                Ok(()) => {
+                                    let _ = bank.pop_reply();
+                                }
+                                Err(_) => break,
                             }
-                            Err(_) => break,
+                        }
+                        if bank.is_idle() {
+                            self.bank_active.clear(b);
                         }
                     }
                 }
@@ -1486,21 +1703,28 @@ impl Machine {
                 // cycle, so they advance in parallel into their pooled
                 // event buffers; arrivals then drain in fixed copy order.
                 // Arrivals at MMs enter bank queues; arrivals at PEs are
-                // delivered below.
-                nets.cycle_inplace(now, pool);
-                let d = nets.copies();
-                for copy in 0..d {
-                    let events = nets.events_mut(copy);
-                    for msg in events.requests_at_mm.drain(..) {
-                        banks[msg.addr.mm.0].push_request(msg);
-                    }
-                    for reply in events.replies_at_pe.drain(..) {
-                        copy_of.remove(&(reply.id, reply.attempt));
-                        deliveries.push(reply);
-                    }
-                    for dropped in events.dropped.drain(..) {
-                        // DropOnConflict: the PE must re-offer the request.
-                        self.shards[dropped.src.0].outgoing.push_back(dropped);
+                // delivered below. A fully drained fabric (checked after
+                // the reply injections above) cycles to itself with empty
+                // event buffers, so the whole phase is skipped.
+                if !nets.is_drained() {
+                    nets.cycle_inplace(now, pool);
+                    let d = nets.copies();
+                    for copy in 0..d {
+                        let events = nets.events_mut(copy);
+                        for msg in events.requests_at_mm.drain(..) {
+                            self.bank_active.set(msg.addr.mm.0);
+                            banks[msg.addr.mm.0].push_request(msg);
+                        }
+                        for reply in events.replies_at_pe.drain(..) {
+                            copy_of.remove(&(reply.id, reply.attempt));
+                            deliveries.push(reply);
+                        }
+                        for dropped in events.dropped.drain(..) {
+                            // DropOnConflict: the PE must re-offer the
+                            // request.
+                            self.outgoing_mask.set(dropped.src.0);
+                            self.shards[dropped.src.0].outgoing.push_back(dropped);
+                        }
                     }
                 }
                 if let Some(t0) = t0 {
@@ -1574,6 +1798,16 @@ impl Machine {
             }
         }
     }
+}
+
+/// One shard's verdict in the fast-forward scan.
+enum ShardFf {
+    /// The shard's datapath frees at this cycle (an event to jump to).
+    Event(Cycle),
+    /// Every context is parked on a wait no passing cycle resolves.
+    Parked,
+    /// Some context could use the datapath now: skipping is illegal.
+    Runnable,
 }
 
 /// The earliest of an optional event cycle and a new candidate.
@@ -1890,6 +2124,21 @@ impl Machine {
             (0 | 1, _) => return Err(StateDecodeError::ConfigMismatch("backend kind")),
             _ => return Err(WireError::Invalid("backend state tag").into()),
         };
+        // The engine masks are pure accelerations of state just decoded,
+        // so they are never serialized — they are rebuilt here, keeping
+        // the wire format byte-identical to the pre-mask engine.
+        let mut live_mask = PackedMask::new(n);
+        live_mask.rebuild(|i| shards[i].states.iter().any(|s| *s != CtxState::Halted));
+        let mut outgoing_mask = PackedMask::new(n);
+        outgoing_mask.rebuild(|i| !shards[i].outgoing.is_empty());
+        let bank_active = match &backend {
+            BackendImpl::Network { banks, .. } => {
+                let mut m = PackedMask::new(n);
+                m.rebuild(|i| !banks[i].is_idle());
+                m
+            }
+            BackendImpl::Ideal { .. } => PackedMask::new(0),
+        };
         Ok(Self {
             hasher,
             shards,
@@ -1909,6 +2158,11 @@ impl Machine {
             fast_forwarded,
             deliveries: Vec::new(),
             pool: WorkerPool::new(Self::resolve_threads(&cfg)),
+            fx_dirty: AtomicBitmap::new(n),
+            outgoing_mask,
+            live_mask,
+            bank_active,
+            retry_enabled: Self::retry_policy_for(&cfg).is_some(),
             series: TimeSeries::new(),
             phases: PhaseRecorder::new(),
             phase_epoch: Instant::now(),
@@ -2643,7 +2897,7 @@ mod tests {
             assert_eq!(pinned.engine_mode(), EngineMode::Parallel { threads: 3 });
         }
         // At or above the size threshold, auto picks from the host's
-        // available parallelism, capped.
+        // available parallelism, capped by the size-scaled ceiling.
         let big = MachineBuilder::new(Machine::AUTO_THREADS_MIN_PES)
             .build_spmd(&Program::new(body(vec![Op::Halt]), vec![]));
         let chosen = big.engine_mode().threads();
@@ -2654,6 +2908,30 @@ mod tests {
                 .min(Machine::MAX_AUTO_THREADS);
             assert_eq!(chosen, host);
         }
+        // The cap itself scales with the fabric: sequential below the
+        // threshold, four threads for mid sizes, eight from 16K PEs up
+        // (pure function — no machine built, so the wide tier is
+        // testable without allocating a 16K-PE fabric).
+        assert_eq!(
+            Machine::auto_thread_cap(Machine::AUTO_THREADS_MIN_PES - 1),
+            1
+        );
+        assert_eq!(
+            Machine::auto_thread_cap(Machine::AUTO_THREADS_MIN_PES),
+            Machine::MAX_AUTO_THREADS
+        );
+        assert_eq!(
+            Machine::auto_thread_cap(Machine::AUTO_THREADS_WIDE_PES - 1),
+            Machine::MAX_AUTO_THREADS
+        );
+        assert_eq!(
+            Machine::auto_thread_cap(Machine::AUTO_THREADS_WIDE_PES),
+            Machine::MAX_AUTO_THREADS_WIDE
+        );
+        assert_eq!(
+            Machine::auto_thread_cap(4 * Machine::AUTO_THREADS_WIDE_PES),
+            Machine::MAX_AUTO_THREADS_WIDE
+        );
     }
 
     #[test]

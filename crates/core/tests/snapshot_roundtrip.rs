@@ -173,6 +173,33 @@ fn lossy_links_round_trip_with_a_pni_retry_pending_at_the_cut() {
 }
 
 #[test]
+fn busy_traffic_cut_rebuilds_engine_masks() {
+    // Cut while the fabric is saturated: requests mid-flight in the
+    // network, banks with queued work, PEs with non-empty outgoing
+    // buffers. None of the engine's occupancy masks (live / outgoing /
+    // bank-active / fx-dirty) are serialized — restore must rebuild
+    // every one of them from the decoded shard and bank state, under
+    // every tuning, or the restored run wedges or diverges.
+    let make = || MachineBuilder::new(16).build_spmd(&ticket_program(10));
+
+    // Find an early cut with traffic still in the fabric (injected but
+    // not yet delivered), so the snapshot genuinely captures a mid-merge
+    // machine rather than a quiescent one.
+    let mut probe = make();
+    let mut busy_cut = None;
+    while probe.now() < 200 {
+        probe.run_for(1);
+        let s = probe.net_stats();
+        if s.injected_requests.get() > s.delivered_requests.get() {
+            busy_cut = Some(probe.now());
+            break;
+        }
+    }
+    let busy_cut = busy_cut.expect("16 combining PEs must have a request mid-fabric early on");
+    check_scenario(&make, &[busy_cut, busy_cut + 17, 120], "busy 16-PE ticket");
+}
+
+#[test]
 fn dead_copy_failover_round_trips() {
     let make = || {
         MachineBuilder::new(8)

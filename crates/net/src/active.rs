@@ -25,6 +25,13 @@
 pub struct ActiveSet {
     /// Membership bitset, one bit per index.
     bits: Vec<u64>,
+    /// Hierarchical index over `bits`: bit `w % 64` of `summary[w / 64]`
+    /// is set iff `bits[w] != 0`. One summary-word test lets a sweep skip
+    /// 64 all-empty bitset words — 4096 switches — at a time, which is
+    /// what keeps the per-cycle walk sublinear on 16K–64K-PE fabrics
+    /// where a stage holds tens of thousands of switches but single-digit
+    /// traffic.
+    summary: Vec<u64>,
     /// Dense member list (unsorted).
     members: Vec<u32>,
     /// `pos[i]` = position of `i` in `members` (undefined unless member).
@@ -35,8 +42,10 @@ impl ActiveSet {
     /// Creates an empty set over `0..universe`.
     #[must_use]
     pub fn new(universe: usize) -> Self {
+        let words = universe.div_ceil(64);
         Self {
-            bits: vec![0; universe.div_ceil(64)],
+            bits: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
             members: Vec::new(),
             pos: vec![0; universe],
         }
@@ -65,6 +74,7 @@ impl ActiveSet {
         let (word, bit) = (i / 64, 1u64 << (i % 64));
         if self.bits[word] & bit == 0 {
             self.bits[word] |= bit;
+            self.summary[word / 64] |= 1 << (word % 64);
             self.pos[i] = self.members.len() as u32;
             self.members.push(i as u32);
         }
@@ -75,6 +85,9 @@ impl ActiveSet {
         let (word, bit) = (i / 64, 1u64 << (i % 64));
         if self.bits[word] & bit != 0 {
             self.bits[word] &= !bit;
+            if self.bits[word] == 0 {
+                self.summary[word / 64] &= !(1 << (word % 64));
+            }
             let p = self.pos[i] as usize;
             let last = self.members.pop().expect("member list non-empty");
             if p < self.members.len() {
@@ -87,7 +100,11 @@ impl ActiveSet {
     /// Removes every member in O(members).
     pub fn clear(&mut self) {
         for &m in &self.members {
+            // Zeroing the whole containing word (and summary word) is
+            // sound: every member is being removed, and non-member bits
+            // are zero already.
             self.bits[m as usize / 64] = 0;
+            self.summary[m as usize / 4096] = 0;
         }
         self.members.clear();
     }
@@ -111,6 +128,20 @@ impl ActiveSet {
     #[must_use]
     pub fn word(&self, w: usize) -> u64 {
         self.bits[w]
+    }
+
+    /// Number of 64-bit words backing the summary index.
+    #[must_use]
+    pub fn summary_words(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// The `sw`-th summary word: bit `w % 64` set means bitset word
+    /// `sw * 64 + (w % 64)` is non-zero. Sweeps snapshot these exactly
+    /// like [`ActiveSet::word`], skipping 64 empty words per clear bit.
+    #[must_use]
+    pub fn summary_word(&self, sw: usize) -> u64 {
+        self.summary[sw]
     }
 }
 
@@ -139,6 +170,34 @@ mod tests {
             }
         }
         assert_eq!(scanned, expect, "bitset scan order");
+        // The summary index agrees with the bitset: a summary-guided scan
+        // yields the same ascending members, and no non-zero word hides
+        // behind a clear summary bit.
+        let mut via_summary = Vec::new();
+        for sw in 0..set.summary_words() {
+            let mut sbits = set.summary_word(sw);
+            while sbits != 0 {
+                let w = sw * 64 + sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                assert_ne!(set.word(w), 0, "summary bit set for empty word {w}");
+                let mut word = set.word(w);
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    via_summary.push(w * 64 + b);
+                }
+            }
+        }
+        assert_eq!(via_summary, expect, "summary-guided scan order");
+        for w in 0..set.words() {
+            if set.word(w) != 0 {
+                assert_ne!(
+                    set.summary_word(w / 64) & (1 << (w % 64)),
+                    0,
+                    "non-zero word {w} missing from the summary"
+                );
+            }
+        }
     }
 
     #[test]

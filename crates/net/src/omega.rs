@@ -115,13 +115,6 @@ fn check_cfg(cfg: &NetConfig) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Which half of the fabric a sweep advances.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Direction {
-    Forward,
-    Reverse,
-}
-
 /// One `N`-PE combining Omega network.
 #[derive(Debug, Clone)]
 pub struct OmegaNetwork {
@@ -444,7 +437,11 @@ impl OmegaNetwork {
     /// the machine from fast-forwarding idle cycles.
     #[must_use]
     pub fn is_drained(&self) -> bool {
-        debug_assert!(self.active_sets_exact().is_ok(), "active-set invariant");
+        // No `active_sets_exact` debug-assert here: the engine now
+        // consults drainedness every cycle (to skip the fabric sweep
+        // entirely), and an O(switches-built) check per cycle makes
+        // debug-build runs at 16K+ PEs intractable. The invariant is
+        // property-tested in `crates/net/tests/active_set.rs`.
         self.fwd_egress.is_empty()
             && self.rev_egress.is_empty()
             && self.pending_drops.is_empty()
@@ -598,113 +595,65 @@ impl OmegaNetwork {
     fn sweep_forward(&mut self, now: Cycle) {
         let last = self.routes.stages() - 1;
         for s in (0..=last).rev() {
-            self.sweep_stage(now, s, Direction::Forward);
+            self.sweep_stage_forward(now, s);
         }
     }
 
-    /// Visits the stage-`s` switches that hold traffic in `dir`, ascending.
+    /// Visits the stage-`s` switches holding forward traffic, ascending.
     ///
-    /// Sparse mode walks the active-set bitset; dense mode (forced, or the
-    /// occupancy fallback) scans every switch. Both orders are ascending
-    /// and a traffic-less switch is a no-op visit, so the two modes
-    /// execute the identical operation sequence.
+    /// Sparse mode walks the active-set summary then bitset words; dense
+    /// mode (forced, or the occupancy fallback) scans every switch. Both
+    /// orders are ascending and a traffic-less switch is a no-op visit,
+    /// so the two modes execute the identical operation sequence.
+    ///
+    /// The per-stage borrows — this stage's switch row, the next row, the
+    /// two active sets, routes, stats, egress — are split **once per
+    /// stage** into a [`FwdStageView`], so the per-switch inner loop is a
+    /// tight sweep over one stage's state instead of re-deriving
+    /// `split_at_mut` per (switch, port) visit.
     ///
     /// Walking the bitset while transmissions mutate the set is sound
     /// because processing stage `s` can only (a) remove the switch just
     /// processed — whose bits were already consumed from the local word
-    /// snapshot — and (b) insert into the *adjacent* stage (`s+1` forward,
-    /// `s-1` reverse), never into stage `s` itself.
-    fn sweep_stage(&mut self, now: Cycle, s: usize, dir: Direction) {
-        let active = match dir {
-            Direction::Forward => &self.active_fwd[s],
-            Direction::Reverse => &self.active_rev[s],
-        };
+    /// (and summary-word) snapshots — and (b) insert into stage `s+1`,
+    /// never into stage `s` itself.
+    fn sweep_stage_forward(&mut self, now: Cycle, s: usize) {
         let universe = self.routes.switches_per_stage();
-        if self.sweep == SweepMode::Dense || active.len() * 100 >= universe * DENSE_FALLBACK_PERCENT
-        {
-            for sw_idx in 0..universe {
-                for port in 0..self.cfg.k {
-                    match dir {
-                        Direction::Forward => self.try_transmit_forward(now, s, sw_idx, port),
-                        Direction::Reverse => self.try_transmit_reverse(now, s, sw_idx, port),
-                    }
-                }
-            }
-            return;
+        let dense = self.sweep == SweepMode::Dense
+            || self.active_fwd[s].len() * 100 >= universe * DENSE_FALLBACK_PERCENT;
+        if !dense && self.active_fwd[s].is_empty() {
+            return; // idle stage: skip without touching a single switch
         }
-        let words = active.words();
-        for w in 0..words {
-            let mut bits = match dir {
-                Direction::Forward => self.active_fwd[s].word(w),
-                Direction::Reverse => self.active_rev[s].word(w),
-            };
-            while bits != 0 {
-                let sw_idx = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                for port in 0..self.cfg.k {
-                    match dir {
-                        Direction::Forward => self.try_transmit_forward(now, s, sw_idx, port),
-                        Direction::Reverse => self.try_transmit_reverse(now, s, sw_idx, port),
-                    }
-                }
-            }
-        }
-    }
-
-    fn try_transmit_forward(&mut self, now: Cycle, s: usize, sw_idx: usize, port: usize) {
-        let last = self.routes.stages() - 1;
-        // Peek the head to decide whether the hop can happen.
-        let Some(head) = self.stages[s][sw_idx].to_mm_queue(port).front() else {
-            return;
+        let k = self.cfg.k;
+        let (rows, next_rows) = self.stages.split_at_mut(s + 1);
+        let (actives, next_actives) = self.active_fwd.split_at_mut(s + 1);
+        let mut v = FwdStageView {
+            s,
+            cur: &mut rows[s],
+            next: next_rows.first_mut().map(Vec::as_mut_slice),
+            active_cur: &mut actives[s],
+            active_next: next_actives.first_mut(),
+            routes: &self.routes,
+            stats: &mut self.stats,
+            fwd_egress: &mut self.fwd_egress,
+            pending_drops: &mut self.pending_drops,
         };
-        if !self.stages[s][sw_idx]
-            .to_mm_queue(port)
-            .ready_to_transmit(now)
-        {
+        if dense {
+            for sw_idx in 0..universe {
+                transmit_forward(&mut v, now, sw_idx, k);
+            }
             return;
         }
-        let len = head.packets;
-        match self.routes.forward_next(s, sw_idx, port) {
-            ForwardHop::ToMm(mm) => {
-                debug_assert_eq!(s, last);
-                let slot = self.stages[s][sw_idx]
-                    .to_mm_queue_mut(port)
-                    .pop_for_transmit(now);
-                debug_assert_eq!(slot.item.addr.mm, mm, "last-stage egress reaches its MM");
-                debug_assert_eq!(
-                    slot.item.amalgam, slot.item.src.0,
-                    "amalgam has become the origin PE number (§3.1.1)"
-                );
-                self.fwd_egress.push((now + Cycle::from(len), slot.item));
-                if !self.stages[s][sw_idx].has_forward_traffic() {
-                    self.active_fwd[s].remove(sw_idx);
-                }
-            }
-            ForwardHop::ToSwitch(next_sw, next_port) => {
-                let (left, right) = self.stages.split_at_mut(s + 1);
-                let cur = &mut left[s];
-                let next = &mut right[0];
-                let msg_ref = &cur[sw_idx].to_mm_queue(port).front().expect("peeked").item;
-                if !next[next_sw].can_accept_request(msg_ref, &self.routes) {
-                    return; // backpressure: try again next cycle
-                }
-                let slot = cur[sw_idx].to_mm_queue_mut(port).pop_for_transmit(now);
-                match next[next_sw].accept_request(
-                    slot.item,
-                    next_port,
-                    now + 1,
-                    &self.routes,
-                    &mut self.stats,
-                ) {
-                    AcceptOutcome::Dropped(m) => self.pending_drops.push(m),
-                    AcceptOutcome::Queued | AcceptOutcome::Combined => {}
-                }
-                // A drop only happens when the target queue already holds
-                // traffic, so the downstream switch is active after every
-                // outcome; the upstream one retires once emptied.
-                self.active_fwd[s + 1].insert(next_sw);
-                if !cur[sw_idx].has_forward_traffic() {
-                    self.active_fwd[s].remove(sw_idx);
+        for sword in 0..v.active_cur.summary_words() {
+            let mut sbits = v.active_cur.summary_word(sword);
+            while sbits != 0 {
+                let w = sword * 64 + sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let mut bits = v.active_cur.word(w);
+                while bits != 0 {
+                    let sw_idx = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    transmit_forward(&mut v, now, sw_idx, k);
                 }
             }
         }
@@ -713,58 +662,190 @@ impl OmegaNetwork {
     /// Reverse sweep, PE side first.
     fn sweep_reverse(&mut self, now: Cycle) {
         for s in 0..self.routes.stages() {
-            self.sweep_stage(now, s, Direction::Reverse);
+            self.sweep_stage_reverse(now, s);
         }
     }
 
-    fn try_transmit_reverse(&mut self, now: Cycle, s: usize, sw_idx: usize, port: usize) {
-        let Some(head) = self.stages[s][sw_idx].to_pe_queue(port).front() else {
-            return;
-        };
-        if !self.stages[s][sw_idx]
-            .to_pe_queue(port)
-            .ready_to_transmit(now)
-        {
+    /// Reverse-direction mirror of [`OmegaNetwork::sweep_stage_forward`]:
+    /// same dense fallback, same empty-stage skip, same summary-then-word
+    /// walk, with the hoisted borrows pointing at stage `s - 1`.
+    fn sweep_stage_reverse(&mut self, now: Cycle, s: usize) {
+        let universe = self.routes.switches_per_stage();
+        let dense = self.sweep == SweepMode::Dense
+            || self.active_rev[s].len() * 100 >= universe * DENSE_FALLBACK_PERCENT;
+        if !dense && self.active_rev[s].is_empty() {
             return;
         }
+        let k = self.cfg.k;
+        let (prev_rows, rows) = self.stages.split_at_mut(s);
+        let (prev_actives, actives) = self.active_rev.split_at_mut(s);
+        let mut v = RevStageView {
+            s,
+            cur: &mut rows[0],
+            prev: prev_rows.last_mut().map(Vec::as_mut_slice),
+            active_cur: &mut actives[0],
+            active_prev: prev_actives.last_mut(),
+            routes: &self.routes,
+            stats: &mut self.stats,
+            rev_egress: &mut self.rev_egress,
+        };
+        if dense {
+            for sw_idx in 0..universe {
+                transmit_reverse(&mut v, now, sw_idx, k);
+            }
+            return;
+        }
+        for sword in 0..v.active_cur.summary_words() {
+            let mut sbits = v.active_cur.summary_word(sword);
+            while sbits != 0 {
+                let w = sword * 64 + sbits.trailing_zeros() as usize;
+                sbits &= sbits - 1;
+                let mut bits = v.active_cur.word(w);
+                while bits != 0 {
+                    let sw_idx = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    transmit_reverse(&mut v, now, sw_idx, k);
+                }
+            }
+        }
+    }
+}
+
+/// One stage's hoisted forward-sweep borrows (see
+/// [`OmegaNetwork::sweep_stage_forward`]).
+struct FwdStageView<'a> {
+    s: usize,
+    cur: &'a mut [Switch],
+    /// Stage `s + 1`'s switch row; `None` at the last stage.
+    next: Option<&'a mut [Switch]>,
+    active_cur: &'a mut ActiveSet,
+    active_next: Option<&'a mut ActiveSet>,
+    routes: &'a RouteTables,
+    stats: &'a mut NetStats,
+    fwd_egress: &'a mut Vec<(Cycle, Message)>,
+    pending_drops: &'a mut Vec<Message>,
+}
+
+/// Tries to advance the head of every ToMM queue of switch `sw_idx`.
+fn transmit_forward(v: &mut FwdStageView<'_>, now: Cycle, sw_idx: usize, k: usize) {
+    for port in 0..k {
+        // Peek the head to decide whether the hop can happen.
+        let Some(head) = v.cur[sw_idx].to_mm_queue(port).front() else {
+            continue;
+        };
+        if !v.cur[sw_idx].to_mm_queue(port).ready_to_transmit(now) {
+            continue;
+        }
         let len = head.packets;
-        match self.routes.reverse_next(s, sw_idx, port) {
+        match v.routes.forward_next(v.s, sw_idx, port) {
+            ForwardHop::ToMm(mm) => {
+                debug_assert!(v.next.is_none(), "ToMm hops only leave the last stage");
+                let slot = v.cur[sw_idx].to_mm_queue_mut(port).pop_for_transmit(now);
+                debug_assert_eq!(slot.item.addr.mm, mm, "last-stage egress reaches its MM");
+                debug_assert_eq!(
+                    slot.item.amalgam, slot.item.src.0,
+                    "amalgam has become the origin PE number (§3.1.1)"
+                );
+                v.fwd_egress.push((now + Cycle::from(len), slot.item));
+                if !v.cur[sw_idx].has_forward_traffic() {
+                    v.active_cur.remove(sw_idx);
+                }
+            }
+            ForwardHop::ToSwitch(next_sw, next_port) => {
+                let next = v
+                    .next
+                    .as_deref_mut()
+                    .expect("interior stage has a successor");
+                let msg_ref = &v.cur[sw_idx]
+                    .to_mm_queue(port)
+                    .front()
+                    .expect("peeked")
+                    .item;
+                if !next[next_sw].can_accept_request(msg_ref, v.routes) {
+                    continue; // backpressure: try again next cycle
+                }
+                let slot = v.cur[sw_idx].to_mm_queue_mut(port).pop_for_transmit(now);
+                match next[next_sw].accept_request(slot.item, next_port, now + 1, v.routes, v.stats)
+                {
+                    AcceptOutcome::Dropped(m) => v.pending_drops.push(m),
+                    AcceptOutcome::Queued | AcceptOutcome::Combined => {}
+                }
+                // A drop only happens when the target queue already holds
+                // traffic, so the downstream switch is active after every
+                // outcome; the upstream one retires once emptied.
+                v.active_next
+                    .as_deref_mut()
+                    .expect("interior stage has a successor set")
+                    .insert(next_sw);
+                if !v.cur[sw_idx].has_forward_traffic() {
+                    v.active_cur.remove(sw_idx);
+                }
+            }
+        }
+    }
+}
+
+/// One stage's hoisted reverse-sweep borrows (see
+/// [`OmegaNetwork::sweep_stage_reverse`]).
+struct RevStageView<'a> {
+    s: usize,
+    cur: &'a mut [Switch],
+    /// Stage `s - 1`'s switch row; `None` at stage 0.
+    prev: Option<&'a mut [Switch]>,
+    active_cur: &'a mut ActiveSet,
+    active_prev: Option<&'a mut ActiveSet>,
+    routes: &'a RouteTables,
+    stats: &'a mut NetStats,
+    rev_egress: &'a mut Vec<(Cycle, Reply)>,
+}
+
+/// Tries to advance the head of every ToPE queue of switch `sw_idx`.
+fn transmit_reverse(v: &mut RevStageView<'_>, now: Cycle, sw_idx: usize, k: usize) {
+    for port in 0..k {
+        let Some(head) = v.cur[sw_idx].to_pe_queue(port).front() else {
+            continue;
+        };
+        if !v.cur[sw_idx].to_pe_queue(port).ready_to_transmit(now) {
+            continue;
+        }
+        let len = head.packets;
+        match v.routes.reverse_next(v.s, sw_idx, port) {
             ReverseHop::ToPe(pe) => {
-                debug_assert_eq!(s, 0);
-                let slot = self.stages[s][sw_idx]
-                    .to_pe_queue_mut(port)
-                    .pop_for_transmit(now);
+                debug_assert!(v.prev.is_none(), "ToPe hops only leave stage 0");
+                let slot = v.cur[sw_idx].to_pe_queue_mut(port).pop_for_transmit(now);
                 debug_assert_eq!(slot.item.dst, pe, "stage-0 egress reaches the right PE");
                 debug_assert_eq!(
                     slot.item.amalgam, slot.item.addr.mm.0,
                     "reverse amalgam has become the MM number (§3.1.1)"
                 );
-                self.rev_egress.push((now + Cycle::from(len), slot.item));
-                if !self.stages[s][sw_idx].has_reverse_traffic() {
-                    self.active_rev[s].remove(sw_idx);
+                v.rev_egress.push((now + Cycle::from(len), slot.item));
+                if !v.cur[sw_idx].has_reverse_traffic() {
+                    v.active_cur.remove(sw_idx);
                 }
             }
             ReverseHop::ToSwitch(prev_sw, prev_port) => {
-                let (left, right) = self.stages.split_at_mut(s);
-                let prev = &mut left[s - 1];
-                let cur = &mut right[0];
-                let reply_ref = &cur[sw_idx].to_pe_queue(port).front().expect("peeked").item;
-                if !prev[prev_sw].can_accept_reply(reply_ref, &self.routes) {
-                    return;
+                let prev = v
+                    .prev
+                    .as_deref_mut()
+                    .expect("interior stage has a predecessor");
+                let reply_ref = &v.cur[sw_idx]
+                    .to_pe_queue(port)
+                    .front()
+                    .expect("peeked")
+                    .item;
+                if !prev[prev_sw].can_accept_reply(reply_ref, v.routes) {
+                    continue;
                 }
-                let slot = cur[sw_idx].to_pe_queue_mut(port).pop_for_transmit(now);
-                prev[prev_sw].accept_reply(
-                    slot.item,
-                    prev_port,
-                    now + 1,
-                    &self.routes,
-                    &mut self.stats,
-                );
+                let slot = v.cur[sw_idx].to_pe_queue_mut(port).pop_for_transmit(now);
+                prev[prev_sw].accept_reply(slot.item, prev_port, now + 1, v.routes, v.stats);
                 // Decombined twins also land in `prev_sw`, so the accept
                 // always leaves it holding reverse traffic.
-                self.active_rev[s - 1].insert(prev_sw);
-                if !cur[sw_idx].has_reverse_traffic() {
-                    self.active_rev[s].remove(sw_idx);
+                v.active_prev
+                    .as_deref_mut()
+                    .expect("interior stage has a predecessor set")
+                    .insert(prev_sw);
+                if !v.cur[sw_idx].has_reverse_traffic() {
+                    v.active_cur.remove(sw_idx);
                 }
             }
         }

@@ -40,6 +40,7 @@
 pub mod clock;
 pub mod ids;
 pub mod inline_vec;
+pub mod mask;
 pub mod par;
 pub mod pool;
 pub mod rng;
@@ -49,6 +50,7 @@ pub mod wire;
 pub use clock::{Clock, Cycle};
 pub use ids::{digits, MemAddr, MmId, PeId, Value};
 pub use inline_vec::InlineVec;
+pub use mask::{AtomicBitmap, PackedMask};
 pub use par::par_for_each_mut;
 pub use pool::{PoolDispatchStats, WorkerPool};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

@@ -1,0 +1,241 @@
+//! Word-packed membership masks for the cycle engine's sparse phases.
+//!
+//! The engine tracks "which shards have queued outbound traffic", "which
+//! shards still have a live context" and "which memory banks hold work" as
+//! one bit per unit packed 64 to a machine word. Phases that used to walk
+//! every unit per cycle ([`crate::pool::WorkerPool::run_sparse`], the
+//! outbound flush, the idle fast-forward scan) instead skip 64 provably
+//! inert units per word test, and quiescence checks become a popcount
+//! compare. [`PackedMask`] is the single-writer form the engine mutates
+//! between phases; [`AtomicBitmap`] is the shared form parallel workers
+//! publish into (one `fetch_or` per dirty unit) and the merge drains in
+//! ascending word order — index order, so the drain is deterministic no
+//! matter which thread set each bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-universe bitset with a popcount, tuned for the engine's
+/// "iterate only the set members, ascending" access pattern.
+#[derive(Debug, Clone, Default)]
+pub struct PackedMask {
+    words: Vec<u64>,
+    len: usize,
+    count: usize,
+}
+
+impl PackedMask {
+    /// An empty mask over a universe of `len` units.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// Universe size (maximum member index + 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of set members.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no member is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `i` is set.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets `i`; returns whether it was newly set.
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let newly = self.words[w] & b == 0;
+        if newly {
+            self.words[w] |= b;
+            self.count += 1;
+        }
+        newly
+    }
+
+    /// Clears `i`; returns whether it was previously set.
+    pub fn clear(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[w] & b != 0;
+        if was {
+            self.words[w] &= !b;
+            self.count -= 1;
+        }
+        was
+    }
+
+    /// Sets or clears `i` from a predicate.
+    pub fn put(&mut self, i: usize, member: bool) {
+        if member {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Clears every member.
+    pub fn clear_all(&mut self) {
+        if self.count > 0 {
+            self.words.fill(0);
+            self.count = 0;
+        }
+    }
+
+    /// The backing words (bit `i % 64` of word `i / 64` is member `i`).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// One backing word.
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Set members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            std::iter::successors((bits != 0).then_some(bits), |&b| {
+                let next = b & (b - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |b| w * 64 + b.trailing_zeros() as usize)
+        })
+    }
+
+    /// Rebuilds the mask from a predicate over the whole universe.
+    pub fn rebuild(&mut self, mut member: impl FnMut(usize) -> bool) {
+        self.clear_all();
+        for i in 0..self.len {
+            if member(i) {
+                self.set(i);
+            }
+        }
+    }
+}
+
+/// A word-packed bitmap parallel workers may set bits in concurrently.
+///
+/// Marking is a relaxed `fetch_or`: the pool's completion barrier orders
+/// every mark before the single-threaded drain, and the drain walks words
+/// in ascending index order, so the observed member order is independent
+/// of which worker set each bit.
+#[derive(Debug, Default)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitmap {
+    /// An empty bitmap over a universe of `len` units.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of backing words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Sets bit `i`. Callable from any worker thread.
+    pub fn mark(&self, i: usize) {
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Takes (reads and zeroes) word `w`. Single-threaded drain side;
+    /// `&mut self` proves no worker is marking concurrently.
+    pub fn take_word(&mut self, w: usize) -> u64 {
+        std::mem::take(self.words[w].get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_count() {
+        let mut m = PackedMask::new(130);
+        assert!(m.is_empty());
+        assert!(m.set(0));
+        assert!(m.set(63));
+        assert!(m.set(64));
+        assert!(m.set(129));
+        assert!(!m.set(129), "already set");
+        assert_eq!(m.count(), 4);
+        assert!(m.get(63) && m.get(64));
+        assert!(!m.get(1));
+        assert!(m.clear(63));
+        assert!(!m.clear(63), "already clear");
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        m.clear_all();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_matches_model_across_patterns() {
+        let mut m = PackedMask::new(200);
+        let mut model = std::collections::BTreeSet::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (x >> 33) as usize % 200;
+            if x & 1 == 0 {
+                assert_eq!(m.set(i), model.insert(i));
+            } else {
+                assert_eq!(m.clear(i), model.remove(&i));
+            }
+            assert_eq!(m.count(), model.len());
+        }
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            model.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rebuild_from_predicate() {
+        let mut m = PackedMask::new(100);
+        m.set(7);
+        m.rebuild(|i| i % 10 == 3);
+        assert_eq!(m.count(), 10);
+        assert!(m.get(93) && !m.get(7));
+    }
+
+    #[test]
+    fn atomic_bitmap_marks_and_drains() {
+        let mut b = AtomicBitmap::new(100);
+        b.mark(3);
+        b.mark(64);
+        b.mark(99);
+        assert_eq!(b.words(), 2);
+        assert_eq!(b.take_word(0), 1 << 3);
+        assert_eq!(b.take_word(0), 0, "take zeroes");
+        assert_eq!(b.take_word(1), (1 << 0) | (1 << 35));
+    }
+}

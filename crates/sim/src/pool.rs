@@ -212,28 +212,127 @@ impl WorkerPool {
         let threads = self.threads().min(n);
         let chunk = n.div_ceil(threads.max(1));
         let chunks = if chunk == 0 { 0 } else { n.div_ceil(chunk) };
-        self.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.chunks_dispatched
-            .fetch_add(chunks.max(1) as u64, Ordering::Relaxed);
-        self.last_chunks
-            .store(chunks.max(1) as u64, Ordering::Relaxed);
+        self.count_dispatch(chunks);
         if chunks <= 1 || self.shared.is_none() {
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
             return;
         }
-        let shared = self.shared.as_ref().expect("workers exist");
         let data: *mut () = items.as_mut_ptr().cast();
         let ctx: *const () = (&f as *const F).cast();
+        // SAFETY: `data`/`ctx` describe the live `&mut [T]` and `F` for
+        // the duration of the (blocking) dispatch; chunk ranges are
+        // disjoint by construction.
+        unsafe { self.dispatch_raw(data, n, ctx, run_chunk::<T, F>, chunk, chunks) }
+    }
+
+    /// Applies `f(index, &mut item)` to every element whose bit is set in
+    /// `mask` (bit `i % 64` of word `i / 64` is element `i`), skipping
+    /// clear elements — and whole all-zero words — entirely.
+    ///
+    /// The dispatch is **occupancy-adaptive**: the thread count is chosen
+    /// from the popcount of `mask` (one thread per `grain` set members,
+    /// capped at the pool size), so a low-traffic cycle with a handful of
+    /// set bits runs inline on the caller as a word-skipping scan instead
+    /// of paying worker wake-ups for empty chunks. Parallel chunks are
+    /// word-aligned so each worker owns whole mask words.
+    ///
+    /// Effects are identical to the sequential masked loop
+    /// `for i in ascending set bits { f(i, &mut items[i]) }` under the
+    /// same deferred-effect contract as [`WorkerPool::run`]: every set
+    /// element is visited exactly once with exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has fewer than `items.len().div_ceil(64)` words
+    /// or sets a bit at or beyond `items.len()`; re-raises chunk panics
+    /// like [`WorkerPool::run`].
+    pub fn run_sparse<T, F>(&self, items: &mut [T], mask: &[u64], grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let words = n.div_ceil(64);
+        assert!(mask.len() >= words, "mask shorter than the slice");
+        let active: usize = mask[..words].iter().map(|w| w.count_ones() as usize).sum();
+        debug_assert!(
+            mask[..words]
+                .iter()
+                .enumerate()
+                .all(
+                    |(w, &bits)| (w * 64) + (64 - bits.leading_zeros() as usize) <= n || bits == 0
+                ),
+            "mask sets a bit beyond the slice"
+        );
+        if active == 0 {
+            self.count_dispatch(1);
+            return;
+        }
+        let want = active
+            .div_ceil(grain.max(1))
+            .min(self.threads())
+            .min(words)
+            .max(1);
+        if want <= 1 || self.shared.is_none() {
+            self.count_dispatch(1);
+            for (w, &word_bits) in mask[..words].iter().enumerate() {
+                let mut bits = word_bits;
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    f(i, &mut items[i]);
+                }
+            }
+            return;
+        }
+        let chunk = words.div_ceil(want) * 64;
+        let chunks = n.div_ceil(chunk);
+        self.count_dispatch(chunks);
+        let mc = MaskedCtx { f: &f, mask };
+        let data: *mut () = items.as_mut_ptr().cast();
+        let ctx: *const () = (&mc as *const MaskedCtx<'_, F>).cast();
+        // SAFETY: as in `run` — `data` is the live slice, `ctx` the live
+        // `MaskedCtx` (closure + mask borrows outlive the blocking
+        // dispatch), chunks are disjoint and word-aligned.
+        unsafe { self.dispatch_raw(data, n, ctx, run_chunk_masked::<T, F>, chunk, chunks) }
+    }
+
+    fn count_dispatch(&self, chunks: usize) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.chunks_dispatched
+            .fetch_add(chunks.max(1) as u64, Ordering::Relaxed);
+        self.last_chunks
+            .store(chunks.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes one type-erased fan-out, runs chunk 0 on the caller, and
+    /// blocks until every worker chunk completes.
+    ///
+    /// # Safety
+    ///
+    /// `data`/`ctx` must satisfy `entry`'s contract for every chunk
+    /// `[i * chunk, min((i+1) * chunk, len))`, `i < chunks`, and stay
+    /// alive until this call returns (it blocks until all chunks finish).
+    unsafe fn dispatch_raw(
+        &self,
+        data: *mut (),
+        len: usize,
+        ctx: *const (),
+        entry: unsafe fn(*mut (), *const (), usize, usize),
+        chunk: usize,
+        chunks: usize,
+    ) {
+        let shared = self.shared.as_ref().expect("workers exist");
         {
             let mut st = shared.state.lock().expect("pool mutex");
             st.epoch += 1;
             st.task = Some(Task {
                 data,
-                len: n,
+                len,
                 ctx,
-                run_chunk: run_chunk::<T, F>,
+                run_chunk: entry,
                 chunk,
                 chunks,
             });
@@ -243,11 +342,11 @@ impl WorkerPool {
         }
         // The caller takes chunk 0 itself, through the same erased entry
         // point the workers use, so every element access shares the
-        // provenance of the one `as_mut_ptr` above.
+        // provenance of the one `as_mut_ptr` in the public wrapper.
         // SAFETY: chunk 0 is `[0, chunk)`, disjoint from every worker
-        // chunk; `data`/`ctx` outlive this call.
+        // chunk; `data`/`ctx` outlive this call per our own contract.
         let caller = catch_unwind(AssertUnwindSafe(|| unsafe {
-            run_chunk::<T, F>(data, ctx, 0, chunk)
+            entry(data, ctx, 0, chunk.min(len));
         }));
         let worker_panicked = {
             let mut st = shared.state.lock().expect("pool mutex");
@@ -304,6 +403,44 @@ where
         // SAFETY: caller contract — element `i` is inside the slice and
         // exclusively ours for this epoch.
         f(i, unsafe { &mut *base.add(i) });
+    }
+}
+
+/// The erased context of a masked fan-out: the caller's closure plus the
+/// membership words it filters by.
+struct MaskedCtx<'a, F> {
+    f: &'a F,
+    mask: &'a [u64],
+}
+
+/// Rebuilds the typed view of one word-aligned chunk and processes only
+/// its mask-set elements, skipping all-zero words in one test each.
+///
+/// # Safety
+///
+/// As [`run_chunk`], plus `ctx` must point to a live
+/// [`MaskedCtx`]`<'_, F>` and `start` must be a multiple of 64.
+unsafe fn run_chunk_masked<T, F>(data: *mut (), ctx: *const (), start: usize, end: usize)
+where
+    F: Fn(usize, &mut T),
+{
+    let base = data.cast::<T>();
+    // SAFETY: caller contract — `ctx` is the caller's `MaskedCtx`, alive
+    // until every chunk completes.
+    let mc = unsafe { &*ctx.cast::<MaskedCtx<'_, F>>() };
+    debug_assert_eq!(start % 64, 0, "masked chunks are word-aligned");
+    for w in start / 64..end.div_ceil(64) {
+        let mut bits = mc.mask[w];
+        while bits != 0 {
+            let i = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if i >= end {
+                break;
+            }
+            // SAFETY: caller contract — element `i` is inside the slice
+            // and exclusively ours for this epoch.
+            (mc.f)(i, unsafe { &mut *base.add(i) });
+        }
     }
 }
 
@@ -443,6 +580,68 @@ mod tests {
         assert_eq!(stats.chunks, 9);
         assert_eq!(stats.last_chunks, 1);
         assert!((stats.mean_occupancy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_sparse_matches_the_sequential_masked_loop() {
+        let mask_for = |n: usize, pred: &dyn Fn(usize) -> bool| {
+            let mut mask = vec![0u64; n.div_ceil(64)];
+            for i in (0..n).filter(|&i| pred(i)) {
+                mask[i / 64] |= 1 << (i % 64);
+            }
+            mask
+        };
+        type Pred = Box<dyn Fn(usize) -> bool>;
+        let work = |i: usize, x: &mut u64| *x = x.wrapping_mul(31).wrapping_add(i as u64);
+        let patterns: Vec<(&str, Pred)> = vec![
+            ("dense", Box::new(|_| true)),
+            ("sparse", Box::new(|i| i % 97 == 0)),
+            ("clustered", Box::new(|i| (300..340).contains(&i))),
+            ("tail", Box::new(|i| i >= 450)),
+        ];
+        for (name, pred) in &patterns {
+            for threads in [1usize, 2, 4, 8] {
+                for grain in [1usize, 16, 256] {
+                    let n = 457;
+                    let mask = mask_for(n, pred);
+                    let mut expect: Vec<u64> = (0..n as u64).collect();
+                    for i in (0..n).filter(|&i| pred(i)) {
+                        work(i, &mut expect[i]);
+                    }
+                    let pool = WorkerPool::new(threads);
+                    let mut got: Vec<u64> = (0..n as u64).collect();
+                    pool.run_sparse(&mut got, &mask, grain, work);
+                    assert_eq!(got, expect, "{name} threads={threads} grain={grain}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_sparse_empty_mask_touches_nothing() {
+        let pool = WorkerPool::new(4);
+        let mut v = vec![7u64; 100];
+        pool.run_sparse(&mut v, &[0, 0], 1, |_, _| unreachable!());
+        assert!(v.iter().all(|&x| x == 7));
+        // An empty-mask dispatch is still accounted (as one inline chunk).
+        assert_eq!(pool.dispatch_stats().dispatches, 1);
+        assert_eq!(pool.dispatch_stats().last_chunks, 1);
+    }
+
+    #[test]
+    fn run_sparse_adapts_threads_to_occupancy() {
+        let pool = WorkerPool::new(4);
+        let mut v = vec![0u64; 256];
+        // 3 set bits with grain 64: one thread suffices — inline chunk.
+        let sparse_mask = [0b111u64, 0, 0, 0];
+        pool.run_sparse(&mut v, &sparse_mask, 64, |i, x| *x = i as u64 + 1);
+        assert_eq!(pool.dispatch_stats().last_chunks, 1);
+        assert_eq!((v[0], v[1], v[2], v[3]), (1, 2, 3, 0));
+        // A full mask with grain 1 fans out across the pool.
+        let full_mask = [u64::MAX; 4];
+        pool.run_sparse(&mut v, &full_mask, 1, |i, x| *x = i as u64);
+        assert_eq!(pool.dispatch_stats().last_chunks, 4);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
     }
 
     #[test]

@@ -315,6 +315,65 @@ fn telemetry_is_bit_identical_across_engines_and_inert() {
     });
 }
 
+/// A 16384-PE fabric with 16 active PEs hammering the hot word under
+/// lossy links — the scale the word-packed engine paths exist for. The
+/// inactive PEs halt on cycle 0, so from cycle 1 on every phase (PE
+/// dispatch, outbound flush, bank cycling, fast-forward scans) runs off
+/// the sparse masks, and the loss-triggered PNI retries exercise the
+/// retry-enabled variants of those scans. One sequential and one 4-thread
+/// run must digest identically, and so must a fully stepped run with the
+/// fast-forward off (the masked idle paths do the same bookkeeping the
+/// per-cycle walk did).
+#[test]
+fn engines_agree_at_sixteen_k_pes_under_faults() {
+    const N: usize = 16384;
+    const ACTIVE: usize = 16;
+    let idle = Program::new(body(vec![Op::Halt]), vec![]);
+    let programs: Vec<Program> = (0..N)
+        .map(|pe| {
+            if pe < ACTIVE {
+                ticket_program(2)
+            } else {
+                idle.clone()
+            }
+        })
+        .collect();
+    let run_wide = |threads: usize, fast_forward: bool| {
+        let mut m = MachineBuilder::new(N)
+            .network(1)
+            .threads(threads)
+            .fast_forward(fast_forward)
+            .faults(FaultPlan::none().seed(23).link_loss(0.05))
+            .max_cycles(2_000_000)
+            .build(programs.clone());
+        m.enable_trace(1 << 14);
+        assert!(m.run().completed, "16K-PE run must complete");
+        RunResult {
+            parity: MachineReport::from_machine(&m).parity_string(),
+            trace: m.trace().events().copied().collect(),
+            hot_word: m.read_shared(0),
+        }
+    };
+    let seq = run_wide(1, true);
+    assert_eq!(seq.hot_word, (ACTIVE * 2) as Value, "every ticket claimed");
+    let par = run_wide(4, true);
+    assert_eq!(
+        seq.parity, par.parity,
+        "16K PEs: parity diverged at 4 threads"
+    );
+    assert_eq!(seq.trace, par.trace, "16K PEs: trace diverged at 4 threads");
+    assert_eq!(seq.hot_word, par.hot_word, "16K PEs: memory diverged");
+    let stepped = run_wide(1, false);
+    assert_eq!(
+        seq.parity, stepped.parity,
+        "16K PEs: fast-forward changed the simulation"
+    );
+    assert_eq!(
+        seq.trace, stepped.trace,
+        "16K PEs: fast-forward trace drift"
+    );
+}
+
 /// The E14c degradation configuration: 16 PEs, d = 2 with copy 0
 /// fail-stopped at boot — `FaultSummary` (failovers, refusals) must be
 /// byte-identical between engines, not just final memory.
