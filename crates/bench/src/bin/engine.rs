@@ -33,6 +33,9 @@
 //!   per-window counter series + hot-spot heatmap as JSON.
 //! * `--trace-out <path>` — same instrumented run, written as Chrome
 //!   `trace_event` JSON: load it at <https://ui.perfetto.dev>.
+//! * `--workload <name>` — measure only that workload (`ticket` or
+//!   `idle`); an unknown name exits with an error listing the known
+//!   workloads instead of panicking mid-run.
 //!
 //! The committed baseline records the machine it was measured on; the
 //! regression gate is only meaningful across runs on comparable hardware.
@@ -50,6 +53,19 @@ use ultracomputer::{chrome_trace, MachineReport};
 /// PEs that stay busy in the `idle` workload (matches the paper's §4.2
 /// setting of a few active PEs inside a big fabric).
 const IDLE_ACTIVE_PES: usize = 16;
+
+/// Workloads this harness knows how to build; `--workload` accepts any of
+/// these, and anything else is a usage error, not a panic.
+const KNOWN_WORKLOADS: &[&str] = &["ticket", "idle"];
+
+/// Prints a usage error naming the known workloads and exits non-zero.
+fn unknown_workload(name: &str) -> ! {
+    eprintln!(
+        "error: unknown workload `{name}` (known workloads: {})",
+        KNOWN_WORKLOADS.join(", ")
+    );
+    std::process::exit(2);
+}
 
 /// On 2–3-core hosts, how much slower than sequential the parallel
 /// engine may measure at N ≥ 1024 before the gate fails (noise margin:
@@ -145,7 +161,7 @@ fn measure(
                 // the stats range; the parked ones just halt.
                 b.build(idle_programs(n, iters))
             }
-            other => unreachable!("unknown workload {other}"),
+            other => unknown_workload(other),
         }
     };
     if reps == 1 {
@@ -389,6 +405,19 @@ fn main() {
     let out_path = flag_path("--out");
     let metrics_path = flag_path("--metrics-out");
     let trace_path = flag_path("--trace-out");
+    // `--workload <name>` restricts the matrix to one workload; a name
+    // the harness does not know is a usage error listing the known ones.
+    let workload_filter = args.iter().position(|a| a == "--workload").map(|i| {
+        let name = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: --workload needs a name");
+            std::process::exit(2);
+        });
+        if !KNOWN_WORKLOADS.contains(&name.as_str()) {
+            unknown_workload(name);
+        }
+        name.clone()
+    });
+    let runs = |workload: &str| workload_filter.as_deref().map_or(true, |w| w == workload);
     // Quick rows must still run long enough (≳ 0.1 s) that host jitter
     // cannot swing a best-of-reps row past the regression gate. The
     // 65536 ticket row is full-mode only: one run is ~10 s of wall
@@ -427,6 +456,9 @@ fn main() {
     };
     let mut rows = Vec::new();
     for &(n, iters) in ticket_sizes {
+        if !runs("ticket") {
+            break;
+        }
         let reps = reps_for(n);
         let (seq, seq_out) = measure(n, iters, "ticket", "sequential", 1, reps);
         let (par, par_out) = measure(n, iters, "ticket", "parallel", threads, reps);
@@ -444,6 +476,9 @@ fn main() {
     // dispatch degrades to the same walk (16 live shards must not be
     // scattered across a thread fan-out) instead of taxing it.
     for &(n, iters) in idle_sizes {
+        if !runs("idle") {
+            break;
+        }
         let reps = reps_for(n);
         let (seq, seq_out) = measure(n, iters, "idle", "sequential", 1, reps);
         let (par, par_out) = measure(n, iters, "idle", "parallel", threads, reps);
@@ -506,6 +541,10 @@ fn main() {
             std::process::exit(1);
         }
         println!("engine check passed: parity holds, no >35% cycles/sec regression");
+    } else if workload_filter.is_some() {
+        // A filtered matrix is not a full baseline; refuse to clobber the
+        // committed rows with a partial set.
+        println!("--workload filter active — not rewriting the committed baseline");
     } else {
         let path = baseline_path();
         std::fs::write(&path, render_json(&rows)).expect("write BENCH_engine.json");

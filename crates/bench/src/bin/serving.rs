@@ -1,0 +1,240 @@
+//! Serving-tier load sweep: open-loop users vs. tail latency.
+//!
+//! Runs the [`ultra_workloads::Serving`] workload — seeded Poisson
+//! arrivals, fetch-and-add ticket dispatch, KV records hashed across the
+//! MMs — at a ladder of offered loads (descending mean inter-arrival
+//! gap) on one machine shape, and prints the classic load-vs-latency
+//! hockey stick: p50/p90/p99/max end-to-end request latency per point.
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin serving
+//! ```
+//!
+//! Every point is a deterministic function of `(pes, seed, requests,
+//! mean_gap)` — the same curve on every engine and every run, which is
+//! what lets CI diff the artifact byte-for-byte. Flags:
+//!
+//! * `--quick` — CI-sized run (fewer requests, fewer points).
+//! * `--pes <n>` / `--requests <n>` / `--seed <n>` — machine shape.
+//! * `--out <path>` — write the curve as a JSON artifact.
+//! * `--check` — re-run every point under the parallel engine and with
+//!   fast-forward disabled, and fail unless the rendered curve and the
+//!   parity digest are identical in all three; exits non-zero otherwise.
+//! * `--metrics-out <path>` / `--trace-out <path>` — re-run the
+//!   highest-load point with cycle-windowed telemetry and write the
+//!   per-window series + heatmap as JSON / Chrome `trace_event` JSON.
+
+use std::path::PathBuf;
+
+use ultra_bench::json::{array_lines, metrics_json, JsonObject};
+use ultra_sim::wire::fnv1a;
+use ultra_sim::Cycle;
+use ultra_workloads::Serving;
+use ultracomputer::machine::{Machine, MachineBuilder};
+use ultracomputer::{chrome_trace, MachineReport};
+
+/// One measured point on the load-vs-latency curve.
+struct Point {
+    mean_gap: u64,
+    cycles: Cycle,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+    mean: f64,
+    /// Completed requests per thousand cycles.
+    throughput: f64,
+    /// FNV-1a of the machine's canonical parity string.
+    parity: u64,
+}
+
+/// How one sweep is configured: a fixed machine shape swept over gaps.
+#[derive(Clone, Copy)]
+struct Sweep {
+    pes: usize,
+    requests: usize,
+    seed: u64,
+}
+
+/// Mirrors `JobSpec::machine` in ultra-serve (network backend, pinned
+/// budget) so a sweep replayed through the service lands on the same
+/// parity digest as this bin.
+fn build(sweep: Sweep, gap: u64, threads: usize, fast_forward: bool) -> (Serving, Machine) {
+    let s = Serving::new(sweep.requests, gap).seed(sweep.seed);
+    let m = MachineBuilder::new(sweep.pes)
+        .seed(sweep.seed)
+        .threads(threads)
+        .fast_forward(fast_forward)
+        .max_cycles(Cycle::MAX)
+        .build_spmd(&s.program());
+    (s, m)
+}
+
+fn measure(sweep: Sweep, gap: u64, threads: usize, fast_forward: bool) -> Point {
+    let (s, mut m) = build(sweep, gap, threads, fast_forward);
+    s.install(&mut m);
+    let out = m.run();
+    assert!(out.completed, "a serving sweep point must drain");
+    let lat = s.latencies(&m);
+    let parity = fnv1a(MachineReport::from_machine(&m).parity_string().as_bytes());
+    Point {
+        mean_gap: gap,
+        cycles: out.cycles,
+        p50: lat.percentile(50.0),
+        p90: lat.percentile(90.0),
+        p99: lat.percentile(99.0),
+        max: lat.max(),
+        mean: lat.mean(),
+        throughput: sweep.requests as f64 * 1000.0 / out.cycles.max(1) as f64,
+        parity,
+    }
+}
+
+fn point_json(p: &Point) -> String {
+    JsonObject::new()
+        .uint("mean_gap", p.mean_gap)
+        .uint("cycles", p.cycles)
+        .uint("p50", p.p50)
+        .uint("p90", p.p90)
+        .uint("p99", p.p99)
+        .uint("max", p.max)
+        .float("mean", p.mean, 2)
+        .float("throughput_per_kcycle", p.throughput, 4)
+        .str("parity", &format!("{:016x}", p.parity))
+        .render()
+}
+
+fn render_curve(sweep: Sweep, points: &[Point]) -> String {
+    let rows: Vec<String> = points.iter().map(point_json).collect();
+    let mut text = JsonObject::new()
+        .str("bench", "serving")
+        .uint("pes", sweep.pes as u64)
+        .uint("requests", sweep.requests as u64)
+        .uint("seed", sweep.seed)
+        .raw("points", array_lines(&rows, 4))
+        .render();
+    text.push('\n');
+    text
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let flag_path = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            PathBuf::from(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} needs a path")),
+            )
+        })
+    };
+    let flag_num = |name: &str, default: u64| {
+        args.iter().position(|a| a == name).map_or(default, |i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        })
+    };
+    let out_path = flag_path("--out");
+    let metrics_path = flag_path("--metrics-out");
+    let trace_path = flag_path("--trace-out");
+    let sweep = Sweep {
+        pes: flag_num("--pes", 8) as usize,
+        requests: flag_num("--requests", if quick { 256 } else { 1024 }) as usize,
+        seed: flag_num("--seed", 42),
+    };
+    // Descending gap = ascending offered load; the last points push the
+    // tier past saturation, where queueing delay dominates the tail.
+    let gaps: &[u64] = if quick {
+        &[200, 50, 12, 3]
+    } else {
+        &[400, 200, 100, 50, 25, 12, 6, 3]
+    };
+
+    println!(
+        "serving sweep: {} PEs, {} requests, seed {}",
+        sweep.pes, sweep.requests, sweep.seed
+    );
+    println!(
+        "{:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "mean gap", "cycles", "p50", "p90", "p99", "max", "mean", "req/kcycle"
+    );
+    let mut points = Vec::new();
+    for &gap in gaps {
+        let p = measure(sweep, gap, 1, true);
+        println!(
+            "{:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10.1} {:>12.4}",
+            p.mean_gap, p.cycles, p.p50, p.p90, p.p99, p.max, p.mean, p.throughput
+        );
+        points.push(p);
+    }
+    println!(
+        "\nExpected shape: latency sits near the bare service time while the\n\
+         offered load fits in {} PEs, then the p99 (and then the p50) blow up\n\
+         as arrivals outpace capacity and queueing delay accumulates.",
+        sweep.pes
+    );
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, render_curve(sweep, &points)).expect("write --out file");
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        // Engine parity: the rendered point (and the parity digest inside
+        // it) must be byte-identical under the parallel engine and with
+        // fast-forward off.
+        let threads = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        let mut failed = false;
+        for (i, &gap) in gaps.iter().enumerate() {
+            let base = point_json(&points[i]);
+            for (label, threads, ff) in [
+                ("parallel", threads.max(2), true),
+                ("no-fast-forward", 1, false),
+            ] {
+                let other = point_json(&measure(sweep, gap, threads, ff));
+                if other != base {
+                    eprintln!(
+                        "PARITY FAILURE at gap {gap} ({label}):\n  sequential: {base}\n  {label}: {other}"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("parity: sequential == parallel == no-fast-forward on every point");
+    }
+
+    if metrics_path.is_some() || trace_path.is_some() {
+        // One instrumented run of the highest-load point; observation
+        // never perturbs the simulation.
+        let gap = *gaps.last().expect("sweep has points");
+        let (s, mut m) = build(sweep, gap, 1, true);
+        s.install(&mut m);
+        m.enable_telemetry(1024, 1 << 16);
+        m.enable_trace(1 << 16);
+        let out = m.run();
+        assert!(out.completed, "instrumented run must complete");
+        println!(
+            "instrumented gap={gap}: {} cycles, {} telemetry windows",
+            out.cycles,
+            m.telemetry().len()
+        );
+        if let Some(path) = &metrics_path {
+            let heatmap = m.heatmap();
+            std::fs::write(
+                path,
+                metrics_json("serving", m.telemetry(), heatmap.as_ref()),
+            )
+            .expect("write --metrics-out file");
+            println!("wrote {}", path.display());
+        }
+        if let Some(path) = &trace_path {
+            std::fs::write(path, chrome_trace(&m)).expect("write --trace-out file");
+            println!("wrote {}", path.display());
+        }
+    }
+}

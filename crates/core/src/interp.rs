@@ -15,7 +15,7 @@
 
 use ultra_net::message::MsgKind;
 use ultra_sim::wire::{Wire, WireError, WireReader, WireWriter};
-use ultra_sim::{PeId, Value};
+use ultra_sim::{Cycle, PeId, Value};
 
 use crate::program::{
     decode_body, encode_body, Body, EvalCtx, Expr, FrameLimitExceeded, Op, Program, Reg,
@@ -43,6 +43,10 @@ pub enum Fetched {
     /// The next instruction reads a locked register; no progress until its
     /// reply arrives.
     BlockedOnReg(Reg),
+    /// Park until the machine clock reaches the given absolute cycle
+    /// ([`Op::WaitUntil`]; the target was evaluated at fetch and the
+    /// instruction consumed — waking resumes at the following one).
+    SleepUntil(Cycle),
     /// The program has finished.
     Halted,
 }
@@ -295,12 +299,13 @@ impl PeInterp {
         self.locked[reg as usize] = false;
     }
 
-    fn ctx(&self) -> EvalCtx<'_> {
+    fn ctx(&self, now: Cycle) -> EvalCtx<'_> {
         EvalCtx {
             regs: &self.regs,
             pe: self.pe,
             n_pes: self.n_pes,
             params: &self.params,
+            clock: now as Value,
         }
     }
 
@@ -309,13 +314,15 @@ impl PeInterp {
         exprs.iter().find_map(|e| e.first_locked_reg(&self.locked))
     }
 
-    /// Advances to the next instruction and reports what it needs.
+    /// Advances to the next instruction and reports what it needs. `now`
+    /// is the machine cycle at which the fetch happens — it feeds
+    /// [`Expr::Clock`] and the [`Op::WaitUntil`] target.
     ///
     /// Must be called only when the previous event has been fully handled
     /// (work charged, issue performed, reply awaited as appropriate);
     /// a [`Fetched::BlockedOnReg`] result leaves the state unchanged so the
     /// call can simply be repeated after the register unlocks.
-    pub fn next_op(&mut self) -> Fetched {
+    pub fn next_op(&mut self, now: Cycle) -> Fetched {
         loop {
             if self.halted {
                 return Fetched::Halted;
@@ -391,7 +398,7 @@ impl PeInterp {
                     if let Some(r) = self.hazard(&[amount]) {
                         return Fetched::BlockedOnReg(r);
                     }
-                    let n = amount.eval(&self.ctx()).clamp(0, i64::from(u32::MAX)) as u32;
+                    let n = amount.eval(&self.ctx(now)).clamp(0, i64::from(u32::MAX)) as u32;
                     self.advance();
                     return Fetched::Work {
                         instructions: n,
@@ -412,7 +419,7 @@ impl PeInterp {
                     if self.locked[*dst as usize] {
                         return Fetched::BlockedOnReg(*dst);
                     }
-                    let vaddr = self.eval_addr(addr);
+                    let vaddr = self.eval_addr(addr, now);
                     self.advance();
                     return Fetched::Issue(IssueSpec {
                         kind: MsgKind::Load,
@@ -425,8 +432,8 @@ impl PeInterp {
                     if let Some(r) = self.hazard(&[addr, value]) {
                         return Fetched::BlockedOnReg(r);
                     }
-                    let vaddr = self.eval_addr(addr);
-                    let v = value.eval(&self.ctx());
+                    let vaddr = self.eval_addr(addr, now);
+                    let v = value.eval(&self.ctx(now));
                     self.advance();
                     return Fetched::Issue(IssueSpec {
                         kind: MsgKind::Store,
@@ -444,8 +451,8 @@ impl PeInterp {
                             return Fetched::BlockedOnReg(*d);
                         }
                     }
-                    let vaddr = self.eval_addr(addr);
-                    let v = delta.eval(&self.ctx());
+                    let vaddr = self.eval_addr(addr, now);
+                    let v = delta.eval(&self.ctx(now));
                     let dst = *dst;
                     self.advance();
                     return Fetched::Issue(IssueSpec {
@@ -469,8 +476,8 @@ impl PeInterp {
                             return Fetched::BlockedOnReg(*d);
                         }
                     }
-                    let vaddr = self.eval_addr(addr);
-                    let v = operand.eval(&self.ctx());
+                    let vaddr = self.eval_addr(addr, now);
+                    let v = operand.eval(&self.ctx(now));
                     let (op, dst) = (*op, *dst);
                     self.advance();
                     return Fetched::Issue(IssueSpec {
@@ -495,7 +502,7 @@ impl PeInterp {
                     if self.locked[*reg as usize] {
                         return Fetched::BlockedOnReg(*reg);
                     }
-                    self.regs[*reg as usize] = value.eval(&self.ctx());
+                    self.regs[*reg as usize] = value.eval(&self.ctx(now));
                     self.advance();
                     return Fetched::Work {
                         instructions: 1,
@@ -514,8 +521,8 @@ impl PeInterp {
                     if self.locked[*reg as usize] {
                         return Fetched::BlockedOnReg(*reg);
                     }
-                    let start = from.eval(&self.ctx());
-                    let end = to.eval(&self.ctx());
+                    let start = from.eval(&self.ctx(now));
+                    let end = to.eval(&self.ctx(now));
                     let (reg, loop_body) = (*reg, loop_body.clone());
                     self.advance();
                     if start < end {
@@ -544,8 +551,8 @@ impl PeInterp {
                     if self.locked[*reg as usize] {
                         return Fetched::BlockedOnReg(*reg);
                     }
-                    let counter = self.eval_addr(counter);
-                    let limit = limit.eval(&self.ctx());
+                    let counter = self.eval_addr(counter, now);
+                    let limit = limit.eval(&self.ctx(now));
                     let (reg, loop_body) = (*reg, loop_body.clone());
                     self.advance();
                     self.push_frame(Frame {
@@ -573,7 +580,7 @@ impl PeInterp {
                     if let Some(r) = cond.first_locked_reg(&self.locked) {
                         return Fetched::BlockedOnReg(r);
                     }
-                    let taken = cond.eval(&self.ctx());
+                    let taken = cond.eval(&self.ctx(now));
                     let branch = if taken { then_ops } else { else_ops }.clone();
                     self.advance();
                     if !branch.is_empty() {
@@ -592,6 +599,24 @@ impl PeInterp {
                     self.halted = true;
                     return Fetched::Halted;
                 }
+                Op::WaitUntil { cycle } => {
+                    if let Some(r) = self.hazard(&[cycle]) {
+                        return Fetched::BlockedOnReg(r);
+                    }
+                    // The target is fixed here, at fetch — a relative
+                    // `Clock + k` sleeps k cycles instead of chasing a
+                    // moving target — and the instruction is consumed:
+                    // waking resumes at the next op.
+                    let target = cycle.eval(&self.ctx(now)).max(0) as Cycle;
+                    self.advance();
+                    if now >= target {
+                        return Fetched::Work {
+                            instructions: 1,
+                            private_refs: 0,
+                        };
+                    }
+                    return Fetched::SleepUntil(target);
+                }
             }
         }
     }
@@ -609,8 +634,8 @@ impl PeInterp {
         self.frames.push(frame);
     }
 
-    fn eval_addr(&self, e: &Expr) -> usize {
-        let v = e.eval(&self.ctx());
+    fn eval_addr(&self, e: &Expr, now: Cycle) -> usize {
+        let v = e.eval(&self.ctx(now));
         usize::try_from(v).unwrap_or_else(|_| panic!("negative address {v} on {}", self.pe))
     }
 }
@@ -627,10 +652,11 @@ mod tests {
         let mut mem: HashMap<usize, Value> = HashMap::new();
         let mut interp = PeInterp::new(PeId(pe), n_pes, program);
         for _ in 0..100_000 {
-            match interp.next_op() {
+            match interp.next_op(0) {
                 Fetched::Halted => return (mem, interp),
                 Fetched::Work { .. } => {}
                 Fetched::Barrier | Fetched::Fence => {} // instant in this harness
+                Fetched::SleepUntil(_) => {}            // time is instant here too
                 Fetched::BlockedOnReg(_) => {
                     unreachable!("instant memory never leaves registers locked")
                 }
@@ -830,25 +856,25 @@ mod tests {
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
         // The load issues and locks r0.
-        let Fetched::Issue(spec) = interp.next_op() else {
+        let Fetched::Issue(spec) = interp.next_op(0) else {
             panic!("expected load issue");
         };
         interp.lock(spec.dst.unwrap());
         // Independent work proceeds while the load is in flight (§3.5:
         // "continue execution of the instruction stream immediately").
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 5,
                 private_refs: 0
             }
         );
         // The dependent Set must block.
-        assert_eq!(interp.next_op(), Fetched::BlockedOnReg(0));
-        assert_eq!(interp.next_op(), Fetched::BlockedOnReg(0), "retry safe");
+        assert_eq!(interp.next_op(0), Fetched::BlockedOnReg(0));
+        assert_eq!(interp.next_op(0), Fetched::BlockedOnReg(0), "retry safe");
         interp.write_and_unlock(0, 9);
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 1,
                 private_refs: 0
@@ -874,20 +900,20 @@ mod tests {
             vec![],
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
-        let Fetched::Issue(s) = interp.next_op() else {
+        let Fetched::Issue(s) = interp.next_op(0) else {
             panic!()
         };
         interp.lock(s.dst.unwrap());
-        assert_eq!(interp.next_op(), Fetched::BlockedOnReg(0));
+        assert_eq!(interp.next_op(0), Fetched::BlockedOnReg(0));
     }
 
     #[test]
     fn barrier_and_fence_surface_to_machine() {
         let p = Program::new(body(vec![Op::Barrier, Op::Fence, Op::Halt]), vec![]);
         let mut interp = PeInterp::new(PeId(0), 2, &p);
-        assert_eq!(interp.next_op(), Fetched::Barrier);
-        assert_eq!(interp.next_op(), Fetched::Fence);
-        assert_eq!(interp.next_op(), Fetched::Halted);
+        assert_eq!(interp.next_op(0), Fetched::Barrier);
+        assert_eq!(interp.next_op(0), Fetched::Fence);
+        assert_eq!(interp.next_op(0), Fetched::Halted);
         assert!(interp.is_halted());
     }
 
@@ -906,14 +932,14 @@ mod tests {
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 7,
                 private_refs: 0
             }
         );
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 3,
                 private_refs: 3
@@ -941,21 +967,21 @@ mod tests {
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 1,
                 private_refs: 0
             }
         );
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 18,
                 private_refs: 0
             }
         );
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 0,
                 private_refs: 0
@@ -979,14 +1005,14 @@ mod tests {
             vec![],
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
-        let Fetched::Issue(spec) = interp.next_op() else {
+        let Fetched::Issue(spec) = interp.next_op(0) else {
             panic!()
         };
         interp.lock(spec.dst.unwrap());
-        assert_eq!(interp.next_op(), Fetched::BlockedOnReg(0));
+        assert_eq!(interp.next_op(0), Fetched::BlockedOnReg(0));
         interp.write_and_unlock(0, 4);
         assert_eq!(
-            interp.next_op(),
+            interp.next_op(0),
             Fetched::Work {
                 instructions: 4,
                 private_refs: 0
@@ -1020,8 +1046,8 @@ mod tests {
             vec![],
         );
         let mut interp = PeInterp::new(PeId(3), 8, &p);
-        assert!(matches!(interp.next_op(), Fetched::Work { .. })); // Set
-        let Fetched::Issue(spec) = interp.next_op() else {
+        assert!(matches!(interp.next_op(0), Fetched::Work { .. })); // Set
+        let Fetched::Issue(spec) = interp.next_op(0) else {
             panic!("expected the first claim");
         };
         interp.lock(spec.dst.unwrap());
@@ -1036,7 +1062,7 @@ mod tests {
             i.write_and_unlock(0, 0); // deliver the claim: index 0
             let mut log = Vec::new();
             for _ in 0..32 {
-                let f = i.next_op();
+                let f = i.next_op(0);
                 let done = f == Fetched::Halted;
                 if let Fetched::Issue(s) = &f {
                     if let Some(d) = s.dst {
@@ -1068,6 +1094,73 @@ mod tests {
     }
 
     #[test]
+    fn wait_until_sleeps_then_resumes_at_next_op() {
+        let p = Program::new(
+            body(vec![
+                Op::WaitUntil {
+                    cycle: Expr::Const(100),
+                },
+                Op::Store {
+                    addr: Expr::Const(7),
+                    value: Expr::Clock,
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut interp = PeInterp::new(PeId(0), 1, &p);
+        // Fetched before the target: park until cycle 100; the op is
+        // consumed, so waking resumes at the store.
+        assert_eq!(interp.next_op(10), Fetched::SleepUntil(100));
+        let Fetched::Issue(spec) = interp.next_op(100) else {
+            panic!("expected the store after waking");
+        };
+        assert_eq!(spec.vaddr, 7);
+        assert_eq!(spec.value, 100, "Clock stamps the fetch cycle");
+        assert_eq!(interp.next_op(101), Fetched::Halted);
+    }
+
+    #[test]
+    fn wait_until_in_the_past_is_one_instruction() {
+        let p = Program::new(
+            body(vec![
+                Op::WaitUntil {
+                    cycle: Expr::Const(5),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut interp = PeInterp::new(PeId(0), 1, &p);
+        assert_eq!(
+            interp.next_op(9),
+            Fetched::Work {
+                instructions: 1,
+                private_refs: 0
+            }
+        );
+        assert_eq!(interp.next_op(10), Fetched::Halted);
+    }
+
+    #[test]
+    fn relative_wait_sleeps_from_fetch_cycle() {
+        // WaitUntil(Clock + 50) fetched at cycle 200 wakes at 250 — the
+        // target is fixed at fetch, not re-evaluated.
+        let p = Program::new(
+            body(vec![
+                Op::WaitUntil {
+                    cycle: Expr::add(Expr::Clock, 50),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut interp = PeInterp::new(PeId(0), 1, &p);
+        assert_eq!(interp.next_op(200), Fetched::SleepUntil(250));
+        assert_eq!(interp.next_op(250), Fetched::Halted);
+    }
+
+    #[test]
     #[should_panic(expected = "negative address")]
     fn negative_address_panics() {
         let p = Program::new(
@@ -1078,6 +1171,6 @@ mod tests {
             vec![],
         );
         let mut interp = PeInterp::new(PeId(0), 1, &p);
-        let _ = interp.next_op();
+        let _ = interp.next_op(0);
     }
 }

@@ -316,6 +316,8 @@ enum CtxState {
     WaitIssue(IssueSpec, Purpose),
     WaitBarrier,
     WaitFence,
+    /// Parked by [`Op::WaitUntil`] until the clock reaches the cycle.
+    WaitUntil(Cycle),
     Halted,
 }
 
@@ -1345,19 +1347,32 @@ impl Machine {
         // reply arrives (impossible: traffic is drained) or a future
         // event fires. `Ready` could execute now; `WaitIssue`
         // re-attempts each cycle and bumps PNI conflict counters, so
-        // neither may be skipped over.
+        // neither may be skipped over. A timed wait whose target is
+        // still ahead contributes a wake-up event at that cycle.
+        let mut next = None;
         for (c, state) in shard.states.iter().enumerate() {
             let parked = match state {
                 CtxState::Halted | CtxState::WaitBarrier => true,
                 CtxState::WaitReg(r) => shard.interps[c].is_locked(*r),
                 CtxState::WaitFence => shard.pni.outstanding() > 0,
+                CtxState::WaitUntil(at) => {
+                    if *at > now {
+                        next = min_event(next, *at);
+                        true
+                    } else {
+                        false
+                    }
+                }
                 CtxState::Ready | CtxState::WaitIssue(..) => return ShardFf::Runnable,
             };
             if !parked {
                 return ShardFf::Runnable;
             }
         }
-        ShardFf::Parked
+        match next {
+            Some(at) => ShardFf::Event(at),
+            None => ShardFf::Parked,
+        }
     }
 
     /// Applies one fired fault to the live machine. Faults target the
@@ -1876,6 +1891,10 @@ impl Wire for CtxState {
             Self::WaitBarrier => w.u8(3),
             Self::WaitFence => w.u8(4),
             Self::Halted => w.u8(5),
+            Self::WaitUntil(at) => {
+                w.u8(6);
+                w.u64(*at);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -1886,6 +1905,7 @@ impl Wire for CtxState {
             3 => Self::WaitBarrier,
             4 => Self::WaitFence,
             5 => Self::Halted,
+            6 => Self::WaitUntil(r.u64()?),
             _ => return Err(WireError::Invalid("context state tag")),
         })
     }
@@ -2221,11 +2241,19 @@ impl PeShard {
 
     /// Whether local context `c` could execute an instruction right now
     /// if given the datapath (resolving any completed waits).
-    fn resolve_waits(&mut self, c: usize) -> bool {
+    fn resolve_waits(&mut self, c: usize, now: Cycle) -> bool {
         match self.states[c].clone() {
             CtxState::Halted | CtxState::WaitBarrier => false,
             CtxState::WaitReg(r) => {
                 if self.interps[c].is_locked(r) {
+                    false
+                } else {
+                    self.states[c] = CtxState::Ready;
+                    true
+                }
+            }
+            CtxState::WaitUntil(at) => {
+                if now < at {
                     false
                 } else {
                     self.states[c] = CtxState::Ready;
@@ -2257,7 +2285,7 @@ impl PeShard {
         let k = self.states.len();
         for offset in 0..k {
             let c = (self.cursor + offset) % k;
-            if !self.resolve_waits(c) {
+            if !self.resolve_waits(c, cx.now) {
                 continue;
             }
             let advanced = self.ctx_execute(c, cx);
@@ -2302,7 +2330,7 @@ impl PeShard {
             return false;
         }
 
-        match self.interps[c].next_op() {
+        match self.interps[c].next_op(now) {
             Fetched::Halted => {
                 self.states[c] = CtxState::Halted;
                 self.fx.halted += 1;
@@ -2329,6 +2357,14 @@ impl PeShard {
             Fetched::BlockedOnReg(r) => {
                 self.states[c] = CtxState::WaitReg(r);
                 false
+            }
+            Fetched::SleepUntil(at) => {
+                // The wait instruction itself costs one slot (it is the
+                // fetch that fixed the target); the context then parks.
+                self.states[c] = CtxState::WaitUntil(at);
+                self.stats[c].instructions.incr();
+                self.busy_until = now + cpi;
+                true
             }
             Fetched::Fence => {
                 self.states[c] = CtxState::WaitFence;
@@ -3028,6 +3064,98 @@ mod tests {
             m.fast_forwarded_cycles() > 4_000,
             "the deadlocked tail should be skipped in one jump"
         );
+    }
+
+    #[test]
+    fn wait_until_wakes_on_time_and_fast_forwards_the_gap() {
+        // Every PE sleeps until a staggered absolute cycle, then stamps
+        // the clock it woke at into its own slot. The wake must be
+        // punctual (at/after the target, and not far after: the next
+        // fetch happens on the wake cycle), and the idle gaps must be
+        // fast-forwardable without disturbing the parity digest.
+        let p = Program::new(
+            body(vec![
+                Op::WaitUntil {
+                    cycle: Expr::add(Expr::mul(Expr::PeIndex, 1000), 2000),
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(300), Expr::PeIndex),
+                    value: Expr::Clock,
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let run = |ff: bool| {
+            let mut m = MachineBuilder::new(4)
+                .ideal(2)
+                .fast_forward(ff)
+                .build_spmd(&p);
+            assert!(m.run().completed);
+            for pe in 0..4i64 {
+                let target = pe * 1000 + 2000;
+                let woke = m.read_shared((300 + pe) as usize);
+                assert!(woke >= target, "PE {pe} woke at {woke}, before {target}");
+                assert!(woke < target + 16, "PE {pe} overslept: {woke} vs {target}");
+            }
+            (digest(&m), m.fast_forwarded_cycles())
+        };
+        let (slow, skipped_off) = run(false);
+        let (fast, skipped_on) = run(true);
+        assert_eq!(slow, fast, "fast-forward changed a timed-wait run");
+        assert_eq!(skipped_off, 0);
+        assert!(
+            skipped_on > 1_000,
+            "staggered sleeps must leave skippable gaps, got {skipped_on}"
+        );
+    }
+
+    #[test]
+    fn relative_wait_matches_across_backends() {
+        // WaitUntil(Clock + k) from inside a loop: a fixed-rate pacing
+        // pattern. Both backends must complete and agree that each
+        // iteration lands at least k cycles after the previous stamp.
+        let p = Program::new(
+            body(vec![
+                Op::For {
+                    reg: 1,
+                    from: Expr::Const(0),
+                    to: Expr::Const(4),
+                    body: body(vec![
+                        Op::WaitUntil {
+                            cycle: Expr::add(Expr::Clock, 100),
+                        },
+                        Op::Store {
+                            addr: Expr::add(
+                                Expr::add(Expr::Const(400), Expr::mul(Expr::PeIndex, 8)),
+                                Expr::Reg(1),
+                            ),
+                            value: Expr::Clock,
+                        },
+                    ]),
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        for build in [
+            MachineBuilder::new(2).ideal(2),
+            MachineBuilder::new(2).network(1),
+        ] {
+            let mut m = build.build_spmd(&p);
+            assert!(m.run().completed);
+            for pe in 0..2 {
+                let mut prev = 0;
+                for i in 0..4 {
+                    let stamp = m.read_shared(400 + pe * 8 + i);
+                    assert!(
+                        stamp >= prev + 100,
+                        "PE {pe} iteration {i} stamped {stamp}, under {prev} + 100"
+                    );
+                    prev = stamp;
+                }
+            }
+        }
     }
 
     #[test]

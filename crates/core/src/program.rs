@@ -46,6 +46,11 @@ pub enum Expr {
     Param(u8),
     /// A binary operation.
     Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// The machine cycle at which the instruction reading this is
+    /// fetched — the PE's real-time clock register. Serving workloads
+    /// stamp request completion times with it and pace themselves
+    /// against [`Op::WaitUntil`].
+    Clock,
 }
 
 /// Binary operators available in [`Expr`].
@@ -133,6 +138,7 @@ impl Expr {
             Expr::PeIndex => ctx.pe.0 as Value,
             Expr::NumPes => ctx.n_pes as Value,
             Expr::Param(i) => ctx.params.get(*i as usize).copied().unwrap_or(0),
+            Expr::Clock => ctx.clock,
             Expr::Bin(op, a, b) => {
                 let (a, b) = (a.eval(ctx), b.eval(ctx));
                 match op {
@@ -210,6 +216,7 @@ fn decode_expr(r: &mut WireReader<'_>, depth: usize) -> Result<Expr, WireError> 
             Box::new(decode_expr(r, depth - 1)?),
             Box::new(decode_expr(r, depth - 1)?),
         ),
+        6 => Expr::Clock,
         _ => return Err(WireError::Invalid("expression tag")),
     })
 }
@@ -237,6 +244,7 @@ impl Wire for Expr {
                 a.encode(w);
                 b.encode(w);
             }
+            Expr::Clock => w.u8(6),
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -322,6 +330,8 @@ pub struct EvalCtx<'a> {
     pub n_pes: usize,
     /// Program parameters.
     pub params: &'a [Value],
+    /// Current machine cycle, read by [`Expr::Clock`].
+    pub clock: Value,
 }
 
 /// Comparison operators for [`Cond`].
@@ -495,6 +505,16 @@ pub enum Op {
     },
     /// Stop this PE.
     Halt,
+    /// Park this context until the machine clock reaches `cycle`. The
+    /// target is evaluated once, when the instruction is fetched — so
+    /// `WaitUntil(Clock + k)` sleeps `k` cycles — and a target already
+    /// in the past costs one instruction and continues. The open-loop
+    /// pacing primitive: a serving worker holds a claimed request here
+    /// until its scheduled arrival.
+    WaitUntil {
+        /// Absolute wake cycle expression, evaluated at fetch.
+        cycle: Expr,
+    },
 }
 
 fn encode_op(op: &Op, w: &mut WireWriter) {
@@ -581,6 +601,10 @@ fn encode_op(op: &Op, w: &mut WireWriter) {
             encode_body(else_ops, w);
         }
         Op::Halt => w.u8(13),
+        Op::WaitUntil { cycle } => {
+            w.u8(14);
+            cycle.encode(w);
+        }
     }
 }
 
@@ -634,6 +658,9 @@ fn decode_op(r: &mut WireReader<'_>, depth: usize) -> Result<Op, WireError> {
             else_ops: decode_body(r, depth)?,
         },
         13 => Op::Halt,
+        14 => Op::WaitUntil {
+            cycle: Expr::decode(r)?,
+        },
         _ => return Err(WireError::Invalid("statement tag")),
     })
 }
@@ -764,6 +791,7 @@ mod tests {
             pe: PeId(3),
             n_pes: 8,
             params,
+            clock: 777,
         }
     }
 
@@ -782,6 +810,7 @@ mod tests {
         assert_eq!(Expr::NumPes.eval(&c), 8);
         assert_eq!(Expr::Param(0).eval(&c), 10);
         assert_eq!(Expr::Param(9).eval(&c), 0, "missing params read 0");
+        assert_eq!(Expr::Clock.eval(&c), 777, "clock reads the cycle");
     }
 
     #[test]
@@ -871,6 +900,13 @@ mod tests {
                         },
                         Op::Barrier,
                     ]),
+                },
+                Op::WaitUntil {
+                    cycle: Expr::add(Expr::Clock, 100),
+                },
+                Op::Store {
+                    addr: Expr::Const(50),
+                    value: Expr::Clock,
                 },
                 Op::Fence,
                 Op::Halt,

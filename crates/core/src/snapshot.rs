@@ -341,6 +341,44 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_cut_through_a_timed_wait_resumes_exactly() {
+        // Park every PE on a long [`Op::WaitUntil`], cut the snapshot
+        // while they sleep, and resume: the wake cycles stored afterward
+        // must match an uninterrupted run exactly — the parked target is
+        // simulation state ([`CtxState::WaitUntil`] on the wire), not
+        // something re-derived at restore time.
+        let program = Program::new(
+            body(vec![
+                Op::WaitUntil {
+                    cycle: Expr::add(Expr::mul(Expr::PeIndex, 50), 300),
+                },
+                Op::Store {
+                    addr: Expr::add(Expr::Const(500), Expr::PeIndex),
+                    value: Expr::Clock,
+                },
+                Op::Halt,
+            ]),
+            vec![],
+        );
+        let mut oneshot = MachineBuilder::new(4).build_spmd(&program);
+        assert!(oneshot.run().completed);
+
+        let mut first = MachineBuilder::new(4).build_spmd(&program);
+        let out = first.run_for(120);
+        assert!(!out.completed, "every PE should still be asleep");
+        let mut resumed = Machine::restore(&first.snapshot()).unwrap();
+        assert!(resumed.run().completed);
+        assert_eq!(digest(&resumed), digest(&oneshot));
+        for pe in 0..4 {
+            assert_eq!(
+                resumed.read_shared(500 + pe),
+                oneshot.read_shared(500 + pe),
+                "PE {pe} woke at a different cycle after the resume"
+            );
+        }
+    }
+
+    #[test]
     fn run_on_a_completed_machine_is_a_fixed_point() {
         let mut m = MachineBuilder::new(8).build_spmd(&ticket_program(2));
         let first = m.run();

@@ -244,11 +244,14 @@ impl Server {
 
 /// Renders one job's NDJSON result line.
 ///
-/// Deliberately deterministic: no wall-clock fields and no cache
-/// provenance, so a cached resume renders byte-identically to a fresh
-/// one-shot run of the same spec — the service's core correctness claim,
-/// asserted by the integration tests. The `parity` field is the FNV-1a
-/// digest of the machine's canonical parity string.
+/// Deliberately deterministic: no wall-clock fields and no cache or
+/// engine provenance, so a cached resume renders byte-identically to a
+/// fresh one-shot run of the same spec — the service's core correctness
+/// claim, asserted by the integration tests. (That rules out
+/// `fast_forwarded` too: how many idle cycles were *jumped* depends on
+/// where checkpoint slices cut a jump, an execution detail the parity
+/// string also excludes.) The `parity` field is the FNV-1a digest of the
+/// machine's canonical parity string.
 fn render_result(spec: &JobSpec, m: &Machine, status: JobStatus) -> String {
     let report = MachineReport::from_machine(m);
     let digest = fnv1a(report.parity_string().as_bytes());
@@ -259,13 +262,22 @@ fn render_result(spec: &JobSpec, m: &Machine, status: JobStatus) -> String {
         .uint("pes", spec.pes as u64)
         .uint("seed", spec.seed)
         .uint("cycles", m.now())
-        .uint("fast_forwarded", report.fast_forwarded)
         .uint("injected", report.net.injected_requests.get())
         .uint("combines", report.net.combines.get())
         .uint("drops", report.net.drops.get())
         .uint("retries", report.faults.retries)
         .int("shared0", m.read_shared(0))
         .str("parity", &format!("{digest:016x}"));
+    // A completed serving job reports its end-to-end latency tail; a
+    // truncated one cannot (some requests never stamped a completion).
+    if spec.workload == crate::spec::Workload::Serving && status == JobStatus::Completed {
+        let lat = spec.serving_config().latencies(m);
+        obj = obj
+            .uint("latency_p50", lat.percentile(50.0))
+            .uint("latency_p90", lat.percentile(90.0))
+            .uint("latency_p99", lat.percentile(99.0))
+            .uint("latency_max", lat.max());
+    }
     if spec.telemetry_window.is_some() {
         obj = obj.raw("telemetry", telemetry_json(m));
     }

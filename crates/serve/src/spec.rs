@@ -40,9 +40,19 @@ pub enum Workload {
     /// `rounds` alternations of a fetch-and-add with a machine-assisted
     /// barrier — the phase structure of the §4.2 scientific codes.
     Barrier,
+    /// The serving tier ([`ultra_workloads::Serving`]): `rounds` requests
+    /// arrive open-loop on a seeded Poisson schedule (mean gap from the
+    /// spec's `mean_gap` field), workers claim them from a fetch-and-add
+    /// ticket queue, and completed jobs report end-to-end latency
+    /// percentiles.
+    Serving,
 }
 
 impl Workload {
+    /// Every registry name, in protocol order — the list quoted by the
+    /// unknown-workload parse error.
+    pub const NAMES: &'static [&'static str] = &["counter", "ticket", "barrier", "serving"];
+
     /// The registry name used in the protocol.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -50,6 +60,7 @@ impl Workload {
             Self::Counter => "counter",
             Self::Ticket => "ticket",
             Self::Barrier => "barrier",
+            Self::Serving => "serving",
         }
     }
 
@@ -60,6 +71,7 @@ impl Workload {
             "counter" => Some(Self::Counter),
             "ticket" => Some(Self::Ticket),
             "barrier" => Some(Self::Barrier),
+            "serving" => Some(Self::Serving),
             _ => None,
         }
     }
@@ -67,6 +79,12 @@ impl Workload {
     /// Builds the per-PE program for this workload.
     #[must_use]
     pub fn program(self, rounds: i64) -> Program {
+        if self == Self::Serving {
+            // The serving program depends only on the request count; the
+            // arrival schedule (which does depend on `mean_gap` and the
+            // seed) is data, installed by [`JobSpec::machine`].
+            return ultra_workloads::Serving::new(rounds.max(1) as usize, 1).program();
+        }
         let ops = match self {
             Self::Counter => vec![
                 Op::For {
@@ -121,6 +139,7 @@ impl Workload {
                 },
                 Op::Halt,
             ],
+            Self::Serving => unreachable!("serving returns early above"),
         };
         Program::new(body(ops), vec![])
     }
@@ -180,8 +199,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Which registry workload to run.
     pub workload: Workload,
-    /// Workload size parameter.
+    /// Workload size parameter (for `serving`: the request count).
     pub rounds: i64,
+    /// Mean inter-arrival gap in cycles for the `serving` workload
+    /// (inverse offered load); ignored by the closed workloads.
+    pub mean_gap: u64,
     /// Network copies `d` (1 = single copy).
     pub copies: usize,
     /// Engine thread budget for this job's machine (a speed knob — every
@@ -217,6 +239,7 @@ impl JobSpec {
             seed: 0x5eed,
             workload: Workload::Counter,
             rounds: 4,
+            mean_gap: 50,
             copies: 1,
             threads: 1,
             cycles: DEFAULT_CYCLE_BUDGET,
@@ -249,14 +272,24 @@ impl JobSpec {
                 "seed" => spec.seed = uint(key, value)?,
                 "workload" => {
                     let name = value.as_str().ok_or("field `workload` must be a string")?;
-                    spec.workload = Workload::by_name(name)
-                        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+                    spec.workload = Workload::by_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown workload `{name}` (known workloads: {})",
+                            Workload::NAMES.join(", ")
+                        )
+                    })?;
                 }
                 "rounds" => {
                     spec.rounds = value
                         .as_i64()
                         .filter(|&r| r >= 1)
                         .ok_or("field `rounds` must be a positive integer")?;
+                }
+                "mean_gap" => {
+                    spec.mean_gap = value
+                        .as_u64()
+                        .filter(|&g| g >= 1)
+                        .ok_or("field `mean_gap` must be a positive integer")?;
                 }
                 "copies" => spec.copies = uint(key, value)? as usize,
                 "threads" => spec.threads = uint(key, value)? as usize,
@@ -332,6 +365,9 @@ impl JobSpec {
         if self.threads < 1 {
             return Err("threads must be >= 1".into());
         }
+        if self.mean_gap < 1 {
+            return Err("mean_gap must be >= 1".into());
+        }
         if self.cycles < 1 {
             return Err("cycles must be >= 1".into());
         }
@@ -359,7 +395,19 @@ impl JobSpec {
         if !self.faults.is_none() {
             b = b.faults(self.faults.plan());
         }
-        b.build_spmd(&self.workload.program(self.rounds))
+        let mut m = b.build_spmd(&self.workload.program(self.rounds));
+        if self.workload == Workload::Serving {
+            self.serving_config().install(&mut m);
+        }
+        m
+    }
+
+    /// The serving-workload configuration this spec names: request count
+    /// from `rounds`, arrival process from `mean_gap` and the machine
+    /// seed. Meaningful only when `workload` is `serving`.
+    #[must_use]
+    pub fn serving_config(&self) -> ultra_workloads::Serving {
+        ultra_workloads::Serving::new(self.rounds.max(1) as usize, self.mean_gap).seed(self.seed)
     }
 
     /// The snapshot-cache key: every field that shapes simulation state,
@@ -370,11 +418,18 @@ impl JobSpec {
     #[must_use]
     pub fn prefix_key(&self) -> String {
         format!(
-            "pes={};seed={};workload={};rounds={};copies={};dead_mms={:?};dead_copies={:?};link_loss={};fault_seed={}",
+            "pes={};seed={};workload={};rounds={};mean_gap={};copies={};dead_mms={:?};dead_copies={:?};link_loss={};fault_seed={}",
             self.pes,
             self.seed,
             self.workload.name(),
             self.rounds,
+            // Only serving machines read the gap; normalizing it to 0
+            // elsewhere lets closed-workload jobs keep sharing prefixes.
+            if self.workload == Workload::Serving {
+                self.mean_gap
+            } else {
+                0
+            },
             self.copies,
             self.faults.dead_mms,
             self.faults.dead_copies,
@@ -429,6 +484,11 @@ mod tests {
             (r#"{"pes": 6}"#, "power of two"),
             (r#"{"pes": "eight"}"#, "non-negative integer"),
             (r#"{"workload": "fib"}"#, "unknown workload"),
+            (
+                r#"{"workload": "fib"}"#,
+                "counter, ticket, barrier, serving",
+            ),
+            (r#"{"mean_gap": 0}"#, "positive"),
             (r#"{"rounds": 0}"#, "positive"),
             (r#"{"link_loss": 1.5}"#, "probability"),
             (r#"{"copies": 2, "dead_copies": [2]}"#, "out of range"),
@@ -464,6 +524,38 @@ mod tests {
             spec_of(r#"{"pes": 8, "seed": 1, "workload": "ticket", "rounds": 5, "dead_mms": [3]}"#)
                 .unwrap();
         assert_ne!(base.prefix_key(), other_faults.prefix_key());
+    }
+
+    #[test]
+    fn serving_jobs_complete_and_stamp_every_request() {
+        let spec = spec_of(
+            r#"{"pes": 4, "seed": 9, "workload": "serving", "rounds": 32, "mean_gap": 40}"#,
+        )
+        .unwrap();
+        let mut m = spec.machine();
+        assert!(m.run().completed);
+        let lat = spec.serving_config().latencies(&m);
+        assert_eq!(lat.count(), 32);
+    }
+
+    #[test]
+    fn serving_prefix_key_tracks_the_offered_load() {
+        let at = |gap: u64| {
+            let mut spec = JobSpec::new("s");
+            spec.workload = Workload::Serving;
+            spec.rounds = 64;
+            spec.mean_gap = gap;
+            spec.prefix_key()
+        };
+        assert_ne!(at(20), at(40), "the gap shapes serving state");
+        // Closed workloads ignore the gap — and must keep sharing
+        // snapshot prefixes across it.
+        let closed = |gap: u64| {
+            let mut spec = JobSpec::new("c");
+            spec.mean_gap = gap;
+            spec.prefix_key()
+        };
+        assert_eq!(closed(20), closed(40));
     }
 
     #[test]

@@ -201,6 +201,63 @@ fn telemetry_jobs_attach_a_series_and_never_resume_from_cache() {
 }
 
 #[test]
+fn serving_sweep_resumes_from_the_prefix_cache_with_identical_curve() {
+    // A load-vs-p99 sweep through the service: one serving point per
+    // offered load. For one point, a short-budget job warms the cache —
+    // its checkpoint holds WaitUntil-parked worker contexts mid-sweep —
+    // and the full-budget job must resume from it and still render the
+    // exact result line (latency percentiles and parity digest included)
+    // a fresh one-shot run produces.
+    let serving_spec = |id: &str, gap: u64| {
+        let mut spec = JobSpec::new(id);
+        spec.pes = 4;
+        spec.seed = 17;
+        spec.workload = Workload::Serving;
+        spec.rounds = 64;
+        spec.mean_gap = gap;
+        spec.checkpoint_every = 256;
+        spec
+    };
+
+    let server = Server::new();
+    let mut warm = serving_spec("warm", 120);
+    warm.cycles = 1_500;
+    let warm_out = server.run_job(&warm);
+    assert_eq!(field(&warm_out.line, "status"), "budget-exhausted");
+    assert!(
+        !warm_out.line.contains("latency_p99"),
+        "a truncated serving job must not report a latency tail"
+    );
+
+    // The sweep itself: three loads, the first sharing the warm prefix.
+    let mut curve = Vec::new();
+    for (i, gap) in [120u64, 30, 5].into_iter().enumerate() {
+        let spec = serving_spec(&format!("point-{gap}"), gap);
+        let out = server.run_job(&spec);
+        assert_eq!(field(&out.line, "status"), "completed");
+        if i == 0 {
+            assert!(
+                out.log.iter().any(|l| l.contains("cache hit")),
+                "the warm point must resume from the snapshot cache, got {:?}",
+                out.log
+            );
+        }
+        let solo = Server::new().run_job(&spec);
+        assert_eq!(
+            out.line, solo.line,
+            "resumed serving point at gap {gap} diverged from one-shot"
+        );
+        curve.push((gap, field(&out.line, "latency_p99").parse::<u64>().unwrap()));
+    }
+    assert!(server.cache().hits() >= 1, "prefix cache never hit");
+
+    // The curve keeps the serving-tier shape: saturation inflates p99.
+    let relaxed = curve[0].1;
+    let saturated = curve[2].1;
+    assert!(saturated > relaxed, "p99 must grow with load: {curve:?}");
+}
+
+#[test]
 fn cancelled_jobs_report_cancelled_without_running() {
     let server = Server::new();
     server.cancel("doomed");

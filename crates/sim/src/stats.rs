@@ -272,8 +272,11 @@ impl Histogram {
 
     /// Value at or below which `p` percent of observations fall.
     ///
-    /// Exact below 256; the lower edge of the matching power-of-two bin
-    /// above. Returns 0 for an empty histogram.
+    /// Exact below 256; above, the matching power-of-two bin's *upper*
+    /// edge, clamped to the observed maximum. A bucketed percentile may
+    /// therefore overstate by at most the bin width but never understates
+    /// the tail: `percentile(100.0) == max()`, and the result is monotone
+    /// in `p`. Returns 0 for an empty histogram.
     ///
     /// # Panics
     ///
@@ -295,7 +298,10 @@ impl Histogram {
         for (bin, &c) in self.log.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return LINEAR_BINS << bin;
+                // Upper edge of `[256<<bin, 256<<(bin+1))`; the observed
+                // max bounds the highest occupied bin from above.
+                let upper = (LINEAR_BINS << (bin + 1)) - 1;
+                return upper.min(self.max);
             }
         }
         self.max
@@ -455,8 +461,10 @@ mod tests {
         h.record(5000);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 5000);
-        // p50 falls in the first log bin, whose lower edge is 256.
-        assert_eq!(h.percentile(50.0), 256);
+        // p50 falls in the first log bin [256, 512); its upper edge is 511.
+        assert_eq!(h.percentile(50.0), 511);
+        // p100 is always the exact observed maximum.
+        assert_eq!(h.percentile(100.0), 5000);
     }
 
     #[test]
@@ -498,9 +506,10 @@ mod tests {
         h.record(10_000);
         assert_eq!(h.p50(), 4);
         assert_eq!(h.p90(), 4);
-        // 10_000 lands in a log bin; its lower power-of-two edge is 8192.
         assert_eq!(h.p99(), 4);
-        assert_eq!(h.percentile(100.0), 8192);
+        // 10_000 lands in the [8192, 16384) log bin; the percentile clamps
+        // the bin's upper edge to the observed maximum.
+        assert_eq!(h.percentile(100.0), 10_000);
     }
 
     #[test]
@@ -512,5 +521,106 @@ mod tests {
         assert_eq!(h.p50(), 17);
         assert_eq!(h.p90(), 17);
         assert_eq!(h.p99(), 17);
+    }
+
+    /// Deterministic pseudo-random value stream for the property tests:
+    /// an xorshift walk shaped so values cover linear bins, several log
+    /// bins, and the extremes.
+    fn property_values(seed: u64, n: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Spread across ~2^(0..34) so both bin regimes are hit.
+                let shift = (x >> 58) % 34;
+                (x >> 30) >> (33 - shift)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentile_100_is_exact_max_property() {
+        for seed in 1..=20u64 {
+            let mut h = Histogram::new();
+            let mut true_max = 0;
+            for v in property_values(seed * 0x9e37, 500) {
+                h.record(v);
+                true_max = true_max.max(v);
+            }
+            assert_eq!(h.percentile(100.0), true_max, "seed {seed}");
+            assert_eq!(h.percentile(100.0), h.max(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p_property() {
+        for seed in 1..=20u64 {
+            let mut h = Histogram::new();
+            for v in property_values(seed * 0x517c, 300) {
+                h.record(v);
+            }
+            let mut prev = 0;
+            for p in 0..=100 {
+                let q = h.percentile(f64::from(p));
+                assert!(
+                    q >= prev,
+                    "seed {seed}: percentile({p}) = {q} < percentile({}) = {prev}",
+                    p - 1
+                );
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_never_understates_never_exceeds_max() {
+        // Every percentile of a bucketed histogram must be >= the exact
+        // percentile of the raw data (tail-safe) and <= the observed max.
+        for seed in 1..=10u64 {
+            let mut h = Histogram::new();
+            let mut raw = property_values(seed * 0xabcd, 400);
+            for &v in &raw {
+                h.record(v);
+            }
+            raw.sort_unstable();
+            for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                let target = ((p / 100.0) * raw.len() as f64).ceil().max(1.0) as usize;
+                let exact = raw[target - 1];
+                let q = h.percentile(p);
+                assert!(
+                    q >= exact,
+                    "seed {seed} p{p}: {q} understates exact {exact}"
+                );
+                assert!(q <= h.max(), "seed {seed} p{p}: {q} exceeds max");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_recording_everything_once() {
+        for seed in 1..=10u64 {
+            let values = property_values(seed * 0x2545, 600);
+            let mut whole = Histogram::new();
+            for &v in &values {
+                whole.record(v);
+            }
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                if i % 3 == 0 {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "seed {seed}: merge must be exact");
+            for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+                assert_eq!(a.percentile(p), whole.percentile(p), "seed {seed} p{p}");
+            }
+            assert_eq!(a.percentile(100.0), whole.max(), "seed {seed}");
+        }
     }
 }

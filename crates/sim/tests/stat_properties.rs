@@ -125,6 +125,70 @@ fn percentiles_are_monotone() {
 }
 
 #[test]
+fn histogram_percentile_100_equals_max() {
+    forall(128, "histogram_percentile_100_equals_max", |rng| {
+        // Mix small exact values with deep log-bin tails: the top
+        // percentile must always be the exact observed maximum, never a
+        // power-of-two bin edge.
+        let bound = 1u64 << (2 + rng.below(40) as u32);
+        let values = vec_u64(rng, bound, 1, 300);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), *values.iter().max().unwrap());
+        assert_eq!(h.percentile(100.0), h.max());
+    });
+}
+
+#[test]
+fn histogram_percentile_never_understates() {
+    forall(128, "histogram_percentile_never_understates", |rng| {
+        // Bucketing may round a percentile up (to the bin's upper edge)
+        // but must never report below the exact order statistic — a
+        // tail-latency report that understates is the failure mode the
+        // upper-edge semantics exist to rule out.
+        let values = vec_u64(rng, 1 << 20, 1, 250);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &p in &[1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            let q = h.percentile(p);
+            assert!(q >= sorted[rank], "p{p}: {q} < exact {}", sorted[rank]);
+            assert!(q <= h.max(), "p{p}: {q} above max {}", h.max());
+        }
+    });
+}
+
+#[test]
+fn histogram_merge_then_percentile_consistent() {
+    forall(128, "histogram_merge_then_percentile_consistent", |rng| {
+        let values = vec_u64(rng, 1 << 24, 2, 300);
+        let cut = rng.below(values.len() + 1);
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < cut {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        for &p in &[0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p = {p}");
+        }
+        assert_eq!(a.percentile(100.0), whole.max());
+    });
+}
+
+#[test]
 fn rng_below_is_roughly_uniform() {
     forall(64, "rng_below_is_roughly_uniform", |rng| {
         let seed = rng.next_u64();

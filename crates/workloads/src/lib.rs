@@ -20,6 +20,11 @@
 //! * [`fluid::Fluid`] — §5's "incompressible fluid flow within an elastic
 //!   boundary": a regular grid phase alternating with an irregular
 //!   boundary-point phase each timestep.
+//! * [`serving::Serving`] — not from the paper's tables: a serving-tier
+//!   family built on the same primitives. Open-loop Poisson users, a
+//!   fetch-and-add ticket queue dispatching requests to worker PEs, KV
+//!   records hashed across the memory modules, and end-to-end
+//!   per-request latency histograms (load-vs-p99 curves).
 //!
 //! Reference mixes (memory references and shared references per
 //! instruction) are tunable and default to values that land in Table 1's
@@ -36,6 +41,7 @@ pub mod efficiency;
 pub mod fluid;
 pub mod multigrid;
 pub mod particle;
+pub mod serving;
 pub mod speedup;
 pub mod tred2;
 pub mod weather;
@@ -44,5 +50,6 @@ pub use efficiency::{EfficiencyModel, Measurement};
 pub use fluid::Fluid;
 pub use multigrid::Multigrid;
 pub use particle::Particle;
+pub use serving::Serving;
 pub use tred2::Tred2;
 pub use weather::Weather;

@@ -188,6 +188,7 @@ mod tests {
                     pe: ultra_sim::PeId(0),
                     n_pes: 4,
                     params: &params,
+                    clock: 0,
                 };
                 let addr = Expr::rem(
                     Expr::hash(Expr::Reg(4), Expr::mul(Expr::Reg(3), 2654435761)),

@@ -10,6 +10,13 @@ for bin in packaging fig7 table1 table2 table3 hotspot queue_depth bandwidth mul
     echo
 done
 
+echo "== serving =="
+# E15: the open-loop serving tier — load vs tail latency, plus the
+# deterministic curve artifact.
+cargo run --release -q -p ultra-bench --bin serving -- --out results/serving-curve.json \
+    | tee results/serving.txt
+echo
+
 echo "== ultra-serve =="
 # Three-job batch: `warm` and `resume` share a sweep prefix (same machine,
 # seed and workload; only the cycle budget differs), so `resume` must pick

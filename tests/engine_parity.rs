@@ -169,6 +169,56 @@ fn engines_agree_on_random_configs_and_workloads() {
 }
 
 #[test]
+fn serving_latency_curve_is_bit_identical_across_engines() {
+    // The serving workload leans on everything the other parity programs
+    // don't: timed waits ([`Op::WaitUntil`]) parked across long
+    // fast-forwardable gaps at light load, and backlogged (already-past)
+    // arrival targets at heavy load. The whole latency histogram — not
+    // just a few percentiles — must survive every engine unchanged.
+    use ultra_workloads::Serving;
+    for gap in [150u64, 4] {
+        let s = Serving::new(96, gap).seed(13);
+        let run = |threads: usize, ff: bool| {
+            let mut m = MachineBuilder::new(8)
+                .seed(13)
+                .threads(threads)
+                .fast_forward(ff)
+                .build_spmd(&s.program());
+            s.install(&mut m);
+            assert!(m.run().completed, "gap {gap} must drain");
+            (
+                MachineReport::from_machine(&m).parity_string(),
+                s.latencies(&m),
+            )
+        };
+        let (seq_parity, seq_lat) = run(1, true);
+        for threads in [2usize, 4] {
+            let (parity, lat) = run(threads, true);
+            assert_eq!(
+                seq_parity, parity,
+                "gap {gap}: parity diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq_lat, lat,
+                "gap {gap}: latency histogram diverged at {threads} threads"
+            );
+        }
+        let (stepped_parity, stepped_lat) = run(1, false);
+        assert_eq!(
+            seq_parity, stepped_parity,
+            "gap {gap}: fast-forward changed the simulation"
+        );
+        assert_eq!(
+            seq_lat, stepped_lat,
+            "gap {gap}: fast-forward changed the latency histogram"
+        );
+        // The curve point itself — the artifact the serving bench
+        // publishes — is a pure function of the histogram.
+        assert_eq!(seq_lat.percentile(100.0), seq_lat.max());
+    }
+}
+
+#[test]
 fn engines_agree_on_random_fault_plans() {
     forall(8, "engine parity under faults", |rng| {
         let seed = rng.next_u64();
