@@ -23,10 +23,15 @@
 //! * `--metrics-out <path>` / `--trace-out <path>` — re-run the
 //!   highest-load point with cycle-windowed telemetry and write the
 //!   per-window series + heatmap as JSON / Chrome `trace_event` JSON.
+//! * `--prom-out <path>` — write the sweep's latency distributions as a
+//!   Prometheus text exposition (one summary per offered load), the
+//!   same format `ultra-serve` answers to `{"metrics"}`.
 
 use std::path::PathBuf;
 
 use ultra_bench::json::{array_lines, metrics_json, JsonObject};
+use ultra_obs::metrics::PromWriter;
+use ultra_sim::stats::Histogram;
 use ultra_sim::wire::fnv1a;
 use ultra_sim::Cycle;
 use ultra_workloads::Serving;
@@ -46,6 +51,8 @@ struct Point {
     throughput: f64,
     /// FNV-1a of the machine's canonical parity string.
     parity: u64,
+    /// The full latency distribution behind the percentiles above.
+    lat: Histogram,
 }
 
 /// How one sweep is configured: a fixed machine shape swept over gaps.
@@ -87,7 +94,49 @@ fn measure(sweep: Sweep, gap: u64, threads: usize, fast_forward: bool) -> Point 
         mean: lat.mean(),
         throughput: sweep.requests as f64 * 1000.0 / out.cycles.max(1) as f64,
         parity,
+        lat,
     }
+}
+
+/// The sweep as a Prometheus text exposition: one latency summary and
+/// one throughput gauge per offered load, rendered from each point's
+/// exact [`Histogram`] (same format `ultra-serve` serves live).
+fn render_prom(points: &[Point]) -> String {
+    let mut w = PromWriter::new();
+    w.family(
+        "ultra_bench_serving_request_latency_cycles",
+        "summary",
+        "end-to-end request latency in cycles per offered load (quantile 1 is the max)",
+    );
+    for p in points {
+        let gap = p.mean_gap.to_string();
+        w.summary(
+            "ultra_bench_serving_request_latency_cycles",
+            &[("mean_gap", gap.as_str())],
+            &[
+                ("0.5", p.p50 as f64),
+                ("0.9", p.p90 as f64),
+                ("0.99", p.p99 as f64),
+                ("1", p.max as f64),
+            ],
+            p.lat.sum() as f64,
+            p.lat.count(),
+        );
+    }
+    w.family(
+        "ultra_bench_serving_throughput_per_kcycle",
+        "gauge",
+        "completed requests per thousand cycles at each offered load",
+    );
+    for p in points {
+        let gap = p.mean_gap.to_string();
+        w.sample(
+            "ultra_bench_serving_throughput_per_kcycle",
+            &[("mean_gap", gap.as_str())],
+            p.throughput,
+        );
+    }
+    w.finish()
 }
 
 fn point_json(p: &Point) -> String {
@@ -139,6 +188,7 @@ fn main() {
     let out_path = flag_path("--out");
     let metrics_path = flag_path("--metrics-out");
     let trace_path = flag_path("--trace-out");
+    let prom_path = flag_path("--prom-out");
     let sweep = Sweep {
         pes: flag_num("--pes", 8) as usize,
         requests: flag_num("--requests", if quick { 256 } else { 1024 }) as usize,
@@ -178,6 +228,11 @@ fn main() {
 
     if let Some(path) = &out_path {
         std::fs::write(path, render_curve(sweep, &points)).expect("write --out file");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &prom_path {
+        std::fs::write(path, render_prom(&points)).expect("write --prom-out file");
         println!("wrote {}", path.display());
     }
 

@@ -18,15 +18,32 @@
 //!   of combine counts, queue high-water marks and wait-buffer
 //!   occupancy, with an ASCII renderer for report footers.
 //!
+//! The modules above observe the simulated *machine* in simulated time.
+//! Two further modules observe the **service wrapped around it** in
+//! wall-clock time (see `ultra-serve`):
+//!
+//! * [`metrics`] — a dep-free service-metrics registry
+//!   ([`MetricsRegistry`]: counters, gauges, log-bin histograms on
+//!   relaxed atomics) with Prometheus-style text exposition
+//!   ([`PromWriter`]).
+//! * [`flight`] — a bounded flight recorder ([`FlightRecorder`]) keeping
+//!   the last K structured NDJSON job events for post-mortem dumps.
+//!
 //! Everything here is passive: recording never feeds back into the
 //! simulation, so enabling telemetry cannot perturb `parity_string`.
 
 pub mod chrome;
+pub mod flight;
 pub mod heatmap;
+pub mod metrics;
 pub mod series;
 
 pub use chrome::{json_escape, ChromeTraceBuilder};
+pub use flight::{FlightEvent, FlightLevel, FlightRecorder};
 pub use heatmap::HeatmapSnapshot;
+pub use metrics::{
+    AtomicHistogram, Counter, Gauge, HistoSnapshot, MetricKind, MetricsRegistry, PromWriter,
+};
 pub use series::{
     CounterSnapshot, EnginePhase, GaugeSnapshot, PhaseRecorder, PhaseSpan, Sample, TimeSeries,
 };

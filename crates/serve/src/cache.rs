@@ -13,11 +13,26 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ultra_obs::metrics::Counter as MetricCounter;
 use ultra_sim::Cycle;
 
 /// Checkpoints kept per prefix key; the earliest is evicted first (late
 /// checkpoints cover more of any future job's prefix).
 const PER_KEY_CAP: usize = 8;
+
+/// Live instruments the cache reports into (registered by
+/// `crate::obs::ServeObs::cache_meter`). The cache keeps its own local
+/// hit/miss counts regardless; the meter mirrors them into the metrics
+/// registry.
+#[derive(Clone)]
+pub struct CacheMeter {
+    /// Lookups that found a usable checkpoint.
+    pub hits: Arc<MetricCounter>,
+    /// Lookups that found nothing.
+    pub misses: Arc<MetricCounter>,
+    /// Checkpoints evicted by the per-key cap.
+    pub evictions: Arc<MetricCounter>,
+}
 
 /// Checkpoints of one prefix, indexed by the cycle they were taken at.
 type Checkpoints = BTreeMap<Cycle, Arc<Vec<u8>>>;
@@ -29,6 +44,8 @@ pub struct SnapshotCache {
     by_key: Mutex<HashMap<String, Checkpoints>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    meter: Option<CacheMeter>,
 }
 
 impl SnapshotCache {
@@ -38,14 +55,34 @@ impl SnapshotCache {
         Self::default()
     }
 
+    /// An empty cache that mirrors hit/miss/eviction counts into
+    /// `meter`.
+    #[must_use]
+    pub fn with_meter(meter: CacheMeter) -> Self {
+        Self {
+            meter: Some(meter),
+            ..Self::default()
+        }
+    }
+
     /// Deposits a checkpoint of `key` taken at `cycle`.
     pub fn insert(&self, key: &str, cycle: Cycle, snapshot: Vec<u8>) {
-        let mut map = self.by_key.lock().expect("cache poisoned");
-        let slots = map.entry(key.to_owned()).or_default();
-        slots.insert(cycle, Arc::new(snapshot));
-        while slots.len() > PER_KEY_CAP {
-            let earliest = *slots.keys().next().expect("non-empty");
-            slots.remove(&earliest);
+        let mut evicted = 0;
+        {
+            let mut map = self.by_key.lock().expect("cache poisoned");
+            let slots = map.entry(key.to_owned()).or_default();
+            slots.insert(cycle, Arc::new(snapshot));
+            while slots.len() > PER_KEY_CAP {
+                let earliest = *slots.keys().next().expect("non-empty");
+                slots.remove(&earliest);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if let Some(meter) = &self.meter {
+                meter.evictions.add(evicted);
+            }
         }
     }
 
@@ -61,9 +98,19 @@ impl SnapshotCache {
                 .map(|(&at, snap)| (at, Arc::clone(snap)))
         });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(meter) = &self.meter {
+                    meter.hits.incr();
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(meter) = &self.meter {
+                    meter.misses.incr();
+                }
+            }
+        }
         found
     }
 
@@ -77,6 +124,12 @@ impl SnapshotCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints evicted by the per-key cap since construction.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Total checkpoints currently held, across all keys.
@@ -131,6 +184,25 @@ mod tests {
             .best_at_or_below("k", Cycle::MAX)
             .expect("latest survives");
         assert_eq!(at, (PER_KEY_CAP as Cycle + 3) * 10);
+    }
+
+    #[test]
+    fn evictions_are_counted_and_mirrored_into_the_meter() {
+        let meter = CacheMeter {
+            hits: Arc::new(MetricCounter::new()),
+            misses: Arc::new(MetricCounter::new()),
+            evictions: Arc::new(MetricCounter::new()),
+        };
+        let cache = SnapshotCache::with_meter(meter.clone());
+        for cycle in 1..=(PER_KEY_CAP as Cycle + 2) {
+            cache.insert("k", cycle * 10, vec![cycle as u8]);
+        }
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(meter.evictions.get(), 2);
+        let _ = cache.best_at_or_below("k", Cycle::MAX);
+        let _ = cache.best_at_or_below("other", 1);
+        assert_eq!((meter.hits.get(), meter.misses.get()), (1, 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   checkpoint at or below its own cycle target instead of re-simulating
 //!   the shared prefix — bit-identical by the core snapshot contract;
 //! * the **workload registry** ([`spec::Workload`]): deterministic
-//!   programs parameterized by `(pes, rounds)`.
+//!   programs parameterized by `(pes, rounds)`;
+//! * an optional **observability hub** ([`obs::ServeObs`], enabled via
+//!   [`Server::with_obs`]): a live metrics registry with Prometheus
+//!   exposition, per-phase latency histograms, per-job Perfetto spans
+//!   and a bounded flight recorder of structured NDJSON events.
+//!   Observation never feeds back into execution, so result lines are
+//!   byte-identical with observability on or off.
 //!
 //! Results carry a parity digest (FNV-1a of the machine's canonical
 //! parity string), so "served run == one-shot run" is a one-field
@@ -27,6 +33,7 @@
 
 pub mod cache;
 pub mod json;
+pub mod obs;
 pub mod queue;
 pub mod spec;
 
@@ -37,11 +44,13 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ultra_bench::json::{heatmap_json, JsonObject};
+use ultra_obs::flight::FlightLevel;
 use ultra_sim::wire::fnv1a;
 use ultracomputer::machine::Machine;
 use ultracomputer::{EngineTuning, MachineReport};
 
 use crate::cache::SnapshotCache;
+use crate::obs::{JobPhase, JobTrace, ObsOptions, ServeObs, SpanRecord};
 use crate::queue::JobQueue;
 use crate::spec::JobSpec;
 
@@ -60,9 +69,23 @@ pub enum JobStatus {
     Cancelled,
     /// The wall-clock timeout fired between checkpoints.
     Timeout,
+    /// The line never became a job: parse or validation failure. Never
+    /// produced by [`Server::run_job`]; it exists so protocol errors
+    /// carry a status through [`JobOutcome`] like every other terminal
+    /// state.
+    Error,
 }
 
 impl JobStatus {
+    /// Every terminal status (used to pre-register per-status metrics).
+    pub const ALL: [JobStatus; 5] = [
+        JobStatus::Completed,
+        JobStatus::BudgetExhausted,
+        JobStatus::Cancelled,
+        JobStatus::Timeout,
+        JobStatus::Error,
+    ];
+
     /// The protocol string for this status.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -71,7 +94,16 @@ impl JobStatus {
             Self::BudgetExhausted => "budget-exhausted",
             Self::Cancelled => "cancelled",
             Self::Timeout => "timeout",
+            Self::Error => "error",
         }
+    }
+
+    /// Whether this outcome should fail a batch run: protocol errors
+    /// and timeouts are failures; cancellation and budget exhaustion
+    /// are requested behavior.
+    #[must_use]
+    pub fn is_failure(self) -> bool {
+        matches!(self, Self::Timeout | Self::Error)
     }
 }
 
@@ -81,25 +113,99 @@ impl JobStatus {
 pub struct JobOutcome {
     /// The job's id, echoed from the spec.
     pub id: String,
+    /// How the job ended (mirrors the `status` field of `line`).
+    pub status: JobStatus,
     /// The single-line JSON result.
     pub line: String,
     /// Human-readable log lines about how the job executed.
     pub log: Vec<String>,
 }
 
-/// The resident service: cache + cancellation registry. One instance
-/// outlives many batches; the prefix cache persists across them.
+/// Execution context for one job: which worker runs it and when it was
+/// enqueued, for queue-wait accounting and span attribution. Direct
+/// calls outside any worker pool use [`JobCtx::detached`].
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx {
+    /// Worker index executing the job (0 for detached runs).
+    pub worker: usize,
+    /// When the job entered the queue, if it was queued.
+    pub enqueued_at: Option<Instant>,
+}
+
+impl JobCtx {
+    /// A context for a job run outside any queue or worker pool.
+    #[must_use]
+    pub fn detached() -> Self {
+        Self {
+            worker: 0,
+            enqueued_at: None,
+        }
+    }
+}
+
+/// Wall-clock microseconds since `t` (saturating).
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The resident service: cache + cancellation registry + optional
+/// observability hub. One instance outlives many batches; the prefix
+/// cache persists across them.
 #[derive(Default)]
 pub struct Server {
     cache: SnapshotCache,
     cancels: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl Server {
-    /// A fresh server with an empty cache.
+    /// A fresh server with an empty cache and observability off.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh server with the observability hub enabled: metrics,
+    /// flight recorder, and (per `opts`) job lifecycle spans.
+    #[must_use]
+    pub fn with_obs(opts: ObsOptions) -> Self {
+        let obs = Arc::new(ServeObs::new(opts));
+        Self {
+            cache: SnapshotCache::with_meter(obs.cache_meter()),
+            cancels: Mutex::default(),
+            obs: Some(obs),
+        }
+    }
+
+    /// The observability hub, when enabled.
+    #[must_use]
+    pub fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.obs.as_ref()
+    }
+
+    /// The Prometheus text exposition (cache gauge refreshed first), or
+    /// `None` with observability off.
+    #[must_use]
+    pub fn render_metrics(&self) -> Option<String> {
+        let obs = self.obs.as_ref()?;
+        obs.set_cache_checkpoints(self.cache.len());
+        Some(obs.render_prometheus())
+    }
+
+    /// The metrics state as a JSON document (the `--metrics-out`
+    /// artifact), or `None` with observability off.
+    #[must_use]
+    pub fn metrics_json(&self) -> Option<String> {
+        let obs = self.obs.as_ref()?;
+        obs.set_cache_checkpoints(self.cache.len());
+        Some(obs.metrics_json())
+    }
+
+    /// The retained job lifecycle spans as Chrome `trace_event` JSON,
+    /// or `None` with observability off.
+    #[must_use]
+    pub fn trace_json(&self) -> Option<String> {
+        Some(self.obs.as_ref()?.trace_json())
     }
 
     /// The snapshot prefix cache (for stats and tests).
@@ -133,14 +239,47 @@ impl Server {
     /// job *is* the resume point for the next, longer job). Cancellation
     /// and timeout are polled between slices.
     pub fn run_job(&self, spec: &JobSpec) -> JobOutcome {
+        self.run_job_ctx(spec, JobCtx::detached())
+    }
+
+    /// [`Server::run_job`] with an explicit execution context, so
+    /// worker pools can attribute queue wait, busy time and lifecycle
+    /// spans. All observability is recorded on the side — the machine,
+    /// slice loop and result line are untouched by it.
+    pub fn run_job_ctx(&self, spec: &JobSpec, ctx: JobCtx) -> JobOutcome {
         let started = Instant::now();
+        let seq = self.obs.as_ref().map_or(0, |o| o.next_job_seq());
+        let queue_wait_us = ctx.enqueued_at.map(|t| {
+            started
+                .checked_duration_since(t)
+                .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        });
+        if let Some(obs) = &self.obs {
+            obs.log(
+                FlightLevel::Debug,
+                &spec.id,
+                "start",
+                &format!(
+                    "workload={} worker={} queue_wait_us={}",
+                    spec.workload.name(),
+                    ctx.worker,
+                    queue_wait_us.unwrap_or(0)
+                ),
+            );
+        }
         let cancel = self.cancel_flag(&spec.id);
         let key = spec.prefix_key();
         let mut log = Vec::new();
+        let flight = |level: FlightLevel, kind: &str, detail: &str| {
+            if let Some(obs) = &self.obs {
+                obs.log(level, &spec.id, kind, detail);
+            }
+        };
 
         // Resume from the best cached prefix, unless this job wants
         // telemetry (a snapshot carries no telemetry history, so a
         // telemetry series must start from cycle 0 to be complete).
+        let restore_started = Instant::now();
         let mut machine = None;
         if spec.telemetry_window.is_none() {
             if let Some((cycle, snap)) = self.cache.best_at_or_below(&key, spec.cycles) {
@@ -150,16 +289,20 @@ impl Server {
                 };
                 match Machine::restore_tuned(&snap, tuning) {
                     Ok(m) => {
-                        log.push(format!(
-                            "cache hit: job `{}` resumed from cycle {cycle}",
-                            spec.id
-                        ));
+                        let msg =
+                            format!("cache hit: job `{}` resumed from cycle {cycle}", spec.id);
+                        flight(FlightLevel::Info, "cache", &msg);
+                        log.push(msg);
                         machine = Some(m);
                     }
-                    Err(e) => log.push(format!(
-                        "cache snapshot for job `{}` rejected ({e}); running from cycle 0",
-                        spec.id
-                    )),
+                    Err(e) => {
+                        let msg = format!(
+                            "cache snapshot for job `{}` rejected ({e}); running from cycle 0",
+                            spec.id
+                        );
+                        flight(FlightLevel::Warn, "cache", &msg);
+                        log.push(msg);
+                    }
                 }
             }
         }
@@ -167,7 +310,9 @@ impl Server {
         if let Some(window) = spec.telemetry_window {
             m.enable_telemetry(window, TELEMETRY_CAPACITY);
         }
+        let restore_us = elapsed_us(restore_started);
 
+        let slices_started = Instant::now();
         let mut status = JobStatus::BudgetExhausted;
         loop {
             if cancel.load(Ordering::Relaxed) {
@@ -184,16 +329,89 @@ impl Server {
             if remaining == 0 {
                 break;
             }
+            let slice_started = Instant::now();
             let outcome = m.run_for(remaining.min(spec.checkpoint_every));
             self.cache.insert(&key, m.now(), m.snapshot());
+            if let Some(obs) = &self.obs {
+                obs.observe_slice(elapsed_us(slice_started));
+            }
             if outcome.completed {
                 status = JobStatus::Completed;
                 break;
             }
         }
+        let slices_us = elapsed_us(slices_started);
+
+        let report_started = Instant::now();
+        let line = render_result(spec, &m, status);
+        let report_us = elapsed_us(report_started);
+
+        if let Some(obs) = &self.obs {
+            let workload = spec.workload.name();
+            let total_us = queue_wait_us.unwrap_or(0) + elapsed_us(started);
+            if let Some(q) = queue_wait_us {
+                obs.observe_phase(workload, JobPhase::QueueWait, ctx.worker, q);
+            }
+            obs.observe_phase(workload, JobPhase::Restore, ctx.worker, restore_us);
+            obs.observe_phase(workload, JobPhase::Slices, ctx.worker, slices_us);
+            obs.observe_phase(workload, JobPhase::Report, ctx.worker, report_us);
+            obs.observe_phase(workload, JobPhase::Total, ctx.worker, total_us);
+            obs.job_done(workload, status);
+            let level = match status {
+                JobStatus::Completed | JobStatus::BudgetExhausted => FlightLevel::Info,
+                _ => FlightLevel::Warn,
+            };
+            obs.log(
+                level,
+                &spec.id,
+                "result",
+                &format!(
+                    "status={} cycles={} total_us={total_us}",
+                    status.as_str(),
+                    m.now()
+                ),
+            );
+            if status == JobStatus::Timeout {
+                obs.dump_flight_to_stderr(&format!("job `{}` timed out", spec.id));
+            }
+            if obs.trace_jobs() {
+                let mut spans = vec![SpanRecord {
+                    phase: JobPhase::Total,
+                    start_us: obs.us_since_epoch(ctx.enqueued_at.unwrap_or(started)),
+                    dur_us: total_us,
+                }];
+                if let (Some(enqueued_at), Some(q)) = (ctx.enqueued_at, queue_wait_us) {
+                    spans.push(SpanRecord {
+                        phase: JobPhase::QueueWait,
+                        start_us: obs.us_since_epoch(enqueued_at),
+                        dur_us: q,
+                    });
+                }
+                for (phase, at, dur_us) in [
+                    (JobPhase::Restore, restore_started, restore_us),
+                    (JobPhase::Slices, slices_started, slices_us),
+                    (JobPhase::Report, report_started, report_us),
+                ] {
+                    spans.push(SpanRecord {
+                        phase,
+                        start_us: obs.us_since_epoch(at),
+                        dur_us,
+                    });
+                }
+                obs.record_trace(JobTrace {
+                    seq,
+                    id: spec.id.clone(),
+                    worker: ctx.worker,
+                    workload,
+                    spans,
+                });
+            }
+        }
+
         JobOutcome {
             id: spec.id.clone(),
-            line: render_result(spec, &m, status),
+            status,
+            line,
             log,
         }
     }
@@ -209,17 +427,34 @@ impl Server {
         queue_capacity: usize,
         mut on_result: F,
     ) -> usize {
-        let queue = JobQueue::new(queue_capacity.max(1));
+        let queue = JobQueue::with_meter(
+            queue_capacity.max(1),
+            self.obs.as_ref().map(|o| o.queue_meter()),
+        );
         let (tx, rx) = mpsc::channel();
         let mut done = 0;
         thread::scope(|s| {
-            for _ in 0..workers.max(1) {
+            for worker in 0..workers.max(1) {
                 let tx = tx.clone();
                 let queue = &queue;
                 s.spawn(move || {
-                    while let Some(spec) = queue.pop() {
+                    let mut idle_since = Instant::now();
+                    while let Some((enqueued_at, spec)) = queue.pop() {
                         let spec: JobSpec = spec;
-                        if tx.send(self.run_job(&spec)).is_err() {
+                        let busy_since = Instant::now();
+                        if let Some(obs) = &self.obs {
+                            obs.worker_idle(worker, elapsed_us(idle_since));
+                        }
+                        let ctx = JobCtx {
+                            worker,
+                            enqueued_at: Some(enqueued_at),
+                        };
+                        let outcome = self.run_job_ctx(&spec, ctx);
+                        if let Some(obs) = &self.obs {
+                            obs.worker_busy(worker, elapsed_us(busy_since));
+                        }
+                        idle_since = Instant::now();
+                        if tx.send(outcome).is_err() {
                             break;
                         }
                     }
@@ -228,7 +463,7 @@ impl Server {
             drop(tx);
             for spec in specs {
                 let priority = spec.priority;
-                if !queue.push(priority, spec) {
+                if !queue.push(priority, (Instant::now(), spec)) {
                     break;
                 }
             }

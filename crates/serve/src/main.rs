@@ -2,19 +2,32 @@
 //!
 //! ```text
 //! ultra-serve --batch jobs.ndjson [--workers N] [--queue-cap N]
-//! ultra-serve --listen 127.0.0.1:7077 [--workers N] [--queue-cap N]
+//!             [--metrics-out FILE] [--trace-out FILE]
+//!             [--log-level debug|info|warn|error] [--flight-cap N]
+//! ultra-serve --listen 127.0.0.1:7077 [same flags]
 //! ```
 //!
 //! Both modes speak the same newline-delimited JSON protocol: one object
 //! per line. A job line names a machine and a workload (see
 //! `ultra_serve::spec::JobSpec`); `{"cancel": "<id>"}` cancels a queued
-//! or running job; `{"shutdown": true}` (socket mode) drains the queue
-//! and exits. Results stream back one JSON line per job — to stdout in
-//! batch mode, to the submitting connection in socket mode — and
-//! execution logs (cache hits, rejected snapshots) go to stderr.
+//! or running job; `{"metrics"}` (or `{"metrics": true}`) answers with
+//! the Prometheus text exposition terminated by a `# EOF` line;
+//! `{"dump"}` (or `{"dump": true}`) answers with the flight recorder's
+//! NDJSON events terminated by a `{"dump_complete": N}` line;
+//! `{"shutdown": true}` (socket mode) drains the queue and exits.
 //!
-//! Batch mode exits non-zero if any line failed to parse or validate;
-//! `--batch -` reads the batch from stdin.
+//! **Result lines** go to stdout in batch mode and to the submitting
+//! connection in socket mode — every input job yields exactly one.
+//! **Diagnostics** are structured NDJSON events on stderr, filtered by
+//! `--log-level` (everything is retained in the bounded flight recorder
+//! regardless, and the ring is dumped to stderr on job error/timeout).
+//!
+//! Batch mode exits non-zero if any line failed to parse or validate,
+//! or any job timed out (`cancelled` and `budget-exhausted` are
+//! requested behavior, not failures); `--batch -` reads from stdin. On
+//! exit, `--metrics-out` writes the metrics state as JSON and
+//! `--trace-out` writes per-job lifecycle spans as Chrome `trace_event`
+//! JSON (loadable in Perfetto).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -22,18 +35,25 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Instant;
 
+use ultra_obs::flight::FlightLevel;
 use ultra_serve::json::{parse_object, Json};
+use ultra_serve::obs::{JobPhase, ObsOptions, ServeObs};
 use ultra_serve::queue::JobQueue;
 use ultra_serve::spec::JobSpec;
-use ultra_serve::{error_line, JobOutcome, Server};
+use ultra_serve::{error_line, JobCtx, JobOutcome, JobStatus, Server};
 
 const DEFAULT_WORKERS: usize = 2;
 const DEFAULT_QUEUE_CAP: usize = 64;
+const DEFAULT_FLIGHT_CAP: usize = 256;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ultra-serve --batch <file|-> [--workers N] [--queue-cap N]\n       ultra-serve --listen <addr> [--workers N] [--queue-cap N]"
+        "usage: ultra-serve --batch <file|-> [--workers N] [--queue-cap N]\n\
+         \x20                 [--metrics-out FILE] [--trace-out FILE]\n\
+         \x20                 [--log-level debug|info|warn|error] [--flight-cap N]\n\
+         \x20      ultra-serve --listen <addr> [same flags]"
     );
     std::process::exit(2);
 }
@@ -43,6 +63,10 @@ struct Options {
     listen: Option<String>,
     workers: usize,
     queue_cap: usize,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    log_level: FlightLevel,
+    flight_cap: usize,
 }
 
 fn parse_args() -> Options {
@@ -52,6 +76,10 @@ fn parse_args() -> Options {
         listen: None,
         workers: DEFAULT_WORKERS,
         queue_cap: DEFAULT_QUEUE_CAP,
+        metrics_out: None,
+        trace_out: None,
+        log_level: FlightLevel::Info,
+        flight_cap: DEFAULT_FLIGHT_CAP,
     };
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +93,14 @@ fn parse_args() -> Options {
             "--queue-cap" => {
                 opts.queue_cap = value(i).parse().unwrap_or_else(|_| usage());
             }
+            "--metrics-out" => opts.metrics_out = Some(value(i)),
+            "--trace-out" => opts.trace_out = Some(value(i)),
+            "--log-level" => {
+                opts.log_level = FlightLevel::parse(&value(i)).unwrap_or_else(|| usage());
+            }
+            "--flight-cap" => {
+                opts.flight_cap = value(i).parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
         i += 2;
@@ -72,7 +108,7 @@ fn parse_args() -> Options {
     if opts.batch.is_some() == opts.listen.is_some() {
         usage();
     }
-    if opts.workers < 1 || opts.queue_cap < 1 {
+    if opts.workers < 1 || opts.queue_cap < 1 || opts.flight_cap < 1 {
         usage();
     }
     opts
@@ -80,12 +116,47 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    if let Some(path) = &opts.batch {
-        run_batch_mode(path, opts.workers, opts.queue_cap)
+    let server = Server::with_obs(ObsOptions {
+        flight_capacity: opts.flight_cap,
+        log_level: opts.log_level,
+        trace_jobs: opts.trace_out.is_some(),
+    });
+    let code = if let Some(path) = &opts.batch {
+        run_batch_mode(&server, path, &opts)
     } else if let Some(addr) = &opts.listen {
-        run_listen_mode(addr, opts.workers, opts.queue_cap)
+        run_listen_mode(&server, addr, &opts)
     } else {
         usage()
+    };
+    write_artifacts(&server, &opts);
+    code
+}
+
+/// Writes the `--metrics-out` / `--trace-out` files from the final
+/// service state (both modes, on exit).
+fn write_artifacts(server: &Server, opts: &Options) {
+    let obs = server.obs().expect("main always enables obs");
+    for (path, content, kind) in [
+        (&opts.metrics_out, server.metrics_json(), "metrics"),
+        (&opts.trace_out, server.trace_json(), "trace"),
+    ] {
+        let (Some(path), Some(content)) = (path, content) else {
+            continue;
+        };
+        match std::fs::write(path, content) {
+            Ok(()) => obs.log(
+                FlightLevel::Info,
+                "",
+                "artifact",
+                &format!("wrote {kind} to {path}"),
+            ),
+            Err(e) => obs.log(
+                FlightLevel::Error,
+                "",
+                "artifact",
+                &format!("writing {kind} to {path}: {e}"),
+            ),
+        }
     }
 }
 
@@ -98,6 +169,10 @@ enum Classified {
     /// A `{"shutdown": true}` request (socket mode drains and exits; in
     /// a batch the end of file is the shutdown, so it is a no-op there).
     Shutdown,
+    /// A `{"metrics"}` request for the Prometheus exposition.
+    Metrics,
+    /// A `{"dump"}` request for the flight recorder's contents.
+    Dump,
 }
 
 /// Parses one protocol line, applying `{"cancel": ...}` control lines to
@@ -106,6 +181,14 @@ fn classify_line(server: &Server, line: &str, lineno: usize) -> Result<Classifie
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(Classified::Control);
+    }
+    // Bare control literals — accepted before JSON parsing because the
+    // brace-only shorthand is not a valid JSON object.
+    if trimmed == "{\"metrics\"}" {
+        return Ok(Classified::Metrics);
+    }
+    if trimmed == "{\"dump\"}" {
+        return Ok(Classified::Dump);
     }
     let fallback_id = format!("job-{lineno}");
     let obj = match parse_object(trimmed) {
@@ -121,6 +204,12 @@ fn classify_line(server: &Server, line: &str, lineno: usize) -> Result<Classifie
             None => Err(error_line(&fallback_id, "field `cancel` must be a job id")),
         };
     }
+    if obj.get("metrics") == Some(&Json::Bool(true)) {
+        return Ok(Classified::Metrics);
+    }
+    if obj.get("dump") == Some(&Json::Bool(true)) {
+        return Ok(Classified::Dump);
+    }
     if obj.get("shutdown") == Some(&Json::Bool(true)) {
         return Ok(Classified::Shutdown);
     }
@@ -130,11 +219,43 @@ fn classify_line(server: &Server, line: &str, lineno: usize) -> Result<Classifie
     }
 }
 
-fn run_batch_mode(path: &str, workers: usize, queue_cap: usize) -> ExitCode {
+/// Classifies one line with parse-phase timing and protocol-error
+/// accounting (shared by both modes).
+fn classify_observed(
+    server: &Server,
+    obs: &ServeObs,
+    line: &str,
+    lineno: usize,
+) -> Result<Classified, String> {
+    let parse_started = Instant::now();
+    let classified = classify_line(server, line, lineno);
+    let parse_us = u64::try_from(parse_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    match &classified {
+        Ok(Classified::Job(spec)) => {
+            obs.observe_phase(spec.workload.name(), JobPhase::Parse, 0, parse_us);
+        }
+        Ok(_) => {}
+        Err(error) => {
+            obs.observe_phase("invalid", JobPhase::Parse, 0, parse_us);
+            obs.protocol_error();
+            obs.log(
+                FlightLevel::Error,
+                "",
+                "protocol",
+                &format!("line {lineno} rejected: {error}"),
+            );
+            obs.dump_flight_to_stderr(&format!("protocol error on line {lineno}"));
+        }
+    }
+    classified
+}
+
+fn run_batch_mode(server: &Server, path: &str, opts: &Options) -> ExitCode {
+    let obs = server.obs().expect("main always enables obs");
     let text = if path == "-" {
         let mut buf = String::new();
         if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-            eprintln!("ultra-serve: reading stdin: {e}");
+            obs.log(FlightLevel::Error, "", "io", &format!("reading stdin: {e}"));
             return ExitCode::FAILURE;
         }
         buf
@@ -142,20 +263,33 @@ fn run_batch_mode(path: &str, workers: usize, queue_cap: usize) -> ExitCode {
         match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
-                eprintln!("ultra-serve: reading {path}: {e}");
+                obs.log(
+                    FlightLevel::Error,
+                    "",
+                    "io",
+                    &format!("reading {path}: {e}"),
+                );
                 return ExitCode::FAILURE;
             }
         }
     };
 
-    let server = Server::new();
     let mut specs = Vec::new();
     let mut had_error = false;
     for (index, line) in text.lines().enumerate() {
-        match classify_line(&server, line, index + 1) {
+        match classify_observed(server, obs, line, index + 1) {
             Ok(Classified::Job(spec)) => specs.push(spec),
             Ok(Classified::Control | Classified::Shutdown) => {}
+            Ok(Classified::Metrics) => obs.log(
+                FlightLevel::Warn,
+                "",
+                "protocol",
+                "metrics control line is answered in --listen mode; use --metrics-out for batch runs",
+            ),
+            Ok(Classified::Dump) => obs.dump_flight_to_stderr("dump requested by batch line"),
             Err(error) => {
+                // Every input job yields exactly one terminal result
+                // line on stdout, parse failures included.
                 println!("{error}");
                 had_error = true;
             }
@@ -163,83 +297,127 @@ fn run_batch_mode(path: &str, workers: usize, queue_cap: usize) -> ExitCode {
     }
 
     let submitted = specs.len();
-    let done = server.run_batch(specs, workers, queue_cap, |outcome| {
+    let mut failed_jobs = 0usize;
+    let done = server.run_batch(specs, opts.workers, opts.queue_cap, |outcome| {
         println!("{}", outcome.line);
-        for entry in &outcome.log {
-            eprintln!("ultra-serve: {entry}");
+        if outcome.status.is_failure() {
+            failed_jobs += 1;
         }
     });
-    eprintln!(
-        "ultra-serve: {done}/{submitted} jobs done; cache: {} hits, {} misses, {} checkpoints",
-        server.cache().hits(),
-        server.cache().misses(),
-        server.cache().len()
+    obs.log(
+        FlightLevel::Info,
+        "",
+        "batch",
+        &format!(
+            "{done}/{submitted} jobs done ({failed_jobs} failed); cache: {} hits, {} misses, {} evictions, {} checkpoints",
+            server.cache().hits(),
+            server.cache().misses(),
+            server.cache().evictions(),
+            server.cache().len()
+        ),
     );
-    if had_error || done != submitted {
+    if had_error || done != submitted || failed_jobs > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-/// One queued unit in socket mode: the job plus the channel back to the
-/// connection that submitted it.
+/// One queued unit in socket mode: the job, when it was enqueued, and
+/// the channel back to the connection that submitted it.
 struct Submission {
     spec: JobSpec,
+    enqueued_at: Instant,
     reply: mpsc::Sender<JobOutcome>,
 }
 
-fn run_listen_mode(addr: &str, workers: usize, queue_cap: usize) -> ExitCode {
+/// A non-job reply (metrics exposition, flight dump) routed through the
+/// connection's writer channel.
+fn raw_reply(line: String) -> JobOutcome {
+    JobOutcome {
+        id: String::new(),
+        status: JobStatus::Completed,
+        line,
+        log: Vec::new(),
+    }
+}
+
+fn run_listen_mode(server: &Server, addr: &str, opts: &Options) -> ExitCode {
+    let obs = Arc::clone(server.obs().expect("main always enables obs"));
     let listener = match TcpListener::bind(addr) {
         Ok(listener) => listener,
         Err(e) => {
-            eprintln!("ultra-serve: binding {addr}: {e}");
+            obs.log(
+                FlightLevel::Error,
+                "",
+                "io",
+                &format!("binding {addr}: {e}"),
+            );
             return ExitCode::FAILURE;
         }
     };
     let local = listener.local_addr().ok();
-    eprintln!(
-        "ultra-serve: listening on {}",
-        local.map_or_else(|| addr.to_owned(), |a| a.to_string())
+    obs.log(
+        FlightLevel::Info,
+        "",
+        "listen",
+        &format!(
+            "listening on {}",
+            local.map_or_else(|| addr.to_owned(), |a| a.to_string())
+        ),
     );
 
-    let server = Arc::new(Server::new());
-    let queue = Arc::new(JobQueue::<Submission>::new(queue_cap));
+    let queue = Arc::new(JobQueue::<Submission>::with_meter(
+        opts.queue_cap,
+        Some(obs.queue_meter()),
+    ));
     let shutdown = Arc::new(AtomicBool::new(false));
 
-    let worker_handles: Vec<_> = (0..workers)
-        .map(|_| {
-            let server = Arc::clone(&server);
+    thread::scope(|scope| {
+        let mut worker_handles = Vec::new();
+        for worker in 0..opts.workers {
             let queue = Arc::clone(&queue);
-            thread::spawn(move || {
+            let obs = Arc::clone(&obs);
+            worker_handles.push(scope.spawn(move || {
+                let mut idle_since = Instant::now();
                 while let Some(sub) = queue.pop() {
-                    let outcome = server.run_job(&sub.spec);
-                    for entry in &outcome.log {
-                        eprintln!("ultra-serve: {entry}");
-                    }
+                    let busy_since = Instant::now();
+                    obs.worker_idle(
+                        worker,
+                        u64::try_from(idle_since.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    );
+                    let ctx = JobCtx {
+                        worker,
+                        enqueued_at: Some(sub.enqueued_at),
+                    };
+                    let outcome = server.run_job_ctx(&sub.spec, ctx);
+                    obs.worker_busy(
+                        worker,
+                        u64::try_from(busy_since.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    );
+                    idle_since = Instant::now();
                     // A disconnected client just drops its results.
                     let _ = sub.reply.send(outcome);
                 }
-            })
-        })
-        .collect();
-
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
+            }));
         }
-        let Ok(stream) = stream else { continue };
-        let server = Arc::clone(&server);
-        let queue = Arc::clone(&queue);
-        let shutdown = Arc::clone(&shutdown);
-        thread::spawn(move || handle_connection(stream, &server, &queue, &shutdown, local));
-    }
 
-    queue.close();
-    for handle in worker_handles {
-        let _ = handle.join();
-    }
-    eprintln!("ultra-serve: shut down");
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            scope.spawn(move || handle_connection(stream, server, &queue, &shutdown, local));
+        }
+
+        queue.close();
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+    });
+    obs.log(FlightLevel::Info, "", "listen", "shut down");
     ExitCode::SUCCESS
 }
 
@@ -250,6 +428,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     local: Option<std::net::SocketAddr>,
 ) {
+    let obs = server.obs().expect("main always enables obs");
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -267,11 +446,12 @@ fn handle_connection(
     for line in BufReader::new(stream).lines() {
         let Ok(line) = line else { break };
         lineno += 1;
-        match classify_line(server, &line, lineno) {
+        match classify_observed(server, obs, &line, lineno) {
             Ok(Classified::Job(spec)) => {
                 let priority = spec.priority;
                 let submission = Submission {
                     spec,
+                    enqueued_at: Instant::now(),
                     reply: tx.clone(),
                 };
                 if !queue.push(priority, submission) {
@@ -279,6 +459,18 @@ fn handle_connection(
                 }
             }
             Ok(Classified::Control) => {}
+            Ok(Classified::Metrics) => {
+                // The exposition is multi-line; `# EOF` terminates it so
+                // clients on the NDJSON stream know where it ends.
+                let text = server.render_metrics().expect("main always enables obs");
+                let _ = tx.send(raw_reply(format!("{text}# EOF")));
+            }
+            Ok(Classified::Dump) => {
+                let mut lines = obs.dump_flight();
+                let count = lines.len();
+                lines.push(format!("{{\"dump_complete\": {count}}}"));
+                let _ = tx.send(raw_reply(lines.join("\n")));
+            }
             Ok(Classified::Shutdown) => {
                 // Flag the whole server down, then poke the accept loop
                 // awake with a throwaway connection.
@@ -291,6 +483,7 @@ fn handle_connection(
             Err(error) => {
                 let _ = tx.send(JobOutcome {
                     id: String::new(),
+                    status: JobStatus::Error,
                     line: error,
                     log: Vec::new(),
                 });

@@ -7,7 +7,24 @@
 //! drains without accepting more work.
 
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ultra_obs::metrics::{Counter, Gauge};
+
+/// Live instruments a queue reports into (registered by
+/// `crate::obs::ServeObs::queue_meter`). All handles are lock-free
+/// atomics, so metering adds no contention to the queue's own lock.
+#[derive(Clone)]
+pub struct QueueMeter {
+    /// Jobs accepted by [`JobQueue::push`].
+    pub enqueued: Arc<Counter>,
+    /// Jobs handed out by [`JobQueue::pop`].
+    pub dequeued: Arc<Counter>,
+    /// Pushes refused because the queue was closed.
+    pub rejected: Arc<Counter>,
+    /// Jobs currently waiting (enqueued minus dequeued).
+    pub depth: Arc<Gauge>,
+}
 
 /// One queued item: max-heap on priority, then earliest sequence.
 struct Entry<T> {
@@ -53,6 +70,7 @@ pub struct JobQueue<T> {
     capacity: usize,
     not_full: Condvar,
     not_empty: Condvar,
+    meter: Option<QueueMeter>,
 }
 
 impl<T> JobQueue<T> {
@@ -63,6 +81,17 @@ impl<T> JobQueue<T> {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_meter(capacity, None)
+    }
+
+    /// An empty queue that reports depth and enqueue/dequeue/reject
+    /// counts into `meter` (when given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_meter(capacity: usize, meter: Option<QueueMeter>) -> Self {
         assert!(capacity >= 1, "a zero-capacity queue can never accept work");
         Self {
             state: Mutex::new(State {
@@ -73,6 +102,7 @@ impl<T> JobQueue<T> {
             capacity,
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            meter,
         }
     }
 
@@ -84,6 +114,10 @@ impl<T> JobQueue<T> {
             state = self.not_full.wait(state).expect("queue poisoned");
         }
         if state.closed {
+            drop(state);
+            if let Some(meter) = &self.meter {
+                meter.rejected.incr();
+            }
             return false;
         }
         let seq = state.next_seq;
@@ -94,6 +128,11 @@ impl<T> JobQueue<T> {
             item,
         });
         self.not_empty.notify_one();
+        drop(state);
+        if let Some(meter) = &self.meter {
+            meter.enqueued.incr();
+            meter.depth.add(1);
+        }
         true
     }
 
@@ -104,6 +143,11 @@ impl<T> JobQueue<T> {
         loop {
             if let Some(entry) = state.heap.pop() {
                 self.not_full.notify_one();
+                drop(state);
+                if let Some(meter) = &self.meter {
+                    meter.dequeued.incr();
+                    meter.depth.sub(1);
+                }
                 return Some(entry.item);
             }
             if state.closed {
@@ -176,6 +220,29 @@ mod tests {
         handle.join().unwrap();
         assert!(pushed.load(Ordering::SeqCst));
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn meter_tracks_depth_and_flow() {
+        let meter = QueueMeter {
+            enqueued: Arc::new(Counter::new()),
+            dequeued: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            depth: Arc::new(Gauge::new()),
+        };
+        let q = JobQueue::with_meter(8, Some(meter.clone()));
+        q.push(0, 1u32);
+        q.push(0, 2);
+        assert_eq!(meter.enqueued.get(), 2);
+        assert_eq!(meter.depth.get(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(meter.dequeued.get(), 1);
+        assert_eq!(meter.depth.get(), 1);
+        q.close();
+        assert!(!q.push(0, 3));
+        assert_eq!(meter.rejected.get(), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(meter.depth.get(), 0);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum Workload {
 }
 
 impl Workload {
+    /// Every registry workload, in protocol order (used to pre-register
+    /// per-workload metrics so expositions carry zeros from the start).
+    pub const ALL: [Workload; 4] = [
+        Workload::Counter,
+        Workload::Ticket,
+        Workload::Barrier,
+        Workload::Serving,
+    ];
+
     /// Every registry name, in protocol order — the list quoted by the
     /// unknown-workload parse error.
     pub const NAMES: &'static [&'static str] = &["counter", "ticket", "barrier", "serving"];

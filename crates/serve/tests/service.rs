@@ -9,9 +9,13 @@
 //! * Cancellation and timeout produce their statuses, never hangs.
 
 use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::thread;
 
+use ultra_obs::flight::FlightLevel;
+use ultra_serve::obs::ObsOptions;
 use ultra_serve::spec::{JobSpec, Workload};
-use ultra_serve::{JobOutcome, Server};
+use ultra_serve::{JobOutcome, JobStatus, Server};
 
 /// Extracts `"key": "value"` or `"key": 123` from a rendered result line
 /// (every value the protocol renders is a string or an integer).
@@ -301,4 +305,96 @@ fn batch_respects_priority_order_with_one_worker() {
     // queue never holds more than one job), then the remaining two pop
     // by priority.
     assert_eq!(order, ["low", "high", "mid"]);
+}
+
+#[test]
+fn cancelling_a_running_job_yields_exactly_one_cancelled_result() {
+    // The race under test: the job has already been dequeued and is
+    // mid-simulation when the cancel arrives. It must stop at the next
+    // cancellation poll and emit exactly one terminal result line.
+    let server = Arc::new(Server::new());
+    let mut spec = JobSpec::new("marathon");
+    spec.workload = Workload::Ticket;
+    spec.rounds = 1_000_000; // far more work than any test should finish
+    spec.cycles = u64::MAX / 2;
+    spec.checkpoint_every = 64; // poll cancellation often
+
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    let batch = {
+        let server = Arc::clone(&server);
+        let spec = spec.clone();
+        thread::spawn(move || server.run_batch(vec![spec], 1, 1, |out| tx.send(out).unwrap()))
+    };
+    // The first checkpoint landing in the cache proves the job is past
+    // dequeue and actively simulating — cancel exactly then.
+    while server.cache().is_empty() {
+        thread::yield_now();
+    }
+    server.cancel("marathon");
+    assert_eq!(batch.join().unwrap(), 1);
+
+    let outcomes: Vec<JobOutcome> = rx.iter().collect();
+    assert_eq!(
+        outcomes.len(),
+        1,
+        "a cancelled-while-running job must emit exactly one result line"
+    );
+    assert_eq!(outcomes[0].status, JobStatus::Cancelled);
+    assert_eq!(field(&outcomes[0].line, "status"), "cancelled");
+    assert!(
+        field(&outcomes[0].line, "cycles").parse::<u64>().unwrap() > 0,
+        "the job was running when cancelled, so it simulated some cycles"
+    );
+}
+
+#[test]
+fn observability_never_changes_result_lines() {
+    // The determinism contract: metrics, spans and the flight recorder
+    // observe the service without steering it. The same batch through an
+    // instrumented server and a bare one must render byte-identical
+    // result lines.
+    let jobs = mixed_batch();
+    let run = |server: &Server| {
+        let mut lines = Vec::new();
+        let done = server.run_batch(jobs.clone(), 3, 8, |out| {
+            lines.push((out.id.clone(), out.line))
+        });
+        assert_eq!(done, jobs.len());
+        lines.sort();
+        lines
+    };
+
+    let bare = run(&Server::new());
+    let observed_server = Server::with_obs(ObsOptions {
+        flight_capacity: 64,
+        log_level: FlightLevel::Error, // keep test stderr quiet
+        trace_jobs: true,
+    });
+    let observed = run(&observed_server);
+    assert_eq!(
+        bare, observed,
+        "observability must be invisible in result lines"
+    );
+
+    // The instrumented run produced a full exposition...
+    let text = observed_server.render_metrics().expect("obs is on");
+    for needle in [
+        "ultra_serve_queue_depth",
+        "ultra_serve_queue_enqueued_total",
+        "ultra_serve_cache_hits_total",
+        "ultra_serve_cache_misses_total",
+        "ultra_serve_worker_busy_seconds_total",
+        "ultra_serve_jobs_total{status=\"completed\"",
+        "ultra_serve_job_latency_seconds{phase=\"total\"",
+        "quantile=\"0.99\"",
+    ] {
+        assert!(text.contains(needle), "exposition lacks {needle}:\n{text}");
+    }
+    // ...and Chrome trace spans for every job phase.
+    let trace = observed_server.trace_json().expect("trace_jobs is on");
+    for phase in ["queue-wait", "restore", "slices", "report", "total"] {
+        assert!(trace.contains(&format!("\"name\": \"{phase}\"")), "{trace}");
+    }
+    // The bare server exposes none of it.
+    assert!(Server::new().render_metrics().is_none());
 }

@@ -270,6 +270,54 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative `(upper_edge, count_at_or_below)` buckets, ascending,
+    /// at power-of-two edges (`0, 1, 3, 7, … 255`, then the log bins'
+    /// upper edges `511, 1023, …`).
+    ///
+    /// Every edge coincides with a bin boundary, so each count is
+    /// *exact*: `count_at_or_below` equals the number of recorded values
+    /// `<= upper_edge`. Emission stops at the first edge covering every
+    /// observation (the last pair's count equals [`Histogram::count`]);
+    /// an empty histogram yields no buckets. This is the
+    /// Prometheus-`le` view of the histogram used by the service
+    /// metrics exposition.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut cumulative = 0u64;
+        // Power-of-two edges through the exact linear region: the edge
+        // 2^k - 1 closes over linear values 0..=2^k - 1.
+        let mut next = 0usize;
+        for k in 0..=8u32 {
+            let le = (1u64 << k) - 1;
+            while next < self.linear.len() && (next as u64) <= le {
+                cumulative += self.linear[next];
+                next += 1;
+            }
+            out.push((le, cumulative));
+            if cumulative == self.count {
+                return out;
+            }
+        }
+        for (bin, &c) in self.log.iter().enumerate() {
+            cumulative += c;
+            out.push(((LINEAR_BINS << (bin + 1)) - 1, cumulative));
+            if cumulative == self.count {
+                return out;
+            }
+        }
+        out
+    }
+
     /// Value at or below which `p` percent of observations fall.
     ///
     /// Exact below 256; above, the matching power-of-two bin's *upper*
@@ -596,6 +644,48 @@ mod tests {
                 assert!(q <= h.max(), "seed {seed} p{p}: {q} exceeds max");
             }
         }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_exact_at_every_edge() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 8, 300, 5000] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        // Edges partition at bin boundaries, so each count is exact.
+        assert_eq!(buckets[0], (0, 1)); // v=0
+        assert_eq!(buckets[1], (1, 3)); // + two 1s
+        assert_eq!(buckets[3], (7, 4)); // + the 7
+        assert_eq!(buckets[4], (15, 5)); // + the 8
+        assert_eq!(buckets[8], (255, 5)); // nothing else below 256
+        assert_eq!(buckets[9], (511, 6)); // + the 300
+                                          // Emission stops once every observation is covered.
+        let &(last_le, last_c) = buckets.last().unwrap();
+        assert_eq!(last_c, h.count());
+        assert!(last_le >= h.max());
+        assert!(h.sum() == 5317);
+    }
+
+    #[test]
+    fn cumulative_buckets_empty_and_monotone() {
+        assert!(Histogram::new().cumulative_buckets().is_empty());
+        let mut h = Histogram::new();
+        for v in property_values(0x7777, 300) {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        let mut prev_le = None;
+        let mut prev_c = 0;
+        for &(le, c) in &buckets {
+            if let Some(p) = prev_le {
+                assert!(le > p, "edges must ascend");
+            }
+            assert!(c >= prev_c, "counts must be cumulative");
+            prev_le = Some(le);
+            prev_c = c;
+        }
+        assert_eq!(prev_c, h.count());
     }
 
     #[test]

@@ -189,6 +189,52 @@ fn histogram_merge_then_percentile_consistent() {
 }
 
 #[test]
+fn histogram_cumulative_buckets_match_reference_counts() {
+    forall(
+        128,
+        "histogram_cumulative_buckets_match_reference_counts",
+        |rng| {
+            // Every bucket edge coincides with a bin boundary, so the
+            // cumulative count at each edge must be *exactly* the number of
+            // raw values at or below it — and merging preserves that.
+            let values = vec_u64(rng, 1 << 22, 1, 300);
+            let cut = rng.below(values.len() + 1);
+            let mut whole = Histogram::new();
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                whole.record(v);
+                if i < cut {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+            }
+            a.merge(&b);
+            let buckets = whole.cumulative_buckets();
+            assert!(!buckets.is_empty());
+            assert_eq!(a.cumulative_buckets(), buckets);
+            let mut prev_le = None;
+            for &(le, c) in &buckets {
+                let exact = values.iter().filter(|&&v| v <= le).count() as u64;
+                assert_eq!(c, exact, "le = {le}");
+                if let Some(p) = prev_le {
+                    assert!(le > p, "edges must ascend");
+                }
+                prev_le = Some(le);
+            }
+            let &(last_le, last_c) = buckets.last().unwrap();
+            assert_eq!(last_c, whole.count());
+            assert!(last_le >= whole.max());
+            assert_eq!(
+                whole.sum(),
+                values.iter().map(|&v| u128::from(v)).sum::<u128>()
+            );
+        },
+    );
+}
+
+#[test]
 fn rng_below_is_roughly_uniform() {
     forall(64, "rng_below_is_roughly_uniform", |rng| {
         let seed = rng.next_u64();

@@ -28,10 +28,15 @@ cat > results/serve_batch.ndjson <<'EOF'
 {"id": "other", "pes": 16, "seed": 3, "workload": "barrier", "rounds": 4}
 EOF
 cargo run --release -q -p ultra-serve -- --batch results/serve_batch.ndjson --workers 1 \
+    --metrics-out results/serve_metrics.json --trace-out results/serve_trace.json \
     > results/serve_results.ndjson 2> results/serve_log.txt
 cat results/serve_results.ndjson
 grep -q 'cache hit: job `resume` resumed from cycle' results/serve_log.txt \
     || { echo "ERROR: the resume job did not hit the snapshot cache"; exit 1; }
+python3 -m json.tool results/serve_metrics.json > /dev/null \
+    || { echo "ERROR: serve_metrics.json is not valid JSON"; exit 1; }
+python3 -m json.tool results/serve_trace.json > /dev/null \
+    || { echo "ERROR: serve_trace.json is not valid JSON"; exit 1; }
 echo "serve smoke OK: $(grep -c '^' results/serve_results.ndjson) results, prefix-cache hit confirmed"
 echo
 
